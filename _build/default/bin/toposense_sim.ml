@@ -1,0 +1,349 @@
+(* Command-line driver for the TopoSense reproduction.
+
+   Subcommands mirror the paper's evaluation artefacts:
+
+     toposense_sim fig6 | fig7 | fig8 | fig9 | fig10 | table1
+     toposense_sim run --topology a --receivers 4 --traffic vbr3 \
+                        --scheme toposense --duration 600
+
+   All runs are deterministic for a given --seed. *)
+
+module Time = Engine.Time
+module Experiment = Scenarios.Experiment
+module Figures = Scenarios.Figures
+
+open Cmdliner
+
+(* ---------- shared options ---------- *)
+
+let duration_term =
+  let doc = "Simulated duration in seconds." in
+  Arg.(value & opt int 1200 & info [ "duration" ] ~docv:"SECONDS" ~doc)
+
+let seed_term =
+  let doc = "PRNG seed; runs are deterministic per seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let traffic_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "cbr" -> Ok Experiment.Cbr
+    | s when String.length s > 3 && String.sub s 0 3 = "vbr" -> (
+        match float_of_string_opt (String.sub s 3 (String.length s - 3)) with
+        | Some p when p >= 1.0 -> Ok (Experiment.Vbr p)
+        | _ -> Error (`Msg "expected vbr<P>, e.g. vbr3"))
+    | _ -> Error (`Msg "expected cbr or vbr<P>")
+  in
+  let print ppf t = Experiment.pp_traffic ppf t in
+  Arg.conv (parse, print)
+
+let traffic_term =
+  let doc = "Traffic model: cbr, vbr3, vbr6, ..." in
+  Arg.(
+    value
+    & opt traffic_conv (Experiment.Vbr 3.0)
+    & info [ "traffic" ] ~docv:"MODEL" ~doc)
+
+let scheme_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "toposense" -> Ok Experiment.Toposense
+    | "rlm" -> Ok Experiment.Rlm
+    | "oracle" -> Ok Experiment.Oracle
+    | _ -> Error (`Msg "expected toposense, rlm or oracle")
+  in
+  Arg.conv (parse, Experiment.pp_scheme)
+
+let scheme_term =
+  let doc = "Control scheme: toposense, rlm or oracle." in
+  Arg.(
+    value
+    & opt scheme_conv Experiment.Toposense
+    & info [ "scheme" ] ~docv:"SCHEME" ~doc)
+
+let sizes_term ~default ~name ~doc =
+  Arg.(value & opt (list int) default & info [ name ] ~docv:"N,N,..." ~doc)
+
+let print_rows pp rows =
+  List.iter (fun r -> Format.printf "%a@." pp r) rows;
+  `Ok ()
+
+(* ---------- figure commands ---------- *)
+
+let fig6_cmd =
+  let run duration seed set_sizes =
+    Figures.fig6 ~duration:(Time.of_sec duration) ~set_sizes
+      ~seed:(Int64.of_int seed) ()
+    |> print_rows Figures.pp_stability_row
+  in
+  Cmd.v
+    (Cmd.info "fig6" ~doc:"Stability in Topology A (paper Fig. 6).")
+    Term.(
+      ret
+        (const run $ duration_term $ seed_term
+        $ sizes_term ~default:[ 1; 2; 4; 8; 16 ] ~name:"sizes"
+            ~doc:"Receivers per set."))
+
+let fig7_cmd =
+  let run duration seed session_counts =
+    Figures.fig7 ~duration:(Time.of_sec duration) ~session_counts
+      ~seed:(Int64.of_int seed) ()
+    |> print_rows Figures.pp_stability_row
+  in
+  Cmd.v
+    (Cmd.info "fig7" ~doc:"Stability in Topology B (paper Fig. 7).")
+    Term.(
+      ret
+        (const run $ duration_term $ seed_term
+        $ sizes_term ~default:[ 1; 2; 4; 8; 16 ] ~name:"sessions"
+            ~doc:"Competing session counts."))
+
+let runs_term =
+  let doc = "Average each row over this many independent seeds." in
+  Arg.(value & opt int 1 & info [ "runs" ] ~docv:"N" ~doc)
+
+let seeds_of ~seed ~runs =
+  List.init (max 1 runs) (fun i -> Int64.of_int (seed + i))
+
+let fig8_cmd =
+  let run duration seed runs session_counts =
+    Figures.fig8 ~duration:(Time.of_sec duration) ~session_counts
+      ~seeds:(seeds_of ~seed ~runs) ()
+    |> print_rows Figures.pp_fairness_row
+  in
+  Cmd.v
+    (Cmd.info "fig8" ~doc:"Inter-session fairness in Topology B (paper Fig. 8).")
+    Term.(
+      ret
+        (const run $ duration_term $ seed_term $ runs_term
+        $ sizes_term ~default:[ 1; 2; 4; 8; 16 ] ~name:"sessions"
+            ~doc:"Competing session counts."))
+
+let fig9_cmd =
+  let run duration seed lo hi =
+    let series =
+      Figures.fig9 ~duration:(Time.of_sec duration)
+        ~window:(float_of_int lo, float_of_int hi)
+        ~seed:(Int64.of_int seed) ()
+    in
+    List.iter
+      (fun (session, points) ->
+        Format.printf "# session %d@." session;
+        List.iter
+          (fun (p : Figures.series_point) ->
+            Format.printf "%.0f %d %.3f@." p.at_s p.level p.loss)
+          points)
+      series;
+    `Ok ()
+  in
+  let lo =
+    Arg.(value & opt int 300 & info [ "from" ] ~docv:"S" ~doc:"Window start (s).")
+  in
+  let hi =
+    Arg.(value & opt int 360 & info [ "to" ] ~docv:"S" ~doc:"Window end (s).")
+  in
+  Cmd.v
+    (Cmd.info "fig9"
+       ~doc:
+         "Layer subscription and loss history for 4 competing VBR sessions \
+          (paper Fig. 9). Gnuplot-friendly: time level loss.")
+    Term.(ret (const run $ duration_term $ seed_term $ lo $ hi))
+
+let fig10_cmd =
+  let run duration seed runs staleness set_sizes =
+    Figures.fig10 ~duration:(Time.of_sec duration)
+      ~staleness_seconds:staleness ~set_sizes
+      ~seeds:(seeds_of ~seed ~runs) ()
+    |> print_rows Figures.pp_staleness_row
+  in
+  Cmd.v
+    (Cmd.info "fig10"
+       ~doc:"Impact of stale topology information (paper Fig. 10).")
+    Term.(
+      ret
+        (const run $ duration_term $ seed_term $ runs_term
+        $ sizes_term ~default:[ 2; 6; 10; 14; 18 ] ~name:"staleness"
+            ~doc:"Staleness values in seconds."
+        $ sizes_term ~default:[ 1; 2; 4 ] ~name:"sizes"
+            ~doc:"Receivers per set."))
+
+let table1_cmd =
+  let run () = Figures.table1 () |> print_rows Figures.pp_table1_row in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Dump the Table I decision table, fully enumerated.")
+    Term.(ret (const run $ const ()))
+
+(* ---------- free-form run ---------- *)
+
+let run_cmd =
+  let topology_conv =
+    Arg.conv
+      ( (fun s ->
+          match String.lowercase_ascii s with
+          | "a" -> Ok `A
+          | "b" -> Ok `B
+          | "fig1" -> Ok `Fig1
+          | _ -> Error (`Msg "expected a, b or fig1")),
+        fun ppf t ->
+          Format.pp_print_string ppf
+            (match t with `A -> "a" | `B -> "b" | `Fig1 -> "fig1") )
+  in
+  let topology_term =
+    Arg.(
+      value & opt topology_conv `A
+      & info [ "topology" ] ~docv:"a|b|fig1" ~doc:"Which paper topology.")
+  in
+  let receivers_term =
+    Arg.(
+      value & opt int 2
+      & info [ "receivers" ] ~docv:"N"
+          ~doc:"Receivers per set (topology a) / sessions (topology b).")
+  in
+  let staleness_term =
+    Arg.(
+      value & opt int 0
+      & info [ "staleness" ] ~docv:"S" ~doc:"Topology staleness in seconds.")
+  in
+  let run duration seed traffic scheme topology receivers staleness =
+    let spec =
+      match topology with
+      | `A -> Scenarios.Builders.topology_a ~receivers_per_set:receivers
+      | `B -> Scenarios.Builders.topology_b ~session_count:receivers
+      | `Fig1 -> Scenarios.Builders.figure1 ()
+    in
+    let params =
+      { Toposense.Params.default with staleness = Time.span_of_sec staleness }
+    in
+    let duration = Time.of_sec duration in
+    let o =
+      Experiment.run ~spec ~traffic ~scheme ~params ~seed:(Int64.of_int seed)
+        ~duration ()
+    in
+    Format.printf
+      "%a on topology %s: %d receivers, %d events, %d reports, %d \
+       suggestions@."
+      Experiment.pp_scheme scheme
+      (match topology with `A -> "A" | `B -> "B" | `Fig1 -> "Fig.1")
+      (List.length o.receivers)
+      o.events_dispatched o.reports_received o.suggestions_sent;
+    List.iter
+      (fun (r : Experiment.receiver_outcome) ->
+        let dev =
+          Metrics.Deviation.relative_deviation ~changes:r.changes
+            ~optimal:r.optimal ~window:(Time.zero, duration)
+        in
+        let st =
+          Metrics.Stability.summarize ~changes:r.changes
+            ~window:(Time.zero, duration)
+        in
+        Format.printf
+          "  session %d receiver n%-3d optimal %d final %d deviation %.3f \
+           changes %d (gap %.0f s)@."
+          r.session r.node r.optimal r.final_level dev st.changes
+          st.mean_gap_s)
+      o.receivers;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one simulation and summarize every receiver.")
+    Term.(
+      ret
+        (const run $ duration_term $ seed_term $ traffic_term $ scheme_term
+       $ topology_term $ receivers_term $ staleness_term))
+
+let tiered_cmd =
+  let run duration seed regions =
+    let config =
+      { Scenarios.Tiered.default_config with regions }
+    in
+    let world =
+      Scenarios.Tiered.generate ~config ~seed:(Int64.of_int seed) ()
+    in
+    List.iter
+      (fun control ->
+        let o =
+          Scenarios.Tiered.run ~world ~control
+            ~duration:(Time.of_sec duration) ~seed:(Int64.of_int seed) ()
+        in
+        Format.printf "%-12s controllers %d, mean deviation %.3f@."
+          (match control with
+          | Scenarios.Tiered.Global -> "global"
+          | Scenarios.Tiered.Per_domain -> "per-domain")
+          o.controllers o.mean_deviation;
+        List.iter
+          (fun (r : Scenarios.Tiered.receiver_outcome) ->
+            Format.printf "  domain %d n%-3d optimal %d final %d dev %.3f@."
+              r.domain r.node r.optimal r.final_level r.deviation)
+          o.receivers)
+      [ Scenarios.Tiered.Per_domain; Scenarios.Tiered.Global ];
+    `Ok ()
+  in
+  let regions =
+    Arg.(value & opt int 3 & info [ "regions" ] ~docv:"N" ~doc:"Regional domains.")
+  in
+  Cmd.v
+    (Cmd.info "tiered"
+       ~doc:
+         "Tiered Internet (paper Figs. 2-3): per-domain vs global control on \
+          a generated hierarchy.")
+    Term.(ret (const run $ duration_term $ seed_term $ regions))
+
+let churn_cmd =
+  let run duration seed receivers gap =
+    let o =
+      Scenarios.Churn.run ~receivers_per_set:receivers
+        ~join_gap_s:(float_of_int gap) ~duration:(Time.of_sec duration)
+        ~seed:(Int64.of_int seed) ()
+    in
+    Format.printf
+      "%d/%d receivers reached their optimum; mean time-to-optimum %.1f s@."
+      o.reached o.total o.mean_reach_s;
+    List.iter
+      (fun (r : Scenarios.Churn.receiver_report) ->
+        Format.printf
+          "  n%-3d joined %.0f s%s optimum %d reached %s disruptions %d \
+           final %d@."
+          r.node r.joined_at_s
+          (match r.left_at_s with
+          | Some s -> Printf.sprintf " (left %.0f s)" s
+          | None -> "")
+          r.optimal
+          (match r.reach_s with
+          | Some s -> Printf.sprintf "in %.0f s" s
+          | None -> "never")
+          r.disruptions r.final_level)
+      o.receivers;
+    `Ok ()
+  in
+  let receivers =
+    Arg.(value & opt int 4 & info [ "receivers" ] ~docv:"N" ~doc:"Per set.")
+  in
+  let gap =
+    Arg.(value & opt int 20 & info [ "gap" ] ~docv:"S" ~doc:"Join gap (s).")
+  in
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:"Dynamic joins/departures on Topology A; convergence times.")
+    Term.(ret (const run $ duration_term $ seed_term $ receivers $ gap))
+
+let () =
+  let info =
+    Cmd.info "toposense_sim" ~version:"1.0.0"
+      ~doc:
+        "Reproduction of 'Using Tree Topology for Multicast Congestion \
+         Control' (ICPP 2001)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            fig6_cmd;
+            fig7_cmd;
+            fig8_cmd;
+            fig9_cmd;
+            fig10_cmd;
+            table1_cmd;
+            run_cmd;
+            tiered_cmd;
+            churn_cmd;
+          ]))

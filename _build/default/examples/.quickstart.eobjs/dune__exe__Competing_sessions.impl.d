@@ -1,0 +1,1 @@
+examples/competing_sessions.ml: Engine Format Hashtbl List Metrics Scenarios

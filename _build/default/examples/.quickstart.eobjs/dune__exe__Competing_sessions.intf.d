@@ -1,0 +1,1 @@
+examples/competing_sessions.mli:

@@ -1,0 +1,1 @@
+examples/heterogeneous_receivers.ml: Engine Format List Metrics Scenarios

@@ -1,0 +1,1 @@
+examples/operations.ml: Discovery Engine Format List Multicast Net Printf Scenarios String Toposense Traffic

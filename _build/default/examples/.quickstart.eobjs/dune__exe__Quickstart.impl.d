@@ -1,0 +1,1 @@
+examples/quickstart.ml: Baseline Discovery Engine Format List Multicast Net Scenarios Toposense Traffic

@@ -1,0 +1,1 @@
+examples/stale_info.ml: Engine Format List Metrics Printf Scenarios Toposense

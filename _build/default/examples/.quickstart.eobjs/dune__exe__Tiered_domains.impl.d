@@ -1,0 +1,1 @@
+examples/tiered_domains.ml: Format List Scenarios

@@ -1,0 +1,61 @@
+(* Competing sessions (the paper's Topology B): several independent
+   layered sessions share one link sized so each can carry exactly 4
+   layers. Prints the per-second subscription/loss traces the paper's
+   Fig. 9 plots, plus the fairness summary of Fig. 8.
+
+     dune exec examples/competing_sessions.exe *)
+
+module Time = Engine.Time
+module Experiment = Scenarios.Experiment
+
+let () =
+  let sessions = 4 in
+  let spec = Scenarios.Builders.topology_b ~session_count:sessions in
+  let duration = Time.of_sec 600 in
+  let o =
+    Experiment.run ~spec ~traffic:(Experiment.Vbr 3.0)
+      ~scheme:Experiment.Toposense ~duration
+      ~sample_period:(Time.span_of_sec 1) ()
+  in
+  Format.printf
+    "Topology B: %d VBR(P=3) sessions sharing a %.0f Kbps link (optimum: 4 \
+     layers each).@.@."
+    sessions
+    (500.0 *. float_of_int sessions);
+  (* Fig. 8-style summary. *)
+  let receivers =
+    List.map
+      (fun (r : Experiment.receiver_outcome) -> (r.changes, r.optimal))
+      o.receivers
+  in
+  let half = Time.of_ns (Time.to_ns duration / 2) in
+  Format.printf "Mean relative deviation: %.3f (first half), %.3f (second half)@.@."
+    (Metrics.Deviation.mean_relative_deviation ~receivers
+       ~window:(Time.zero, half))
+    (Metrics.Deviation.mean_relative_deviation ~receivers
+       ~window:(half, duration));
+  (* Fig. 9-style window: one line per second, one column per session. *)
+  let window_lo = 300.0 and window_hi = 330.0 in
+  Format.printf "Subscription (and loss) per session, %.0f-%.0f s:@." window_lo
+    window_hi;
+  Format.printf "  %-6s" "t";
+  List.iter (fun ((s, _), _) -> Format.printf "s%d            " s) o.series;
+  Format.printf "@.";
+  let by_second = Hashtbl.create 64 in
+  List.iter
+    (fun (((session : int), _node), samples) ->
+      List.iter
+        (fun (s : Experiment.sample) ->
+          let sec = int_of_float (Time.to_sec_f s.at) in
+          Hashtbl.replace by_second (sec, session) (s.level, s.loss))
+        samples)
+    o.series;
+  for sec = int_of_float window_lo to int_of_float window_hi do
+    Format.printf "  %-6d" sec;
+    for s = 0 to sessions - 1 do
+      match Hashtbl.find_opt by_second (sec, s) with
+      | Some (level, loss) -> Format.printf "%d (%.2f)      " level loss
+      | None -> Format.printf "-             "
+    done;
+    Format.printf "@."
+  done

@@ -1,0 +1,81 @@
+(* Day-2 operations around a TopoSense domain: billing receivers for
+   delivered content (the paper's Section II/VII use case), watching link
+   utilization, and walking the discovered tree mtrace-style.
+
+     dune exec examples/operations.exe *)
+
+module Time = Engine.Time
+
+let () =
+  let sim = Engine.Sim.create ~seed:42L () in
+  let spec = Scenarios.Builders.topology_a ~receivers_per_set:2 in
+  let network = Net.Network.create ~sim spec.topology in
+  let router = Multicast.Router.create ~network () in
+  let discovery = Discovery.Service.create ~sim ~router () in
+  let layering = Traffic.Layering.paper_default in
+  let source, receivers = List.hd spec.sessions in
+  let session = Traffic.Session.create ~router ~source ~layering ~id:0 in
+  Discovery.Service.register_session discovery session;
+  ignore
+    (Traffic.Source.start ~network ~session ~kind:Traffic.Source.Cbr
+       ~rng:(Engine.Sim.rng sim ~label:"source") ());
+  let params = Toposense.Params.default in
+  let controller =
+    Toposense.Controller.create ~network ~discovery ~params
+      ~node:spec.controller_node ()
+  in
+  (* Billing rides on the reports the controller already receives. *)
+  let billing = Toposense.Billing.create () in
+  Toposense.Controller.set_billing controller billing;
+  Toposense.Controller.add_session controller session;
+  Toposense.Controller.start controller;
+  List.iter
+    (fun node ->
+      let a =
+        Toposense.Receiver_agent.create ~network ~router ~params ~node
+          ~controller:spec.controller_node ()
+      in
+      Toposense.Receiver_agent.subscribe a ~session ~initial_level:1;
+      Toposense.Receiver_agent.start a)
+    receivers;
+  (* Link monitoring, sampled once per second. *)
+  let flows = Net.Flow_stats.create ~network () in
+  ignore (Net.Flow_stats.attach flows ~period:(Time.span_of_sec 1));
+
+  Engine.Sim.run_until sim (Time.of_sec 600);
+
+  Format.printf "After 600 simulated seconds:@.@.";
+  Format.printf "Invoices (0.05/MB + 0.20/layer-hour):@.";
+  List.iter
+    (fun (line : Toposense.Billing.invoice_line) ->
+      Format.printf "  n%-3d %6.1f MB, %5.2f layer-hours -> %6.2f@."
+        line.receiver line.megabytes line.layer_hours line.amount)
+    (Toposense.Billing.invoice billing ~session:0 ~price_per_megabyte:0.05
+       ~price_per_layer_hour:0.20);
+
+  Format.printf "@.Busiest links (mean utilization):@.";
+  List.iter
+    (fun (node, iface, util) ->
+      Format.printf "  n%d -> n%d: %4.0f%%  (drops %d)@." node
+        (Net.Network.neighbor network ~node ~iface)
+        (100.0 *. util)
+        (Net.Flow_stats.total_drops flows ~node ~iface))
+    (Net.Flow_stats.busiest_links flows ~top:5);
+
+  Format.printf "@.mtrace from the controller to each receiver:@.";
+  List.iter
+    (fun receiver ->
+      match Discovery.Mtrace.trace ~router ~session ~receiver with
+      | Error e -> Format.printf "  n%d: %s@." receiver e
+      | Ok hops ->
+          Format.printf "  n%-3d: %s (walk %.1f s)@." receiver
+            (String.concat " <- "
+               (List.map
+                  (fun (h : Discovery.Mtrace.hop) ->
+                    Printf.sprintf "n%d[%s]" h.node
+                      (String.concat "," (List.map string_of_int h.layers)))
+                  hops))
+            (Time.span_to_sec_f
+               (Discovery.Mtrace.trace_latency ~network
+                  ~querier:spec.controller_node ~path:hops)))
+    receivers

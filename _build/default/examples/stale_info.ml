@@ -1,0 +1,42 @@
+(* Stale topology information (the paper's Fig. 10 question): how much
+   does TopoSense degrade when the controller only ever sees the
+   multicast tree as it was N seconds ago?
+
+     dune exec examples/stale_info.exe *)
+
+module Time = Engine.Time
+module Experiment = Scenarios.Experiment
+
+let () =
+  let spec = Scenarios.Builders.topology_a ~receivers_per_set:2 in
+  let duration = Time.of_sec 600 in
+  Format.printf
+    "Topology A, 2 receivers per set, VBR P=3, %.0f s runs; deviation vs \
+     staleness of the discovery snapshots:@.@."
+    (Time.to_sec_f duration);
+  Format.printf "  %-12s %-12s %s@." "staleness" "deviation" "skipped-intervals";
+  List.iter
+    (fun staleness_s ->
+      let params =
+        {
+          Toposense.Params.default with
+          staleness = Time.span_of_sec staleness_s;
+        }
+      in
+      let o =
+        Experiment.run ~spec ~traffic:(Experiment.Vbr 3.0)
+          ~scheme:Experiment.Toposense ~params ~duration ()
+      in
+      let receivers =
+        List.map
+          (fun (r : Experiment.receiver_outcome) -> (r.changes, r.optimal))
+          o.receivers
+      in
+      let dev =
+        Metrics.Deviation.mean_relative_deviation ~receivers
+          ~window:(Time.zero, duration)
+      in
+      Format.printf "  %-12s %-12.3f %d@."
+        (Printf.sprintf "%d s" staleness_s)
+        dev o.skipped_no_snapshot)
+    [ 0; 2; 4; 8; 12; 18 ]

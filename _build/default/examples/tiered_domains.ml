@@ -1,0 +1,34 @@
+(* The paper's tiered Internet (Fig. 2) under per-domain control (Fig. 3):
+   a national core, regional ISPs, local ISPs and institutional last hops
+   whose capacities differ per receiver. Each regional subtree is an
+   administrative domain with its own controller; no controller knows of
+   the others. Compares per-domain control against a single global
+   controller on the same world.
+
+     dune exec examples/tiered_domains.exe *)
+
+module Tiered = Scenarios.Tiered
+
+let describe label (o : Tiered.outcome) =
+  Format.printf "%s: %d controller(s), mean relative deviation %.3f@." label
+    o.controllers o.mean_deviation;
+  List.iter
+    (fun (r : Tiered.receiver_outcome) ->
+      Format.printf
+        "  domain %d receiver n%-3d: optimum %d layers, final %d, deviation \
+         %.3f@."
+        r.domain r.node r.optimal r.final_level r.deviation)
+    o.receivers;
+  Format.printf "@."
+
+let () =
+  let world = Tiered.generate ~seed:11L () in
+  Format.printf
+    "Tiered world: %d domains, %d receivers, last-hop capacities drawn from \
+     {64..1200} Kbps.@.@."
+    (List.length world.domains)
+    (List.length (snd (List.hd world.spec.sessions)));
+  describe "Per-domain controllers (the paper's architecture)"
+    (Tiered.run ~world ~control:Tiered.Per_domain ());
+  describe "One global controller (centralized upper bound)"
+    (Tiered.run ~world ~control:Tiered.Global ())

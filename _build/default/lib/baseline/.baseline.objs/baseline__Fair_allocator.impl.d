@@ -1,0 +1,1 @@
+lib/baseline/fair_allocator.ml: Hashtbl List Net Traffic

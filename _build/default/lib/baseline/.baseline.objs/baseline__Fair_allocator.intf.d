@@ -1,0 +1,1 @@
+lib/baseline/fair_allocator.mli: Net Traffic

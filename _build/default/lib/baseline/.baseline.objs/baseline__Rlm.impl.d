@@ -1,0 +1,1 @@
+lib/baseline/rlm.ml: Array Engine List Multicast Net Printf Reports Traffic

@@ -1,0 +1,1 @@
+lib/baseline/rlm.mli: Engine Multicast Net Traffic

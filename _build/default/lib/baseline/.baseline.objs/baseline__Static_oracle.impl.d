@@ -1,0 +1,1 @@
+lib/baseline/static_oracle.ml: Float List Net Traffic

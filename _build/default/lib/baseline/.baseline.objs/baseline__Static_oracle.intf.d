@@ -1,0 +1,1 @@
+lib/baseline/static_oracle.mli: Net Traffic

@@ -1,0 +1,111 @@
+module Topology = Net.Topology
+module Routing = Net.Routing
+module Layering = Traffic.Layering
+
+
+let norm (a, b) = if a <= b then (a, b) else (b, a)
+
+let path_edges routing ~from ~dst =
+  let rec pair = function
+    | a :: (b :: _ as rest) -> norm (a, b) :: pair rest
+    | [ _ ] | [] -> []
+  in
+  pair (Routing.path routing ~from ~dst)
+
+let capacities topology ~headroom =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (l : Topology.link_spec) ->
+      Hashtbl.replace tbl (norm (l.a, l.b)) (l.bandwidth_bps *. headroom))
+    (Topology.links topology);
+  tbl
+
+(* A session's usage on an edge is the cumulative rate of the maximum
+   level among its receivers whose path crosses that edge. *)
+let session_usage ~layering ~paths ~levels ~session edge =
+  let best =
+    List.fold_left
+      (fun acc ((s, r), lvl) ->
+        if s = session && List.mem edge (List.assoc (s, r) paths) then
+          max acc lvl
+        else acc)
+      0 levels
+  in
+  Layering.cumulative_bps layering ~level:best
+
+let total_usage ~layering ~paths ~levels ~session_ids edge =
+  List.fold_left
+    (fun acc s -> acc +. session_usage ~layering ~paths ~levels ~session:s edge)
+    0.0 session_ids
+
+let setup ~topology ~routing ~sessions ~headroom =
+  let paths =
+    List.concat
+      (List.mapi
+         (fun s (source, receivers) ->
+           List.map
+             (fun r ->
+               if r = source then
+                 invalid_arg "Fair_allocator: receiver equals source"
+               else ((s, r), path_edges routing ~from:source ~dst:r))
+             receivers)
+         sessions)
+  in
+  let caps = capacities topology ~headroom in
+  let session_ids = List.mapi (fun s _ -> s) sessions in
+  (paths, caps, session_ids)
+
+let feasible ~layering ~paths ~caps ~session_ids levels =
+  Hashtbl.fold
+    (fun edge cap ok ->
+      ok && total_usage ~layering ~paths ~levels ~session_ids edge <= cap)
+    caps true
+
+let allocate ~topology ~routing ~layering ~sessions ?(headroom = 0.98) () =
+  let paths, caps, session_ids = setup ~topology ~routing ~sessions ~headroom in
+  let levels =
+    ref (List.map (fun (key, _) -> (key, 0)) paths)
+  in
+  let upgrade_fits key =
+    let bumped =
+      List.map (fun (k, l) -> (k, if k = key then l + 1 else l)) !levels
+    in
+    (* Only edges on the bumped receiver's path can gain usage. *)
+    List.for_all
+      (fun edge ->
+        match Hashtbl.find_opt caps edge with
+        | None -> true
+        | Some cap ->
+            total_usage ~layering ~paths ~levels:bumped ~session_ids edge
+            <= cap)
+      (List.assoc key paths)
+    && snd (List.find (fun (k, _) -> k = key) bumped) <= Layering.count layering
+  in
+  (* Progressive filling: upgrade a lowest receiver that still fits. *)
+  let rec fill () =
+    let candidates =
+      List.filter
+        (fun (key, lvl) -> lvl < Layering.count layering && upgrade_fits key)
+        !levels
+    in
+    match candidates with
+    | [] -> ()
+    | _ ->
+        let key, _ =
+          List.fold_left
+            (fun (bk, bl) (k, l) -> if l < bl then (k, l) else (bk, bl))
+            (List.hd candidates) (List.tl candidates)
+        in
+        levels :=
+          List.map (fun (k, l) -> (k, if k = key then l + 1 else l)) !levels;
+        fill ()
+  in
+  fill ();
+  List.sort compare !levels
+
+let is_feasible ~topology ~routing ~layering ~sessions ?(headroom = 0.98)
+    ~levels () =
+  let paths, caps, session_ids = setup ~topology ~routing ~sessions ~headroom in
+  (* Only allocations over the same receiver set make sense. *)
+  List.for_all (fun (key, _) -> List.mem_assoc key paths) levels
+  && feasible ~layering ~paths ~caps ~session_ids levels

@@ -1,0 +1,40 @@
+(** Discrete-layer max-min allocation by progressive filling.
+
+    Sarkar & Tassiulas (cited by the paper) showed that max-min fairness
+    may not exist for discrete layers and that the lexicographically
+    optimal allocation is NP-hard, so this module implements the standard
+    *progressive-filling heuristic* adapted to layers: repeatedly upgrade
+    a lowest-level receiver whose +1 layer still fits every link on its
+    path — accounting for multicast sharing, where a session's bandwidth
+    on a link is the cumulative rate of the *maximum* subscription below
+    it — until no receiver can be upgraded. The result is feasible and
+    maximal, and on the paper's topologies it coincides with the known
+    optima; it serves as the multi-session oracle for the fairness
+    benches. *)
+
+val allocate :
+  topology:Net.Topology.t ->
+  routing:Net.Routing.t ->
+  layering:Traffic.Layering.t ->
+  sessions:(Net.Addr.node_id * Net.Addr.node_id list) list ->
+  ?headroom:float ->
+  unit ->
+  ((int * Net.Addr.node_id) * int) list
+(** [(session index, receiver), level] for every receiver, sorted.
+    [headroom] (default 0.98) scales link capacities down slightly so the
+    "optimum" leaves room for packetization, mirroring how the paper's
+    500 Kbps link is said to carry 4 layers = 480 Kbps.
+    @raise Invalid_argument if a receiver equals its source. *)
+
+val is_feasible :
+  topology:Net.Topology.t ->
+  routing:Net.Routing.t ->
+  layering:Traffic.Layering.t ->
+  sessions:(Net.Addr.node_id * Net.Addr.node_id list) list ->
+  ?headroom:float ->
+  levels:((int * Net.Addr.node_id) * int) list ->
+  unit ->
+  bool
+(** Whether an allocation respects every link capacity (used by the
+    property tests: the allocator's output must always be feasible, and
+    no single +1 upgrade may be). *)

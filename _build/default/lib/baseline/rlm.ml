@@ -1,0 +1,161 @@
+module Sim = Engine.Sim
+module Time = Engine.Time
+module Stats = Reports.Receiver_stats
+
+type experiment = { layer_added : int; until : Time.t }
+
+type t = {
+  network : Net.Network.t;
+  router : Multicast.Router.t;
+  node : Net.Addr.node_id;
+  session : Traffic.Session.t;
+  detection_window : Time.span;
+  join_timer_initial : Time.span;
+  join_timer_max : Time.span;
+  loss_threshold : float;
+  stats : Stats.t;
+  rng : Engine.Prng.t;
+  join_timers : Time.span array;  (* per target level, multiplicative *)
+  mutable experiment : experiment option;
+  mutable deaf_until : Time.t;
+  mutable next_join_at : Time.t;
+  mutable changes : (Time.t * int) list;  (* newest first *)
+  mutable failed : int;
+  mutable succeeded : int;
+  mutable last_loss : float;
+  mutable tasks : Sim.handle list;
+}
+
+let sim t = Net.Network.sim t.network
+let session_id t = Traffic.Session.id t.session
+let layering t = Traffic.Session.layering t.session
+
+let level t =
+  Traffic.Session.subscription_level t.session ~router:t.router ~node:t.node
+
+let set_level t target =
+  let target = max 0 (min target (Traffic.Layering.count (layering t))) in
+  let current = level t in
+  if target <> current then begin
+    let id = session_id t in
+    if target > current then
+      for layer = current to target - 1 do
+        Stats.on_join_layer t.stats ~session:id ~layer
+      done
+    else
+      for layer = current - 1 downto target do
+        Stats.on_leave_layer t.stats ~session:id ~layer
+      done;
+    Traffic.Session.set_subscription_level t.session ~router:t.router
+      ~node:t.node ~level:target;
+    t.changes <- (Sim.now (sim t), target) :: t.changes
+  end
+
+let create ~network ~router ~node ~session
+    ?(detection_window = Time.span_of_sec 2)
+    ?(join_timer_initial = Time.span_of_sec 5)
+    ?(join_timer_max = Time.span_of_sec 120) ?(loss_threshold = 0.15)
+    ?(initial_level = 1) () =
+  let layers = Traffic.Layering.count (Traffic.Session.layering session) in
+  let t =
+    {
+      network;
+      router;
+      node;
+      session;
+      detection_window;
+      join_timer_initial;
+      join_timer_max;
+      loss_threshold;
+      stats = Stats.create ();
+      rng =
+        Sim.rng (Net.Network.sim network) ~label:(Printf.sprintf "rlm-%d" node);
+      join_timers = Array.make (layers + 1) join_timer_initial;
+      experiment = None;
+      deaf_until = Time.zero;
+      next_join_at = Time.zero;
+      changes = [];
+      failed = 0;
+      succeeded = 0;
+      last_loss = 0.0;
+      tasks = [];
+    }
+  in
+  Net.Network.add_local_handler network node (fun pkt ->
+      match pkt.Net.Packet.payload with
+      | Net.Packet.Data { session = s; layer; seq } when s = session_id t ->
+          Stats.on_data t.stats ~session:s ~layer ~seq ~size:pkt.Net.Packet.size
+      | _ -> ());
+  set_level t initial_level;
+  t
+
+let schedule_next_join t =
+  let target = level t + 1 in
+  if target <= Traffic.Layering.count (layering t) then begin
+    let timer = t.join_timers.(target) in
+    (* Randomize ±50% to desynchronize receivers. *)
+    let jitter =
+      Engine.Prng.uniform t.rng ~lo:0.5 ~hi:1.5 *. Time.span_to_sec_f timer
+    in
+    t.next_join_at <- Time.add (Sim.now (sim t)) (Time.span_of_sec_f jitter)
+  end
+  else t.next_join_at <- Time.add (Sim.now (sim t)) t.join_timer_max
+
+(* One tick per second: settle running experiments, shed layers on
+   sustained loss, and launch join experiments when the timer fires. *)
+let tick t =
+  let now = Sim.now (sim t) in
+  let id = session_id t in
+  let w = Stats.take_window t.stats ~session:id in
+  (* RLM's deaf period: after backing out, ignore the residual loss from
+     queue drain and IGMP leave latency. *)
+  let loss = if Time.(now < t.deaf_until) then 0.0 else w.loss_rate in
+  t.last_loss <- loss;
+  (match t.experiment with
+  | Some e ->
+      if loss > t.loss_threshold then begin
+        (* Failed experiment: back out and back off this layer. *)
+        t.failed <- t.failed + 1;
+        set_level t (e.layer_added - 1);
+        t.deaf_until <- Time.add now (Time.span_of_ms 2_500);
+        t.join_timers.(e.layer_added) <-
+          min t.join_timer_max (2 * t.join_timers.(e.layer_added));
+        t.experiment <- None;
+        schedule_next_join t
+      end
+      else if Time.(now >= e.until) then begin
+        t.succeeded <- t.succeeded + 1;
+        t.experiment <- None;
+        schedule_next_join t
+      end
+  | None ->
+      if loss > t.loss_threshold && level t > 1 then begin
+        set_level t (level t - 1);
+        t.deaf_until <- Time.add now (Time.span_of_ms 2_500);
+        schedule_next_join t
+      end
+      else if
+        Time.(now >= t.next_join_at)
+        && level t < Traffic.Layering.count (layering t)
+        && loss <= t.loss_threshold
+      then begin
+        let target = level t + 1 in
+        set_level t target;
+        t.experiment <-
+          Some { layer_added = target; until = Time.add now t.detection_window }
+      end)
+
+let start t =
+  if t.tasks = [] then begin
+    schedule_next_join t;
+    t.tasks <- [ Sim.every (sim t) ~period:(Time.span_of_sec 1) (fun () -> tick t) ]
+  end
+
+let stop t =
+  List.iter (Sim.cancel (sim t)) t.tasks;
+  t.tasks <- []
+
+let changes t = List.rev t.changes
+let last_window_loss t = t.last_loss
+let failed_experiments t = t.failed
+let successful_experiments t = t.succeeded

@@ -1,0 +1,43 @@
+(** A receiver-driven layered multicast (RLM) baseline.
+
+    McCanne, Jacobson & Vetterli's receiver-driven scheme, against which
+    the paper positions TopoSense: each receiver independently runs *join
+    experiments* — add the next layer when a randomized join timer fires,
+    watch for loss during a detection window, and on a failed experiment
+    drop back and multiplicatively increase that layer's join timer.
+    Sustained loss outside an experiment sheds the top layer. There is no
+    controller, no topology information, and (in this implementation) no
+    shared learning, so concurrent experiments by different receivers can
+    confuse one another — exactly the coordination failure TopoSense's
+    ablation benches measure. *)
+
+type t
+
+val create :
+  network:Net.Network.t ->
+  router:Multicast.Router.t ->
+  node:Net.Addr.node_id ->
+  session:Traffic.Session.t ->
+  ?detection_window:Engine.Time.span ->
+  ?join_timer_initial:Engine.Time.span ->
+  ?join_timer_max:Engine.Time.span ->
+  ?loss_threshold:float ->
+  ?initial_level:int ->
+  unit ->
+  t
+(** Installs the packet handler on [node] and joins at [initial_level]
+    (default 1). Defaults: detection window 2 s, join timer 5 s growing
+    2× up to 120 s, loss threshold 0.15. *)
+
+val start : t -> unit
+val stop : t -> unit
+
+val level : t -> int
+val changes : t -> (Engine.Time.t * int) list
+(** Subscription changes, oldest first. *)
+
+val last_window_loss : t -> float
+(** Loss rate over the most recent 1 s accounting window. *)
+
+val failed_experiments : t -> int
+val successful_experiments : t -> int

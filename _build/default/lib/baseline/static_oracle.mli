@@ -1,0 +1,30 @@
+(** The optimal-subscription oracle.
+
+    The paper's evaluation compares TopoSense against the known optimum of
+    its synthetic topologies. This oracle computes that optimum from the
+    *true* network description (which TopoSense itself never sees): a
+    receiver's optimal level is the largest level whose cumulative rate
+    fits its fair share of every link on its path from the source, where
+    the fair share of a link is its capacity divided by the number of
+    sessions crossing it. With a small headroom discount for packetization
+    this matches the paper's stated optima (e.g. 4 layers ≈ 500 Kbps). *)
+
+val sessions_crossing :
+  topology:Net.Topology.t ->
+  routing:Net.Routing.t ->
+  sessions:(Net.Addr.node_id * Net.Addr.node_id list) list ->
+  (Net.Addr.node_id * Net.Addr.node_id) ->
+  int
+(** [sessions] are (source, receivers); an edge is crossed by a session
+    when it lies on the routed path from the source to one of its
+    receivers. Edges are undirected here ((a,b) ≡ (b,a)). *)
+
+val optimal_level :
+  topology:Net.Topology.t ->
+  routing:Net.Routing.t ->
+  layering:Traffic.Layering.t ->
+  sessions:(Net.Addr.node_id * Net.Addr.node_id list) list ->
+  source:Net.Addr.node_id ->
+  receiver:Net.Addr.node_id ->
+  int
+(** The optimum for one receiver of the session rooted at [source]. *)

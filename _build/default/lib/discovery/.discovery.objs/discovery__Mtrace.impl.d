@@ -1,0 +1,1 @@
+lib/discovery/mtrace.ml: Fun Hashtbl List Multicast Net Printf Traffic

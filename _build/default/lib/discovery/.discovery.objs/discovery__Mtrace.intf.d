@@ -1,0 +1,1 @@
+lib/discovery/mtrace.mli: Engine Multicast Net Traffic

@@ -1,0 +1,1 @@
+lib/discovery/service.ml: Engine Hashtbl List Multicast Option Snapshot Traffic

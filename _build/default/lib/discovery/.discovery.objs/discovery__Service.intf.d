@@ -1,0 +1,1 @@
+lib/discovery/service.mli: Engine Multicast Snapshot Traffic

@@ -1,0 +1,1 @@
+lib/discovery/snapshot.ml: Engine Format Hashtbl Int List Multicast Net Set Traffic

@@ -1,0 +1,1 @@
+lib/discovery/snapshot.mli: Engine Format Multicast Net Traffic

@@ -1,0 +1,74 @@
+module Sim = Engine.Sim
+module Time = Engine.Time
+
+type t = {
+  sim : Sim.t;
+  router : Multicast.Router.t;
+  period : Time.span;
+  history : int;
+  mutable sessions : Traffic.Session.t list;
+  buffers : (int, Snapshot.t Engine.Trace.t) Hashtbl.t;
+  mutable task : Sim.handle option;
+}
+
+let create ~sim ~router ?(period = Time.span_of_sec 1) ?(history = 64) () =
+  if history <= 0 then invalid_arg "Discovery.Service.create: history <= 0";
+  {
+    sim;
+    router;
+    period;
+    history;
+    sessions = [];
+    buffers = Hashtbl.create 8;
+    task = None;
+  }
+
+let capture_all t =
+  let at = Sim.now t.sim in
+  List.iter
+    (fun session ->
+      let id = Traffic.Session.id session in
+      let snap = Snapshot.capture ~router:t.router ~session ~at in
+      let buf = Hashtbl.find t.buffers id in
+      Engine.Trace.record buf at snap)
+    t.sessions
+
+let register_session t session =
+  let id = Traffic.Session.id session in
+  if Hashtbl.mem t.buffers id then
+    invalid_arg "Discovery.Service.register_session: duplicate session";
+  Hashtbl.add t.buffers id (Engine.Trace.create ~capacity:t.history);
+  t.sessions <- t.sessions @ [ session ];
+  if t.task = None then begin
+    capture_all t;
+    t.task <-
+      Some (Sim.every t.sim ~period:t.period (fun () -> capture_all t))
+  end
+
+let sessions t = t.sessions
+
+let find_session t id =
+  List.find_opt (fun s -> Traffic.Session.id s = id) t.sessions
+
+let query t ~session ~staleness =
+  if staleness < 0 then invalid_arg "Discovery.Service.query: staleness < 0";
+  if staleness = 0 then
+    match find_session t session with
+    | None -> None
+    | Some s ->
+        Some (Snapshot.capture ~router:t.router ~session:s ~at:(Sim.now t.sim))
+  else
+    match Hashtbl.find_opt t.buffers session with
+    | None -> None
+    | Some buf ->
+        let cutoff = Time.to_ns (Sim.now t.sim) - staleness in
+        Engine.Trace.find_last buf ~f:(fun (snap : Snapshot.t) ->
+            Time.to_ns snap.taken_at <= cutoff)
+        |> Option.map snd
+
+let stop t =
+  match t.task with
+  | Some h ->
+      Sim.cancel t.sim h;
+      t.task <- None
+  | None -> ()

@@ -1,0 +1,36 @@
+(** The topology-discovery service.
+
+    Stands in for mtrace/SNMP-style discovery tools (MHealth, mrtree …):
+    the paper deliberately treats discovery as a black box and studies only
+    the *age* of the information it returns (Fig. 10). The service
+    periodically captures a {!Snapshot} of every registered session and
+    answers queries with the newest snapshot at least [staleness] old —
+    exactly the "old topology information" regime of the paper's
+    evaluation. With [staleness = 0] the query may see the current state
+    (captured fresh on demand). *)
+
+type t
+
+val create :
+  sim:Engine.Sim.t ->
+  router:Multicast.Router.t ->
+  ?period:Engine.Time.span ->
+  ?history:int ->
+  unit ->
+  t
+(** Snapshots every [period] (default 1 s), keeping the last [history]
+    (default 64) snapshots per session. Capturing starts when the first
+    session is registered. *)
+
+val register_session : t -> Traffic.Session.t -> unit
+
+val sessions : t -> Traffic.Session.t list
+
+val query :
+  t -> session:int -> staleness:Engine.Time.span -> Snapshot.t option
+(** The newest snapshot taken at or before [now - staleness]; [None] when
+    no old-enough snapshot exists yet. [staleness = 0] captures and
+    returns the live state. *)
+
+val stop : t -> unit
+(** Stops periodic capturing. *)

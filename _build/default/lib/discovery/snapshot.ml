@@ -1,0 +1,131 @@
+module Addr = Net.Addr
+
+type edge = {
+  parent : Addr.node_id;
+  child : Addr.node_id;
+  layers : int list;
+}
+
+type t = {
+  session : int;
+  taken_at : Engine.Time.t;
+  source : Addr.node_id;
+  edges : edge list;
+  members : (Addr.node_id * int) list;
+}
+
+let capture ~router ~session ~at =
+  let layering = Traffic.Session.layering session in
+  let layer_count = Traffic.Layering.count layering in
+  (* Overlay: union of the per-layer trees, tagging edges with layers. *)
+  let tbl : (Addr.node_id * Addr.node_id, int list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  for layer = layer_count - 1 downto 0 do
+    let group = Traffic.Session.group_for_layer session ~layer in
+    List.iter
+      (fun (parent, child) ->
+        match Hashtbl.find_opt tbl (parent, child) with
+        | Some l -> l := layer :: !l
+        | None -> Hashtbl.add tbl (parent, child) (ref [ layer ]))
+      (Multicast.Router.tree_edges router ~group)
+  done;
+  let edges =
+    Hashtbl.fold
+      (fun (parent, child) layers acc -> { parent; child; layers = !layers } :: acc)
+      tbl []
+    |> List.sort (fun a b -> compare (a.parent, a.child) (b.parent, b.child))
+  in
+  let base_group = Traffic.Session.group_for_layer session ~layer:0 in
+  let members =
+    Multicast.Router.members router ~group:base_group
+    |> List.map (fun node ->
+           (node, Traffic.Session.subscription_level session ~router ~node))
+  in
+  {
+    session = Traffic.Session.id session;
+    taken_at = at;
+    source = Traffic.Session.source session;
+    edges;
+    members;
+  }
+
+let children t node =
+  List.filter_map
+    (fun e -> if e.parent = node then Some e.child else None)
+    t.edges
+  |> List.sort Int.compare
+
+let nodes t =
+  let module S = Set.Make (Int) in
+  let s =
+    List.fold_left
+      (fun s e -> S.add e.parent (S.add e.child s))
+      (S.singleton t.source) t.edges
+  in
+  let s = List.fold_left (fun s (m, _) -> S.add m s) s t.members in
+  S.elements s
+
+let is_tree t =
+  let module S = Set.Make (Int) in
+  (* each child has exactly one parent *)
+  let childs = List.map (fun e -> e.child) t.edges in
+  let unique = List.sort_uniq Int.compare childs in
+  List.length unique = List.length childs
+  && (not (List.exists (fun e -> e.child = t.source) t.edges))
+  &&
+  (* all edges reachable from the source *)
+  let rec reach frontier seen =
+    match frontier with
+    | [] -> seen
+    | n :: rest ->
+        let cs = children t n in
+        let fresh = List.filter (fun c -> not (S.mem c seen)) cs in
+        reach (fresh @ rest) (List.fold_left (fun s c -> S.add c s) seen fresh)
+  in
+  let reachable = reach [ t.source ] (S.singleton t.source) in
+  List.for_all (fun e -> S.mem e.parent reachable) t.edges
+
+let restrict t ~domain =
+  let module S = Set.Make (Int) in
+  let dom = S.of_list domain in
+  if S.is_empty dom then None
+  else begin
+    let inside n = S.mem n dom in
+    let edges_in = List.filter (fun e -> inside e.child && inside e.parent) t.edges in
+    (* Ingresses: domain nodes entered from outside, plus the source. *)
+    let entered =
+      List.filter_map
+        (fun e -> if inside e.child && not (inside e.parent) then Some e.child else None)
+        t.edges
+    in
+    let ingresses =
+      (if inside t.source then [ t.source ] else []) @ entered
+      |> List.sort_uniq Int.compare
+    in
+    match ingresses with
+    | [] -> None
+    | _ :: _ :: _ ->
+        invalid_arg "Snapshot.restrict: session enters the domain twice"
+    | [ ingress ] ->
+        let members = List.filter (fun (m, _) -> inside m) t.members in
+        Some { t with source = ingress; edges = edges_in; members }
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>session %d @ %a (source %a)@," t.session
+    Engine.Time.pp t.taken_at Addr.pp_node t.source;
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  %a -> %a layers=%a@," Addr.pp_node e.parent
+        Addr.pp_node e.child
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Format.pp_print_int)
+        e.layers)
+    t.edges;
+  List.iter
+    (fun (m, lvl) ->
+      Format.fprintf ppf "  member %a level=%d@," Addr.pp_node m lvl)
+    t.members;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,51 @@
+(** A point-in-time image of one session's multicast topology.
+
+    The *session topology* is the overlay of the per-layer distribution
+    trees; because layers are cumulative it is itself a tree, rooted at the
+    source (paper Section III). Each edge carries the set of layers
+    flowing over it; each member carries its subscription level as visible
+    in group-membership state. *)
+
+type edge = {
+  parent : Net.Addr.node_id;
+  child : Net.Addr.node_id;
+  layers : int list;  (** sorted, 0-based layers flowing on this edge *)
+}
+
+type t = {
+  session : int;
+  taken_at : Engine.Time.t;
+  source : Net.Addr.node_id;
+  edges : edge list;  (** sorted by (parent, child) *)
+  members : (Net.Addr.node_id * int) list;
+      (** receivers with their subscription level, sorted by node *)
+}
+
+val capture :
+  router:Multicast.Router.t ->
+  session:Traffic.Session.t ->
+  at:Engine.Time.t ->
+  t
+(** Reads the router's current forwarding and membership state. *)
+
+val children : t -> Net.Addr.node_id -> Net.Addr.node_id list
+(** Children of a node in the overlay tree, sorted. *)
+
+val nodes : t -> Net.Addr.node_id list
+(** All nodes appearing in the snapshot (source, interior, members). *)
+
+val is_tree : t -> bool
+(** Sanity: every non-source node has at most one parent and the edge set
+    is acyclic and reachable from the source. *)
+
+val restrict : t -> domain:Net.Addr.node_id list -> t option
+(** The paper's per-domain view (Section II): keep only the part of the
+    session tree inside an administrative [domain]. The restricted
+    snapshot is rooted at the domain's ingress — the unique domain node
+    whose tree parent lies outside the domain (or the session source when
+    it belongs to the domain). [None] when the session does not enter the
+    domain. @raise Invalid_argument if the tree enters the domain at more
+    than one ingress (the domain is not subtree-shaped for this
+    session). *)
+
+val pp : Format.formatter -> t -> unit

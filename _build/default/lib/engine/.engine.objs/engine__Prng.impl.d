@@ -1,0 +1,1 @@
+lib/engine/prng.ml: Char Float Int64 String

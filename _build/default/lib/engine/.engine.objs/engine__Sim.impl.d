@@ -1,0 +1,1 @@
+lib/engine/sim.ml: Format Heap Int Prng Stdlib Time

@@ -1,0 +1,26 @@
+(** A mutable binary min-heap.
+
+    Generic over the element type; ordering is supplied at creation. Used by
+    the event queue, where determinism requires a total order (ties are
+    broken by the caller before they reach the heap). *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** An empty heap using [cmp] as the (total) order. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element, without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Removes and returns the smallest element. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Elements in unspecified order; for tests and diagnostics. *)

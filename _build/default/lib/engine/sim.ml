@@ -1,0 +1,103 @@
+type event = {
+  at : Time.t;
+  seq : int;
+  thunk : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type handle = H : event -> handle [@@unboxed]
+
+type t = {
+  mutable clock : Time.t;
+  queue : event Heap.t;
+  root_rng : Prng.t;
+  mutable next_seq : int;
+  mutable dispatched : int;
+}
+
+let cmp_event a b =
+  let c = Time.compare a.at b.at in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create ?(seed = 42L) () =
+  {
+    clock = Time.zero;
+    queue = Heap.create ~cmp:cmp_event;
+    root_rng = Prng.create ~seed;
+    next_seq = 0;
+    dispatched = 0;
+  }
+
+let now t = t.clock
+
+let rng t ~label = Prng.split t.root_rng ~label
+
+let schedule_at t at thunk =
+  if Time.(at < t.clock) then
+    invalid_arg
+      (Format.asprintf "Sim.schedule_at: %a is before now (%a)" Time.pp at
+         Time.pp t.clock);
+  let ev = { at; seq = t.next_seq; thunk; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  Heap.push t.queue ev;
+  H ev
+
+let schedule_after t span thunk = schedule_at t (Time.add t.clock span) thunk
+
+let cancel _t (H ev) = ev.cancelled <- true
+
+(* A periodic task is a chain of events; the handle must outlive each link,
+   so it wraps a forwarding cell updated on every rescheduling. *)
+let every t ?start ?jitter ~period f =
+  if period <= 0 then invalid_arg "Sim.every: period <= 0";
+  let first = match start with Some s -> s | None -> Time.add t.clock period in
+  let cell = { at = first; seq = -1; thunk = ignore; cancelled = false } in
+  let displaced base =
+    match jitter with
+    | None -> base
+    | Some (g, j) ->
+        let half = j *. Time.span_to_sec_f period in
+        let d = Prng.uniform g ~lo:(-.half) ~hi:half in
+        let ns = Time.to_ns base + int_of_float (d *. 1e9) in
+        Time.of_ns (Stdlib.max (Time.to_ns t.clock) ns)
+  in
+  let rec arm at =
+    let (H ev) =
+      schedule_at t (displaced at)
+        (fun () ->
+          if not cell.cancelled then begin
+            f ();
+            if not cell.cancelled then arm (Time.add at period)
+          end)
+    in
+    (* Forward cancellation through the chain. *)
+    if cell.cancelled then ev.cancelled <- true
+  in
+  arm first;
+  H cell
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+      t.clock <- ev.at;
+      if not ev.cancelled then begin
+        t.dispatched <- t.dispatched + 1;
+        ev.thunk ()
+      end;
+      true
+
+let run_until t horizon =
+  let rec loop () =
+    match Heap.peek t.queue with
+    | Some ev when Time.(ev.at <= horizon) ->
+        ignore (step t);
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  t.clock <- Time.max t.clock horizon
+
+let pending t = Heap.length t.queue
+
+let events_dispatched t = t.dispatched

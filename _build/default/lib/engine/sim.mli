@@ -1,0 +1,57 @@
+(** The discrete-event simulation loop.
+
+    A simulator owns a clock, an event queue and the run's root PRNG.
+    Events are thunks scheduled at absolute instants; events at the same
+    instant fire in scheduling order (FIFO), which makes runs fully
+    deterministic for a given seed.
+
+    The simulator is single-threaded by design: the workloads in this
+    project are bound by event dispatch, not by per-event computation, and
+    determinism is a hard requirement for the experiments. *)
+
+type t
+
+type handle
+(** Identifies a scheduled event so it can be cancelled. *)
+
+val create : ?seed:int64 -> unit -> t
+(** A fresh simulator at time {!Time.zero}. Default seed is [42L]. *)
+
+val now : t -> Time.t
+
+val rng : t -> label:string -> Prng.t
+(** A named PRNG stream for a component. Derived from the run seed; the
+    same label always yields the same stream within a run. *)
+
+val schedule_at : t -> Time.t -> (unit -> unit) -> handle
+(** Schedule a thunk at an absolute instant.
+    @raise Invalid_argument if the instant is in the past. *)
+
+val schedule_after : t -> Time.span -> (unit -> unit) -> handle
+(** Schedule a thunk [span] after the current time. *)
+
+val cancel : t -> handle -> unit
+(** Cancel a pending event. Cancelling an already-fired or already-cancelled
+    event is a no-op. *)
+
+val every :
+  t -> ?start:Time.t -> ?jitter:(Prng.t * float) -> period:Time.span ->
+  (unit -> unit) -> handle
+(** [every sim ~period f] runs [f] at [start] (default: [now + period]) and
+    then every [period], until the returned handle is cancelled. With
+    [~jitter:(rng, j)] each firing is displaced by a uniform draw in
+    [±j·period]. Cancelling the handle stops all future firings. *)
+
+val run_until : t -> Time.t -> unit
+(** Dispatch events in order until the queue is empty or the next event is
+    after the horizon; the clock ends at the horizon. *)
+
+val step : t -> bool
+(** Dispatch the single next event. Returns [false] when the queue is
+    empty. *)
+
+val pending : t -> int
+(** Number of events still queued (including cancelled tombstones). *)
+
+val events_dispatched : t -> int
+(** Total events fired since creation; for tests and reporting. *)

@@ -1,0 +1,31 @@
+(** Online summary statistics.
+
+    Welford's algorithm: numerically stable single-pass mean and variance,
+    plus min/max and count. Used throughout the experiment harness. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+val mean : t -> float
+(** 0 when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; 0 with fewer than two samples. *)
+
+val stddev : t -> float
+val min : t -> float
+(** [infinity] when empty. *)
+
+val max : t -> float
+(** [neg_infinity] when empty. *)
+
+val sum : t -> float
+
+val merge : t -> t -> t
+(** Combined statistics of two disjoint sample sets. *)
+
+val pp : Format.formatter -> t -> unit

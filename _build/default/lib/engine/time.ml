@@ -1,0 +1,54 @@
+type t = int
+
+type span = int
+
+let zero = 0
+
+let of_ns n =
+  if n < 0 then invalid_arg "Time.of_ns: negative";
+  n
+
+let of_us n = of_ns (n * 1_000)
+let of_ms n = of_ns (n * 1_000_000)
+let of_sec n = of_ns (n * 1_000_000_000)
+
+let of_sec_f s =
+  if not (Float.is_finite s) || s < 0.0 then
+    invalid_arg "Time.of_sec_f: negative or non-finite";
+  int_of_float (Float.round (s *. 1e9))
+
+let to_ns t = t
+let to_sec_f t = float_of_int t /. 1e9
+
+let add t d =
+  if d < 0 then invalid_arg "Time.add: negative span";
+  t + d
+
+let diff a b = a - b
+
+let span_of_sec_f s =
+  if not (Float.is_finite s) || s < 0.0 then
+    invalid_arg "Time.span_of_sec_f: negative or non-finite";
+  int_of_float (Float.round (s *. 1e9))
+
+let span_of_ms n =
+  if n < 0 then invalid_arg "Time.span_of_ms: negative";
+  n * 1_000_000
+
+let span_of_sec n =
+  if n < 0 then invalid_arg "Time.span_of_sec: negative";
+  n * 1_000_000_000
+
+let span_to_sec_f d = float_of_int d /. 1e9
+
+let compare = Int.compare
+let equal = Int.equal
+let ( <= ) (a : int) b = a <= b
+let ( < ) (a : int) b = a < b
+let ( >= ) (a : int) b = a >= b
+let ( > ) (a : int) b = a > b
+
+let min (a : int) b = Stdlib.min a b
+let max (a : int) b = Stdlib.max a b
+
+let pp ppf t = Format.fprintf ppf "%.3fs" (to_sec_f t)

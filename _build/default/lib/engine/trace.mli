@@ -1,0 +1,27 @@
+(** Bounded in-memory event trace.
+
+    A ring buffer of timestamped records, used by tests and by the CLI's
+    [--trace] mode to inspect what a simulation did without paying for
+    unbounded logging. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val record : 'a t -> Time.t -> 'a -> unit
+(** Appends, evicting the oldest record when full. *)
+
+val length : 'a t -> int
+(** Records currently held (≤ capacity). *)
+
+val total : 'a t -> int
+(** Records ever written, including evicted ones. *)
+
+val to_list : 'a t -> (Time.t * 'a) list
+(** Oldest first. *)
+
+val find_last : 'a t -> f:('a -> bool) -> (Time.t * 'a) option
+
+val iter : 'a t -> f:(Time.t -> 'a -> unit) -> unit
+(** Oldest first. *)

@@ -1,0 +1,1 @@
+lib/metrics/deviation.ml: Engine List

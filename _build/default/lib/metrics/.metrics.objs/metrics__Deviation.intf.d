@@ -1,0 +1,1 @@
+lib/metrics/deviation.mli: Engine

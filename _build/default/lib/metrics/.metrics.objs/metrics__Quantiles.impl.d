@@ -1,0 +1,1 @@
+lib/metrics/quantiles.ml: Array Float Format List

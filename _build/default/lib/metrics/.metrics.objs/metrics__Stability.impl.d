@@ -1,0 +1,1 @@
+lib/metrics/stability.ml: Engine List

@@ -1,0 +1,44 @@
+module Time = Engine.Time
+
+type change_log = (Time.t * int) list
+
+let level_at changes at =
+  List.fold_left
+    (fun acc (t, level) -> if Time.(t <= at) then level else acc)
+    0 changes
+
+(* Integrate |x(t) - y| over the window by walking the change points that
+   fall inside it. *)
+let relative_deviation ~changes ~optimal ~window:(w0, w1) =
+  if Time.(w1 <= w0) then invalid_arg "Deviation: empty window";
+  if optimal <= 0 then invalid_arg "Deviation: optimal <= 0";
+  let inside = List.filter (fun (t, _) -> Time.(t > w0) && Time.(t < w1)) changes in
+  let segments =
+    (* (start, level) of each constant piece covering [w0, w1] *)
+    let rec pieces cur start = function
+      | [] -> [ (start, w1, cur) ]
+      | (t, level) :: rest -> (start, t, cur) :: pieces level t rest
+    in
+    pieces (level_at changes w0) w0 inside
+  in
+  let err, norm =
+    List.fold_left
+      (fun (err, norm) (a, b, level) ->
+        let dt = Time.span_to_sec_f (Time.diff b a) in
+        ( err +. (float_of_int (abs (level - optimal)) *. dt),
+          norm +. (float_of_int optimal *. dt) ))
+      (0.0, 0.0) segments
+  in
+  err /. norm
+
+let mean_relative_deviation ~receivers ~window =
+  match receivers with
+  | [] -> 0.0
+  | _ ->
+      let total =
+        List.fold_left
+          (fun acc (changes, optimal) ->
+            acc +. relative_deviation ~changes ~optimal ~window)
+          0.0 receivers
+      in
+      total /. float_of_int (List.length receivers)

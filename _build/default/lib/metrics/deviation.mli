@@ -1,0 +1,29 @@
+(** The paper's relative-deviation metric (Section IV).
+
+    For a receiver with subscription trace x(t) and optimal level y, over
+    a window W:
+
+      dev = ( Σ_W |x(t) − y| · dt ) / ( Σ_W y · dt )
+
+    computed exactly from the piecewise-constant change log. The mean
+    over receivers is what Figs. 8 and 10 plot. *)
+
+type change_log = (Engine.Time.t * int) list
+(** (time, new level) events, oldest first — {!Toposense.Receiver_agent.changes}'
+    format. The level before the first event is taken as 0. *)
+
+val level_at : change_log -> Engine.Time.t -> int
+(** The level in force at an instant. *)
+
+val relative_deviation :
+  changes:change_log ->
+  optimal:int ->
+  window:Engine.Time.t * Engine.Time.t ->
+  float
+(** @raise Invalid_argument if the window is empty or [optimal <= 0]. *)
+
+val mean_relative_deviation :
+  receivers:(change_log * int) list ->
+  window:Engine.Time.t * Engine.Time.t ->
+  float
+(** Mean over (trace, optimal) pairs; 0 for an empty list. *)

@@ -1,0 +1,45 @@
+let quantile xs ~q =
+  if xs = [] then invalid_arg "Quantiles.quantile: empty";
+  if q < 0.0 || q > 1.0 then invalid_arg "Quantiles.quantile: q outside [0,1]";
+  let a = Array.of_list xs in
+  Array.sort Float.compare a;
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else begin
+    let h = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor h) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = h -. float_of_int lo in
+    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+  end
+
+type summary = {
+  count : int;
+  min : float;
+  p25 : float;
+  p50 : float;
+  p75 : float;
+  p90 : float;
+  max : float;
+}
+
+let summarize xs =
+  match xs with
+  | [] -> None
+  | _ ->
+      let q q' = quantile xs ~q:q' in
+      Some
+        {
+          count = List.length xs;
+          min = q 0.0;
+          p25 = q 0.25;
+          p50 = q 0.5;
+          p75 = q 0.75;
+          p90 = q 0.9;
+          max = q 1.0;
+        }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d min=%.2f p25=%.2f p50=%.2f p75=%.2f p90=%.2f max=%.2f" s.count s.min
+    s.p25 s.p50 s.p75 s.p90 s.max

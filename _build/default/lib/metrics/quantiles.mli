@@ -1,0 +1,23 @@
+(** Quantiles of small samples.
+
+    Exact computation by sorting with linear interpolation between order
+    statistics (type-7, the R/NumPy default) — the experiment harness
+    deals in tens of samples, so no sketching is needed. *)
+
+val quantile : float list -> q:float -> float
+(** @raise Invalid_argument if the list is empty or [q] outside [0,1]. *)
+
+type summary = {
+  count : int;
+  min : float;
+  p25 : float;
+  p50 : float;
+  p75 : float;
+  p90 : float;
+  max : float;
+}
+
+val summarize : float list -> summary option
+(** [None] on the empty list. *)
+
+val pp_summary : Format.formatter -> summary -> unit

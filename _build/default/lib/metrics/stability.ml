@@ -1,0 +1,35 @@
+module Time = Engine.Time
+
+type summary = {
+  changes : int;
+  mean_gap_s : float;
+}
+
+let summarize ~changes ~window:(w0, w1) =
+  let inside =
+    List.filter_map
+      (fun (t, _) -> if Time.(t > w0) && Time.(t < w1) then Some t else None)
+      changes
+  in
+  let n = List.length inside in
+  let window_s = Time.span_to_sec_f (Time.diff w1 w0) in
+  let mean_gap_s =
+    if n < 2 then window_s
+    else begin
+      let rec gaps acc = function
+        | a :: (b :: _ as rest) ->
+            gaps (acc +. Time.span_to_sec_f (Time.diff b a)) rest
+        | [ _ ] | [] -> acc
+      in
+      gaps 0.0 inside /. float_of_int (n - 1)
+    end
+  in
+  { changes = n; mean_gap_s }
+
+let worst ~logs ~window =
+  List.fold_left
+    (fun acc log ->
+      let s = summarize ~changes:log ~window in
+      if s.changes > acc.changes then s else acc)
+    { changes = 0; mean_gap_s = Time.span_to_sec_f (Time.diff (snd window) (fst window)) }
+    logs

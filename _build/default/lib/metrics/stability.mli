@@ -1,0 +1,26 @@
+(** The paper's stability metrics (Figs. 6 and 7).
+
+    From a subscription change log: the number of changes inside a
+    window, and the mean time elapsed between successive changes. The
+    figures plot, over a set of receivers (Topology A) or sessions
+    (Topology B), the *maximum* change count and the corresponding mean
+    gap. *)
+
+type summary = {
+  changes : int;  (** changes strictly inside the window *)
+  mean_gap_s : float;
+      (** mean seconds between successive changes; the window length when
+          there are fewer than two changes *)
+}
+
+val summarize :
+  changes:(Engine.Time.t * int) list ->
+  window:Engine.Time.t * Engine.Time.t ->
+  summary
+
+val worst :
+  logs:(Engine.Time.t * int) list list ->
+  window:Engine.Time.t * Engine.Time.t ->
+  summary
+(** The summary of the log with the most changes (the paper's "maximum
+    number of changes by any receiver"); a zero summary for no logs. *)

@@ -1,0 +1,18 @@
+module Time = Engine.Time
+module Sim = Engine.Sim
+
+type t = { mutable samples : (Time.t * float) list (* newest first *) }
+
+let create () = { samples = [] }
+
+let sample t ~at v = t.samples <- (at, v) :: t.samples
+
+let attach t ~sim ~period ~probe =
+  Sim.every sim ~period (fun () -> sample t ~at:(Sim.now sim) (probe ()))
+
+let to_list t = List.rev t.samples
+
+let between t a b =
+  List.filter (fun (at, _) -> Time.(at >= a) && Time.(at <= b)) (to_list t)
+
+let length t = List.length t.samples

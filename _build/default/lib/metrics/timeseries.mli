@@ -1,0 +1,25 @@
+(** Periodic samplers for time-series plots (Fig. 9).
+
+    A recorder holds (time, value) samples; [attach] wires it to a
+    simulator so a probe function is sampled at a fixed period. *)
+
+type t
+
+val create : unit -> t
+
+val sample : t -> at:Engine.Time.t -> float -> unit
+
+val attach :
+  t ->
+  sim:Engine.Sim.t ->
+  period:Engine.Time.span ->
+  probe:(unit -> float) ->
+  Engine.Sim.handle
+
+val to_list : t -> (Engine.Time.t * float) list
+(** Oldest first. *)
+
+val between :
+  t -> Engine.Time.t -> Engine.Time.t -> (Engine.Time.t * float) list
+
+val length : t -> int

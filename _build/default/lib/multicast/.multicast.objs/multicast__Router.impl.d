@@ -1,0 +1,1 @@
+lib/multicast/router.ml: Engine Hashtbl Int List Net Option Set

@@ -1,0 +1,1 @@
+lib/multicast/router.mli: Engine Net

@@ -1,0 +1,182 @@
+module Sim = Engine.Sim
+module Time = Engine.Time
+module Addr = Net.Addr
+module Network = Net.Network
+module Iset = Set.Make (Int)
+
+type gstate = {
+  mutable oifs : Iset.t;  (* outgoing interfaces with downstream interest *)
+  mutable local : bool;  (* application-level membership at this node *)
+  mutable on_tree : bool;
+  mutable leave_epoch : int;  (* invalidates stale leave timers *)
+}
+
+type t = {
+  network : Network.t;
+  leave_latency : Time.span;
+  expedited_leave : bool;
+  sources : (Addr.group_id, Addr.node_id) Hashtbl.t;
+  state : (Addr.node_id * Addr.group_id, gstate) Hashtbl.t;
+  delivered : (Addr.group_id, int) Hashtbl.t;
+  mutable next_group : Addr.group_id;
+}
+
+let state t node group =
+  match Hashtbl.find_opt t.state (node, group) with
+  | Some s -> s
+  | None ->
+      let s = { oifs = Iset.empty; local = false; on_tree = false; leave_epoch = 0 } in
+      Hashtbl.add t.state (node, group) s;
+      s
+
+let source t ~group =
+  match Hashtbl.find_opt t.sources group with
+  | Some s -> s
+  | None -> invalid_arg "Multicast.Router: unknown group"
+
+let count_delivery t group =
+  let n = Option.value ~default:0 (Hashtbl.find_opt t.delivered group) in
+  Hashtbl.replace t.delivered group (n + 1)
+
+(* Data-plane forwarding, installed on every node. *)
+let handle t node (pkt : Net.Packet.t) ~in_iface =
+  match pkt.dst with
+  | Addr.Unicast _ -> ()
+  | Addr.Multicast group ->
+      let src = source t ~group in
+      let rpf_ok =
+        match in_iface with
+        | None -> node = src
+        | Some i -> node <> src && i = Network.iface_toward t.network ~node ~dst:src
+      in
+      if rpf_ok then begin
+        let st = state t node group in
+        if st.local then begin
+          count_delivery t group;
+          Network.deliver_local t.network node pkt
+        end;
+        Iset.iter
+          (fun oif ->
+            if in_iface <> Some oif then
+              Network.send_on_iface t.network ~node ~iface:oif pkt)
+          st.oifs
+      end
+
+let create ~network ?(leave_latency = Time.span_of_sec 1)
+    ?(expedited_leave = false) () =
+  let t =
+    {
+      network;
+      leave_latency;
+      expedited_leave;
+      sources = Hashtbl.create 64;
+      state = Hashtbl.create 256;
+      delivered = Hashtbl.create 64;
+      next_group = 0;
+    }
+  in
+  for n = 0 to Network.node_count network - 1 do
+    Network.set_mcast_handler network n (fun pkt ~in_iface ->
+        handle t n pkt ~in_iface)
+  done;
+  t
+
+let leave_latency t = t.leave_latency
+let expedited_leave t = t.expedited_leave
+
+let fresh_group t ~source =
+  let g = t.next_group in
+  t.next_group <- t.next_group + 1;
+  Hashtbl.replace t.sources g source;
+  g
+
+let hop_delay t ~node ~parent =
+  let iface = Network.iface_to t.network ~node ~neighbor:parent in
+  Net.Link.prop_delay (Network.link_on_iface t.network ~node ~iface)
+
+(* Propagate a graft toward the source until an on-tree ancestor (or the
+   source) absorbs it. Each hop takes the link's propagation delay. *)
+let rec graft t ~node ~group =
+  let src = source t ~group in
+  if node <> src then begin
+    let parent = Net.Routing.next_hop (Network.routing t.network) ~from:node ~dst:src in
+    let delay = hop_delay t ~node ~parent in
+    ignore
+      (Sim.schedule_after (Network.sim t.network) delay (fun () ->
+           let pst = state t parent group in
+           let oif = Network.iface_to t.network ~node:parent ~neighbor:node in
+           pst.oifs <- Iset.add oif pst.oifs;
+           if not pst.on_tree then begin
+             pst.on_tree <- true;
+             graft t ~node:parent ~group
+           end))
+  end
+
+(* Prune upward: a node with no local member and no downstream interest
+   leaves the tree and tells its parent after one hop delay. *)
+let rec maybe_prune t ~node ~group =
+  let src = source t ~group in
+  let st = state t node group in
+  if st.on_tree && (not st.local) && Iset.is_empty st.oifs && node <> src then begin
+    st.on_tree <- false;
+    let parent = Net.Routing.next_hop (Network.routing t.network) ~from:node ~dst:src in
+    let delay = hop_delay t ~node ~parent in
+    ignore
+      (Sim.schedule_after (Network.sim t.network) delay (fun () ->
+           let pst = state t parent group in
+           let oif = Network.iface_to t.network ~node:parent ~neighbor:node in
+           pst.oifs <- Iset.remove oif pst.oifs;
+           maybe_prune t ~node:parent ~group))
+  end
+
+let join t ~node ~group =
+  let src = source t ~group in
+  let st = state t node group in
+  st.local <- true;
+  st.leave_epoch <- st.leave_epoch + 1;
+  if not st.on_tree then begin
+    st.on_tree <- true;
+    if node <> src then graft t ~node ~group
+  end
+
+let leave t ~node ~group =
+  let st = state t node group in
+  if st.local then begin
+    st.local <- false;
+    st.leave_epoch <- st.leave_epoch + 1;
+    if t.expedited_leave then maybe_prune t ~node ~group
+    else begin
+      let epoch = st.leave_epoch in
+      ignore
+        (Sim.schedule_after (Network.sim t.network) t.leave_latency (fun () ->
+             if st.leave_epoch = epoch && not st.local then
+               maybe_prune t ~node ~group))
+    end
+  end
+
+let is_member t ~node ~group = (state t node group).local
+
+let members t ~group =
+  Hashtbl.fold
+    (fun (node, g) st acc -> if g = group && st.local then node :: acc else acc)
+    t.state []
+  |> List.sort Int.compare
+
+let tree_edges t ~group =
+  Hashtbl.fold
+    (fun (node, g) st acc ->
+      if g = group then
+        Iset.fold
+          (fun oif acc ->
+            (node, Network.neighbor t.network ~node ~iface:oif) :: acc)
+          st.oifs acc
+      else acc)
+    t.state []
+  |> List.sort compare
+
+let on_tree t ~node ~group = (state t node group).on_tree
+
+let delivered t ~group =
+  Option.value ~default:0 (Hashtbl.find_opt t.delivered group)
+
+let group_count t = t.next_group

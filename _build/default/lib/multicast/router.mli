@@ -1,0 +1,74 @@
+(** Source-rooted multicast trees with IGMP-style leave latency.
+
+    One [Router.t] manages the multicast state of every node in a network:
+    per-(group) outgoing-interface lists, local membership, and join/prune
+    propagation toward the group's source along the unicast reverse path.
+    Creating the router installs the multicast forwarding handler on every
+    node.
+
+    Control-plane model (documented substitution — see DESIGN.md): join and
+    prune messages propagate hop-by-hop with each link's propagation delay
+    but are not subject to data-plane queueing, matching how ns models
+    PIM/DVMRP-style state changes. Leaving a group only takes effect after
+    [leave_latency] at the receiver's last-hop interface, modelling the
+    IGMP group-leave latency the paper discusses in Section V; prunes
+    further up the tree propagate with hop delay only.
+
+    Data-plane: a multicast packet is reverse-path-forward checked, copied
+    onto every outgoing interface of its group except the arrival
+    interface, and delivered locally where there is local membership. *)
+
+type t
+
+val create :
+  network:Net.Network.t ->
+  ?leave_latency:Engine.Time.span ->
+  ?expedited_leave:bool ->
+  unit ->
+  t
+(** Installs forwarding on all nodes. Default [leave_latency] is 1 s.
+
+    [expedited_leave] implements the remedy the paper proposes in
+    Section V ("expedited group-leaves, where routers keep track of
+    receivers downstream"): a leave prunes immediately instead of waiting
+    out the IGMP leave latency. Default false. *)
+
+val expedited_leave : t -> bool
+
+val leave_latency : t -> Engine.Time.span
+
+val fresh_group : t -> source:Net.Addr.node_id -> Net.Addr.group_id
+(** Allocates a group address rooted at [source]. *)
+
+val source : t -> group:Net.Addr.group_id -> Net.Addr.node_id
+(** @raise Invalid_argument on an unknown group. *)
+
+val join : t -> node:Net.Addr.node_id -> group:Net.Addr.group_id -> unit
+(** Local membership at [node]; grafts the node onto the tree (propagating
+    toward the source with hop delays) if it is not already on it.
+    Idempotent. *)
+
+val leave : t -> node:Net.Addr.node_id -> group:Net.Addr.group_id -> unit
+(** Drops local membership. Forwarding toward [node] stops only after the
+    leave latency, and only if the node has not re-joined meanwhile.
+    Idempotent. *)
+
+val is_member : t -> node:Net.Addr.node_id -> group:Net.Addr.group_id -> bool
+(** Local membership as requested by the application (ignores pending
+    leave timers). *)
+
+val members : t -> group:Net.Addr.group_id -> Net.Addr.node_id list
+(** Nodes with local membership, sorted. *)
+
+val tree_edges :
+  t -> group:Net.Addr.group_id -> (Net.Addr.node_id * Net.Addr.node_id) list
+(** Installed forwarding edges as (parent, child) pairs — the actual
+    distribution tree, including branches kept alive by leave latency.
+    Used by the topology-discovery tool. *)
+
+val on_tree : t -> node:Net.Addr.node_id -> group:Net.Addr.group_id -> bool
+
+val delivered : t -> group:Net.Addr.group_id -> int
+(** Packets delivered to local members of [group] (all nodes), for tests. *)
+
+val group_count : t -> int

@@ -1,0 +1,1 @@
+lib/net/flow_stats.ml: Addr Engine Float Hashtbl Link List Network

@@ -1,0 +1,1 @@
+lib/net/link.ml: Addr Engine Packet Queue_discipline

@@ -1,0 +1,1 @@
+lib/net/link.mli: Addr Engine Packet Queue_discipline

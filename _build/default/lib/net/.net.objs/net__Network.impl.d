@@ -1,0 +1,1 @@
+lib/net/network.ml: Addr Array Engine Link List Packet Printf Queue_discipline Routing Topology

@@ -1,0 +1,1 @@
+lib/net/packet_trace.ml: Addr Engine Format List Network Packet Printf

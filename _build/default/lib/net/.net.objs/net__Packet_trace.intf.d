@@ -1,0 +1,1 @@
+lib/net/packet_trace.mli: Addr Engine Format Network Packet

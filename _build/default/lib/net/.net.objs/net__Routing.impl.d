@@ -1,0 +1,1 @@
+lib/net/routing.ml: Addr Array Engine Int List Topology

@@ -1,0 +1,1 @@
+lib/net/topology.ml: Addr Array Engine Fun Int List Queue_discipline

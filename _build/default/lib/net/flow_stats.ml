@@ -1,0 +1,101 @@
+module Sim = Engine.Sim
+module Time = Engine.Time
+
+type window = {
+  at : Time.t;
+  bytes : int;
+  drops : int;
+  utilization : float;
+  queue_length : int;
+}
+
+type link_state = {
+  link : Link.t;
+  mutable prev_bytes : int;
+  mutable prev_drops : int;
+  mutable prev_at : Time.t;
+  mutable windows : window list;  (* newest first *)
+}
+
+type t = {
+  network : Network.t;
+  links : (Addr.node_id * int, link_state) Hashtbl.t;
+}
+
+let create ~network () =
+  let t = { network; links = Hashtbl.create 64 } in
+  let now = Sim.now (Network.sim network) in
+  for node = 0 to Network.node_count network - 1 do
+    for iface = 0 to Network.iface_count network node - 1 do
+      let link = Network.link_on_iface network ~node ~iface in
+      Hashtbl.replace t.links (node, iface)
+        {
+          link;
+          prev_bytes = Link.tx_bytes link;
+          prev_drops = Link.drops link;
+          prev_at = now;
+          windows = [];
+        }
+    done
+  done;
+  t
+
+let sample t =
+  let now = Sim.now (Network.sim t.network) in
+  Hashtbl.iter
+    (fun _ st ->
+      let bytes = Link.tx_bytes st.link - st.prev_bytes in
+      let drops = Link.drops st.link - st.prev_drops in
+      let span_s = Time.span_to_sec_f (Time.diff now st.prev_at) in
+      let utilization =
+        if span_s <= 0.0 then 0.0
+        else
+          float_of_int (bytes * 8) /. (Link.bandwidth_bps st.link *. span_s)
+      in
+      st.windows <-
+        {
+          at = now;
+          bytes;
+          drops;
+          utilization;
+          queue_length = Link.queue_length st.link;
+        }
+        :: st.windows;
+      st.prev_bytes <- Link.tx_bytes st.link;
+      st.prev_drops <- Link.drops st.link;
+      st.prev_at <- now)
+    t.links
+
+let attach t ~period =
+  Sim.every (Network.sim t.network) ~period (fun () -> sample t)
+
+let state t ~node ~iface = Hashtbl.find_opt t.links (node, iface)
+
+let windows t ~node ~iface =
+  match state t ~node ~iface with
+  | None -> []
+  | Some st -> List.rev st.windows
+
+let fold_util f init t ~node ~iface =
+  List.fold_left (fun acc w -> f acc w.utilization) init (windows t ~node ~iface)
+
+let peak_utilization t ~node ~iface = fold_util Float.max 0.0 t ~node ~iface
+
+let mean_utilization t ~node ~iface =
+  let ws = windows t ~node ~iface in
+  match ws with
+  | [] -> 0.0
+  | _ ->
+      List.fold_left (fun acc w -> acc +. w.utilization) 0.0 ws
+      /. float_of_int (List.length ws)
+
+let total_drops t ~node ~iface =
+  List.fold_left (fun acc w -> acc + w.drops) 0 (windows t ~node ~iface)
+
+let busiest_links t ~top =
+  Hashtbl.fold
+    (fun (node, iface) _ acc ->
+      (node, iface, mean_utilization t ~node ~iface) :: acc)
+    t.links []
+  |> List.sort (fun (_, _, a) (_, _, b) -> Float.compare b a)
+  |> List.filteri (fun i _ -> i < top)

@@ -1,0 +1,67 @@
+module Sim = Engine.Sim
+module Time = Engine.Time
+
+type t = {
+  sim : Sim.t;
+  src : Addr.node_id;
+  dst : Addr.node_id;
+  bandwidth_bps : float;
+  prop_delay : Time.span;
+  queue : Queue_discipline.t;
+  mutable deliver : (Packet.t -> unit) option;
+  mutable busy : bool;
+  mutable tx_packets : int;
+  mutable tx_bytes : int;
+}
+
+let create ~sim ~src ~dst ~bandwidth_bps ~prop_delay ~queue =
+  if bandwidth_bps <= 0.0 then invalid_arg "Link.create: bandwidth <= 0";
+  {
+    sim;
+    src;
+    dst;
+    bandwidth_bps;
+    prop_delay;
+    queue;
+    deliver = None;
+    busy = false;
+    tx_packets = 0;
+    tx_bytes = 0;
+  }
+
+let set_deliver t f = t.deliver <- Some f
+
+let serialization_span t (pkt : Packet.t) =
+  Time.span_of_sec_f (float_of_int (pkt.size * 8) /. t.bandwidth_bps)
+
+let rec transmit t (pkt : Packet.t) =
+  t.busy <- true;
+  let ser = serialization_span t pkt in
+  ignore
+    (Sim.schedule_after t.sim ser (fun () ->
+         t.tx_packets <- t.tx_packets + 1;
+         t.tx_bytes <- t.tx_bytes + pkt.size;
+         let deliver =
+           match t.deliver with
+           | Some f -> f
+           | None -> failwith "Link: deliver callback not installed"
+         in
+         ignore (Sim.schedule_after t.sim t.prop_delay (fun () -> deliver pkt));
+         match Queue_discipline.poll t.queue with
+         | Some next -> transmit t next
+         | None -> t.busy <- false))
+
+let send t pkt =
+  if t.busy then ignore (Queue_discipline.offer t.queue pkt)
+  else transmit t pkt
+
+let src t = t.src
+let dst t = t.dst
+let bandwidth_bps t = t.bandwidth_bps
+let prop_delay t = t.prop_delay
+let tx_packets t = t.tx_packets
+let tx_bytes t = t.tx_bytes
+let drops t = Queue_discipline.drops t.queue
+let early_drops t = Queue_discipline.early_drops t.queue
+let queue_length t = Queue_discipline.length t.queue
+let busy t = t.busy

@@ -1,0 +1,49 @@
+(** A simplex link.
+
+    Models store-and-forward transmission: a packet occupies the link for
+    its serialization time (size / bandwidth), then arrives at the far end
+    after the propagation delay. Packets offered while the link is busy
+    wait in the link's queue (any {!Queue_discipline}); the in-service
+    packet is held separately from the queue. Duplex links are built as
+    two simplex links by {!Topology}. *)
+
+type t
+
+val create :
+  sim:Engine.Sim.t ->
+  src:Addr.node_id ->
+  dst:Addr.node_id ->
+  bandwidth_bps:float ->
+  prop_delay:Engine.Time.span ->
+  queue:Queue_discipline.t ->
+  t
+(** @raise Invalid_argument if [bandwidth_bps <= 0]. *)
+
+val set_deliver : t -> (Packet.t -> unit) -> unit
+(** Installs the arrival callback (fired at the destination node,
+    propagation delay after serialization completes). Must be set before
+    the first {!send}. *)
+
+val send : t -> Packet.t -> unit
+(** Offer a packet to the link. Silently dropped (and counted) when the
+    queue is full. *)
+
+val src : t -> Addr.node_id
+val dst : t -> Addr.node_id
+val bandwidth_bps : t -> float
+val prop_delay : t -> Engine.Time.span
+
+(** Counters (cumulative since creation; the metrics layer diffs them). *)
+
+val tx_packets : t -> int
+(** Packets fully serialized onto the wire. *)
+
+val tx_bytes : t -> int
+val drops : t -> int
+val early_drops : t -> int
+(** RED early drops on this link's queue (0 for other disciplines). *)
+
+val queue_length : t -> int
+(** Packets waiting, excluding the one in service. *)
+
+val busy : t -> bool

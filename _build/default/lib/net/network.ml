@@ -1,0 +1,138 @@
+module Sim = Engine.Sim
+
+type node = {
+  mutable out_links : Link.t array;  (** indexed by interface *)
+  mutable neighbors : Addr.node_id array;
+  mutable local_handlers : (Packet.t -> unit) list;  (** run in order *)
+  mutable mcast_handler : (Packet.t -> in_iface:int option -> unit) option;
+}
+
+type t = {
+  sim : Sim.t;
+  routing : Routing.t;
+  nodes : node array;
+  mutable next_packet_id : int;
+  mutable observers :
+    (Packet.t -> at:Addr.node_id -> in_iface:int option -> unit) list;
+}
+
+let sim t = t.sim
+let routing t = t.routing
+let node_count t = Array.length t.nodes
+
+let fresh_node () =
+  { out_links = [||]; neighbors = [||]; local_handlers = []; mcast_handler = None }
+
+let deliver_local t n (pkt : Packet.t) =
+  List.iter (fun f -> f pkt) t.nodes.(n).local_handlers
+
+(* Forwarding at [node] for a packet arriving from the wire or originated
+   locally. Unicast is handled here; multicast is the plugged handler's
+   responsibility (RPF checks, group state). *)
+let rec handle t ~node ~in_iface (pkt : Packet.t) =
+  List.iter (fun f -> f pkt ~at:node ~in_iface) t.observers;
+  match pkt.dst with
+  | Addr.Unicast d when d = node -> deliver_local t node pkt
+  | Addr.Unicast d ->
+      let nh = Routing.next_hop t.routing ~from:node ~dst:d in
+      send_to_neighbor t ~node ~neighbor:nh pkt
+  | Addr.Multicast _ -> (
+      match t.nodes.(node).mcast_handler with
+      | Some f -> f pkt ~in_iface
+      | None -> ())
+
+and send_to_neighbor t ~node ~neighbor pkt =
+  let nd = t.nodes.(node) in
+  let rec find i =
+    if i >= Array.length nd.neighbors then
+      invalid_arg "Network: not adjacent"
+    else if nd.neighbors.(i) = neighbor then i
+    else find (i + 1)
+  in
+  Link.send nd.out_links.(find 0) pkt
+
+let create ~sim topo =
+  let routing = Routing.compute topo in
+  let nodes = Array.init (Topology.node_count topo) (fun _ -> fresh_node ()) in
+  let t = { sim; routing; nodes; next_packet_id = 0; observers = [] } in
+  let attach ~src ~dst (spec : Topology.link_spec) =
+    let queue =
+      Queue_discipline.create spec.discipline
+        ~rng:(Sim.rng sim ~label:(Printf.sprintf "queue-%d-%d" src dst))
+    in
+    let link =
+      Link.create ~sim ~src ~dst ~bandwidth_bps:spec.bandwidth_bps
+        ~prop_delay:spec.delay ~queue
+    in
+    let n = nodes.(src) in
+    n.out_links <- Array.append n.out_links [| link |];
+    n.neighbors <- Array.append n.neighbors [| dst |];
+    link
+  in
+  List.iter
+    (fun (spec : Topology.link_spec) ->
+      let ab = attach ~src:spec.a ~dst:spec.b spec in
+      let ba = attach ~src:spec.b ~dst:spec.a spec in
+      (* A packet arriving over a->b comes in on b's interface to a. *)
+      let iface_of n neigh =
+        let nd = nodes.(n) in
+        let rec find i =
+          if nd.neighbors.(i) = neigh then i else find (i + 1)
+        in
+        find 0
+      in
+      let in_b = iface_of spec.b spec.a in
+      let in_a = iface_of spec.a spec.b in
+      Link.set_deliver ab (fun pkt ->
+          handle t ~node:spec.b ~in_iface:(Some in_b) pkt);
+      Link.set_deliver ba (fun pkt ->
+          handle t ~node:spec.a ~in_iface:(Some in_a) pkt))
+    (Topology.links topo);
+  t
+
+let iface_count t n = Array.length t.nodes.(n).out_links
+
+let neighbor t ~node ~iface = t.nodes.(node).neighbors.(iface)
+
+let iface_to t ~node ~neighbor =
+  let nd = t.nodes.(node) in
+  let rec find i =
+    if i >= Array.length nd.neighbors then raise Not_found
+    else if nd.neighbors.(i) = neighbor then i
+    else find (i + 1)
+  in
+  find 0
+
+let iface_toward t ~node ~dst =
+  let nh = Routing.next_hop t.routing ~from:node ~dst in
+  iface_to t ~node ~neighbor:nh
+
+let add_transit_observer t f = t.observers <- t.observers @ [ f ]
+
+let set_local_handler t n f = t.nodes.(n).local_handlers <- [ f ]
+
+let add_local_handler t n f =
+  t.nodes.(n).local_handlers <- t.nodes.(n).local_handlers @ [ f ]
+let set_mcast_handler t n f = t.nodes.(n).mcast_handler <- Some f
+
+let originate t ~src ~dst ~size ~payload =
+  if size <= 0 then invalid_arg "Network.originate: size <= 0";
+  let pkt =
+    {
+      Packet.id = t.next_packet_id;
+      src;
+      dst;
+      size;
+      payload;
+      sent_at = Sim.now t.sim;
+    }
+  in
+  t.next_packet_id <- t.next_packet_id + 1;
+  handle t ~node:src ~in_iface:None pkt
+
+let send_on_iface t ~node ~iface pkt =
+  Link.send t.nodes.(node).out_links.(iface) pkt
+
+let link_on_iface t ~node ~iface = t.nodes.(node).out_links.(iface)
+
+let packets_created t = t.next_packet_id

@@ -1,0 +1,78 @@
+(** The assembled simulated network.
+
+    Instantiates a {!Topology} on a simulator: creates the simplex links,
+    installs unicast forwarding from the {!Routing} tables, and exposes the
+    hooks the higher layers plug into — a local-delivery handler per node
+    (applications) and a multicast handler per node (the [Multicast]
+    library's forwarder). Interface [i] of node [n] is its duplex link to
+    [neighbor n i]; a packet arriving from that neighbor is reported with
+    [in_iface = i]. *)
+
+type t
+
+val create : sim:Engine.Sim.t -> Topology.t -> t
+(** @raise Invalid_argument if the topology is not connected. *)
+
+val sim : t -> Engine.Sim.t
+val routing : t -> Routing.t
+val node_count : t -> int
+
+val iface_count : t -> Addr.node_id -> int
+val neighbor : t -> node:Addr.node_id -> iface:int -> Addr.node_id
+val iface_to : t -> node:Addr.node_id -> neighbor:Addr.node_id -> int
+(** @raise Not_found if the nodes are not adjacent. *)
+
+val iface_toward : t -> node:Addr.node_id -> dst:Addr.node_id -> int
+(** The RPF interface: the interface on the unicast shortest path from
+    [node] toward [dst]. @raise Invalid_argument if [node = dst]. *)
+
+val set_local_handler : t -> Addr.node_id -> (Packet.t -> unit) -> unit
+(** Called for every packet whose final destination is this node —
+    unicast packets addressed to it, and multicast packets the multicast
+    handler chooses to deliver locally. Replaces ALL handlers previously
+    installed on the node. *)
+
+val add_local_handler : t -> Addr.node_id -> (Packet.t -> unit) -> unit
+(** Installs an additional handler without disturbing the existing ones
+    (they all run, in installation order). This is how several
+    applications share one node — e.g. a controller agent co-located
+    with a receiver agent, as when the paper stations the controller at
+    a source that also subscribes. *)
+
+val add_transit_observer :
+  t -> (Packet.t -> at:Addr.node_id -> in_iface:int option -> unit) -> unit
+(** Observers run for every packet at every node it visits (origination,
+    transit and delivery), before forwarding. They model in-network
+    support such as mtrace's per-router hop recording, and power the
+    {!Packet_trace} debugging aid. Multiple observers run in
+    registration order. *)
+
+val set_mcast_handler :
+  t -> Addr.node_id -> (Packet.t -> in_iface:int option -> unit) -> unit
+(** Called for every multicast packet seen at this node; [in_iface] is
+    [None] when the node itself originated the packet. Without a handler,
+    multicast packets are dropped silently. *)
+
+val deliver_local : t -> Addr.node_id -> Packet.t -> unit
+(** Invokes the node's local handler (used by the multicast forwarder). *)
+
+val originate :
+  t ->
+  src:Addr.node_id ->
+  dst:Addr.dest ->
+  size:int ->
+  payload:Packet.payload ->
+  unit
+(** Creates a packet at [src] and routes it: unicast packets follow the
+    next-hop tables (a packet addressed to the source itself is delivered
+    locally and immediately); multicast packets go to the multicast
+    handler. @raise Invalid_argument if [size <= 0]. *)
+
+val send_on_iface : t -> node:Addr.node_id -> iface:int -> Packet.t -> unit
+(** Pushes a packet onto one outgoing link; used by the multicast
+    forwarder. *)
+
+val link_on_iface : t -> node:Addr.node_id -> iface:int -> Link.t
+(** The outgoing simplex link on an interface (for tests and metrics). *)
+
+val packets_created : t -> int

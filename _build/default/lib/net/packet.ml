@@ -1,0 +1,25 @@
+type payload = ..
+
+type payload +=
+  | Data of { session : int; layer : int; seq : int }
+
+type t = {
+  id : int;
+  src : Addr.node_id;
+  dst : Addr.dest;
+  size : int;
+  payload : payload;
+  sent_at : Engine.Time.t;
+}
+
+let data_size = 1000
+
+let pp ppf p =
+  let kind =
+    match p.payload with
+    | Data { session; layer; seq } ->
+        Format.asprintf "data s%d/l%d #%d" session layer seq
+    | _ -> "ctrl"
+  in
+  Format.fprintf ppf "[pkt %d %a->%a %dB %s]" p.id Addr.pp_node p.src
+    Addr.pp_dest p.dst p.size kind

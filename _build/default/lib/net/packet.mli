@@ -1,0 +1,30 @@
+(** Packets.
+
+    The payload is an extensible variant so higher layers (receiver
+    reports, controller suggestions, discovery probes) can define their own
+    payloads without this module depending on them. [Data] — layered media
+    traffic — is defined here because every layer of the stack inspects
+    it. *)
+
+type payload = ..
+
+type payload +=
+  | Data of {
+      session : int;  (** session index, assigned by the traffic layer *)
+      layer : int;  (** 0-based layer number within the session *)
+      seq : int;  (** per-(session, layer) sequence number *)
+    }
+
+type t = {
+  id : int;  (** unique within one network instance *)
+  src : Addr.node_id;
+  dst : Addr.dest;
+  size : int;  (** bytes on the wire *)
+  payload : payload;
+  sent_at : Engine.Time.t;
+}
+
+val data_size : int
+(** Size of a media packet in bytes (paper Section IV: 1000). *)
+
+val pp : Format.formatter -> t -> unit

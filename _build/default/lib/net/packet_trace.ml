@@ -1,0 +1,51 @@
+module Time = Engine.Time
+
+type event = {
+  at : Time.t;
+  node : Addr.node_id;
+  in_iface : int option;
+  packet_id : int;
+  src : Addr.node_id;
+  dst : Addr.dest;
+  size : int;
+  kind : string;
+}
+
+type t = { ring : event Engine.Trace.t }
+
+let kind_of (pkt : Packet.t) =
+  match pkt.payload with
+  | Packet.Data { session; layer; _ } -> Printf.sprintf "data s%d/l%d" session layer
+  | _ -> "ctrl"
+
+let attach ~network ?(capacity = 4096) ?(filter = fun _ -> true) () =
+  let t = { ring = Engine.Trace.create ~capacity } in
+  let sim = Network.sim network in
+  Network.add_transit_observer network (fun pkt ~at ~in_iface ->
+      if filter pkt then
+        Engine.Trace.record t.ring (Engine.Sim.now sim)
+          {
+            at = Engine.Sim.now sim;
+            node = at;
+            in_iface;
+            packet_id = pkt.Packet.id;
+            src = pkt.Packet.src;
+            dst = pkt.Packet.dst;
+            size = pkt.Packet.size;
+            kind = kind_of pkt;
+          });
+  t
+
+let events t = List.map snd (Engine.Trace.to_list t.ring)
+
+let count t = Engine.Trace.total t.ring
+
+let sightings t ~packet_id =
+  List.filter (fun e -> e.packet_id = packet_id) (events t)
+
+let pp_event ppf e =
+  Format.fprintf ppf "%a n%d%s pkt=%d %a->%a %dB %s" Time.pp e.at e.node
+    (match e.in_iface with
+    | None -> " (origin)"
+    | Some i -> Printf.sprintf " if%d" i)
+    e.packet_id Addr.pp_node e.src Addr.pp_dest e.dst e.size e.kind

@@ -1,0 +1,38 @@
+(** Packet tracing (a tcpdump for the simulator).
+
+    Hooks a {!Network} transit observer and keeps a bounded ring of
+    per-node packet sightings, with an optional filter. Purely a
+    debugging and test aid — nothing in the protocol stack reads it. *)
+
+type event = {
+  at : Engine.Time.t;
+  node : Addr.node_id;  (** where the packet was seen *)
+  in_iface : int option;  (** [None] = originated at [node] *)
+  packet_id : int;
+  src : Addr.node_id;
+  dst : Addr.dest;
+  size : int;
+  kind : string;  (** "data s0/l2", "ctrl", … from {!Packet.pp}'s vocabulary *)
+}
+
+type t
+
+val attach :
+  network:Network.t ->
+  ?capacity:int ->
+  ?filter:(Packet.t -> bool) ->
+  unit ->
+  t
+(** Starts tracing every packet sighting that passes [filter] (default:
+    everything) into a ring of [capacity] (default 4096) events. *)
+
+val events : t -> event list
+(** Oldest first. *)
+
+val count : t -> int
+(** Events ever recorded (including evicted ones). *)
+
+val sightings : t -> packet_id:int -> event list
+(** The recorded path of one packet, oldest first. *)
+
+val pp_event : Format.formatter -> event -> unit

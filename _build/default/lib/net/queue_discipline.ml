@@ -1,0 +1,159 @@
+type spec =
+  | Drop_tail of { limit : int }
+  | Red of {
+      limit : int;
+      min_th : float;
+      max_th : float;
+      max_p : float;
+      wq : float;
+    }
+  | Priority of { limit : int }
+
+let default_red ~limit =
+  Red
+    {
+      limit;
+      min_th = 0.25 *. float_of_int limit;
+      max_th = 0.75 *. float_of_int limit;
+      max_p = 0.1;
+      wq = 0.002;
+    }
+
+let validate_spec = function
+  | Drop_tail { limit } | Priority { limit } ->
+      if limit <= 0 then Error "limit <= 0" else Ok ()
+  | Red { limit; min_th; max_th; max_p; wq } ->
+      if limit <= 0 then Error "limit <= 0"
+      else if not (0.0 <= min_th && min_th < max_th) then
+        Error "need 0 <= min_th < max_th"
+      else if not (0.0 < max_p && max_p <= 1.0) then
+        Error "max_p must be in (0,1]"
+      else if not (0.0 < wq && wq <= 1.0) then Error "wq must be in (0,1]"
+      else Ok ()
+
+type t = {
+  spec : spec;
+  rng : Engine.Prng.t;
+  (* Two-list FIFO deque: [front] is in service order, [back] reversed.
+     Priority eviction scans both lists; queues are at most ~100 packets
+     so the scan is cheap. *)
+  mutable front : Packet.t list;
+  mutable back : Packet.t list;
+  mutable len : int;
+  mutable drops : int;
+  mutable early_drops : int;
+  mutable avg : float;  (* RED's EWMA of the queue length *)
+}
+
+let create spec ~rng =
+  (match validate_spec spec with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Queue_discipline.create: " ^ msg));
+  { spec; rng; front = []; back = []; len = 0; drops = 0; early_drops = 0; avg = 0.0 }
+
+let spec t = t.spec
+
+let enqueue t pkt =
+  t.back <- pkt :: t.back;
+  t.len <- t.len + 1
+
+(* Media importance: the base layer matters most; anything that is not
+   media (reports, suggestions, probes) outranks all media. Smaller =
+   more important. *)
+let importance (pkt : Packet.t) =
+  match pkt.payload with Packet.Data { layer; _ } -> layer | _ -> -1
+
+let offer_priority t limit pkt =
+  if t.len < limit then begin
+    enqueue t pkt;
+    true
+  end
+  else begin
+    (* Find the queued packet with the largest importance value; evict it
+       if the arrival is strictly more important. *)
+    let worst =
+      List.fold_left
+        (fun acc p -> if importance p > importance acc then p else acc)
+        (List.fold_left
+           (fun acc p -> if importance p > importance acc then p else acc)
+           pkt t.front)
+        t.back
+    in
+    t.drops <- t.drops + 1;
+    if worst == pkt then false
+    else begin
+      let removed = ref false in
+      let drop_once p =
+        if (not !removed) && p == worst then begin
+          removed := true;
+          false
+        end
+        else true
+      in
+      t.front <- List.filter drop_once t.front;
+      t.back <- List.filter drop_once t.back;
+      t.len <- t.len - 1;
+      enqueue t pkt;
+      true
+    end
+  end
+
+let offer_red t ~limit ~min_th ~max_th ~max_p ~wq pkt =
+  t.avg <- ((1.0 -. wq) *. t.avg) +. (wq *. float_of_int t.len);
+  if t.len >= limit then begin
+    t.drops <- t.drops + 1;
+    false
+  end
+  else if t.avg >= max_th then begin
+    t.drops <- t.drops + 1;
+    t.early_drops <- t.early_drops + 1;
+    false
+  end
+  else if t.avg >= min_th then begin
+    let p = max_p *. (t.avg -. min_th) /. (max_th -. min_th) in
+    if Engine.Prng.bool t.rng ~p then begin
+      t.drops <- t.drops + 1;
+      t.early_drops <- t.early_drops + 1;
+      false
+    end
+    else begin
+      enqueue t pkt;
+      true
+    end
+  end
+  else begin
+    enqueue t pkt;
+    true
+  end
+
+let offer t pkt =
+  match t.spec with
+  | Drop_tail { limit } ->
+      if t.len >= limit then begin
+        t.drops <- t.drops + 1;
+        false
+      end
+      else begin
+        enqueue t pkt;
+        true
+      end
+  | Priority { limit } -> offer_priority t limit pkt
+  | Red { limit; min_th; max_th; max_p; wq } ->
+      offer_red t ~limit ~min_th ~max_th ~max_p ~wq pkt
+
+let poll t =
+  (match t.front with
+  | [] ->
+      t.front <- List.rev t.back;
+      t.back <- []
+  | _ :: _ -> ());
+  match t.front with
+  | [] -> None
+  | pkt :: rest ->
+      t.front <- rest;
+      t.len <- t.len - 1;
+      Some pkt
+
+let length t = t.len
+let drops t = t.drops
+let early_drops t = t.early_drops

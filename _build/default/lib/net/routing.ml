@@ -1,0 +1,86 @@
+module Time = Engine.Time
+
+type t = {
+  node_count : int;
+  (* next.(dst).(n) = neighbor of n on the shortest path toward dst *)
+  next : Addr.node_id array array;
+  dist : Time.span array array;
+}
+
+(* One Dijkstra rooted at [dst] gives, for every node, its next hop toward
+   [dst]: the neighbor through which the node was finalized. *)
+let dijkstra ~node_count ~adj dst =
+  let dist = Array.make node_count max_int in
+  let next = Array.make node_count (-1) in
+  let heap =
+    Engine.Heap.create ~cmp:(fun (da, na) (db, nb) ->
+        let c = Int.compare da db in
+        if c <> 0 then c else Int.compare na nb)
+  in
+  dist.(dst) <- 0;
+  Engine.Heap.push heap (0, dst);
+  let rec loop () =
+    match Engine.Heap.pop heap with
+    | None -> ()
+    | Some (d, n) ->
+        if d = dist.(n) then
+          List.iter
+            (fun (m, w) ->
+              let nd = d + w in
+              if
+                nd < dist.(m)
+                || (nd = dist.(m) && next.(m) > n && m <> dst)
+              then begin
+                dist.(m) <- nd;
+                next.(m) <- n;
+                Engine.Heap.push heap (nd, m)
+              end)
+            adj.(n);
+        loop ()
+  in
+  loop ();
+  (next, dist)
+
+let compute topo =
+  if not (Topology.is_connected topo) then
+    invalid_arg "Routing.compute: topology is not connected";
+  let node_count = Topology.node_count topo in
+  let adj = Array.make node_count [] in
+  List.iter
+    (fun (l : Topology.link_spec) ->
+      adj.(l.a) <- (l.b, l.delay) :: adj.(l.a);
+      adj.(l.b) <- (l.a, l.delay) :: adj.(l.b))
+    (Topology.links topo);
+  (* Deterministic relaxation order. *)
+  Array.iteri
+    (fun i ns -> adj.(i) <- List.sort compare ns)
+    adj;
+  let next = Array.make node_count [||] in
+  let dist = Array.make node_count [||] in
+  for d = 0 to node_count - 1 do
+    let n, ds = dijkstra ~node_count ~adj d in
+    next.(d) <- n;
+    dist.(d) <- ds
+  done;
+  { node_count; next; dist }
+
+let check t from dst =
+  if from < 0 || from >= t.node_count || dst < 0 || dst >= t.node_count then
+    invalid_arg "Routing: unknown node"
+
+let next_hop t ~from ~dst =
+  check t from dst;
+  if from = dst then invalid_arg "Routing.next_hop: from = dst";
+  t.next.(dst).(from)
+
+let path t ~from ~dst =
+  check t from dst;
+  let rec walk n acc =
+    if n = dst then List.rev (dst :: acc)
+    else walk t.next.(dst).(n) (n :: acc)
+  in
+  walk from []
+
+let distance t ~from ~dst =
+  check t from dst;
+  t.dist.(dst).(from)

@@ -1,0 +1,22 @@
+(** Unicast shortest-path routing.
+
+    Runs Dijkstra (weight = propagation delay, ties broken by node id so
+    tables are deterministic) over the topology and produces, for every
+    node, the next-hop neighbor toward every destination. Multicast
+    reverse-path forwarding reuses the same tables: the RPF interface
+    toward a source is the unicast next hop toward it. *)
+
+type t
+
+val compute : Topology.t -> t
+(** @raise Invalid_argument if the topology is not connected. *)
+
+val next_hop : t -> from:Addr.node_id -> dst:Addr.node_id -> Addr.node_id
+(** The neighbor to forward to. [from = dst] is an error.
+    @raise Invalid_argument on [from = dst]. *)
+
+val path : t -> from:Addr.node_id -> dst:Addr.node_id -> Addr.node_id list
+(** The full node sequence [from; ...; dst]. *)
+
+val distance : t -> from:Addr.node_id -> dst:Addr.node_id -> Engine.Time.span
+(** Sum of link delays along the routed path. *)

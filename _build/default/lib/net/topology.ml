@@ -1,0 +1,75 @@
+module Time = Engine.Time
+
+type link_spec = {
+  a : Addr.node_id;
+  b : Addr.node_id;
+  bandwidth_bps : float;
+  delay : Time.span;
+  discipline : Queue_discipline.spec;
+}
+
+type t = {
+  mutable node_count : int;
+  mutable links_rev : link_spec list;
+}
+
+let create () = { node_count = 0; links_rev = [] }
+
+let add_node t =
+  let id = t.node_count in
+  t.node_count <- t.node_count + 1;
+  id
+
+let add_nodes t k = List.init k (fun _ -> add_node t)
+
+let default_delay = Time.span_of_ms 200
+let default_queue_limit = 50
+
+let same_pair l ~a ~b = (l.a = a && l.b = b) || (l.a = b && l.b = a)
+
+let add_duplex t ~a ~b ~bandwidth_bps ?(delay = default_delay)
+    ?(queue_limit = default_queue_limit) ?discipline () =
+  if a < 0 || a >= t.node_count || b < 0 || b >= t.node_count then
+    invalid_arg "Topology.add_duplex: unknown node";
+  if a = b then invalid_arg "Topology.add_duplex: self-loop";
+  if bandwidth_bps <= 0.0 then invalid_arg "Topology.add_duplex: bandwidth <= 0";
+  if List.exists (same_pair ~a ~b) t.links_rev then
+    invalid_arg "Topology.add_duplex: duplicate link";
+  let discipline =
+    match discipline with
+    | Some d ->
+        (match Queue_discipline.validate_spec d with
+        | Ok () -> d
+        | Error msg -> invalid_arg ("Topology.add_duplex: " ^ msg))
+    | None -> Queue_discipline.Drop_tail { limit = queue_limit }
+  in
+  t.links_rev <- { a; b; bandwidth_bps; delay; discipline } :: t.links_rev
+
+let node_count t = t.node_count
+let links t = List.rev t.links_rev
+
+let neighbors t n =
+  let ns =
+    List.filter_map
+      (fun l ->
+        if l.a = n then Some l.b else if l.b = n then Some l.a else None)
+      t.links_rev
+  in
+  List.sort_uniq Int.compare ns
+
+let is_connected t =
+  if t.node_count = 0 then true
+  else begin
+    let seen = Array.make t.node_count false in
+    let rec visit n =
+      if not seen.(n) then begin
+        seen.(n) <- true;
+        List.iter visit (neighbors t n)
+      end
+    in
+    visit 0;
+    Array.for_all Fun.id seen
+  end
+
+let kbps x = x *. 1_000.0
+let mbps x = x *. 1_000_000.0

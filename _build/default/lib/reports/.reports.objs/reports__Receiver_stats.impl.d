@@ -1,0 +1,1 @@
+lib/reports/receiver_stats.ml: Hashtbl Option

@@ -1,0 +1,1 @@
+lib/reports/rtcp.ml: Engine Net Receiver_stats

@@ -1,0 +1,1 @@
+lib/reports/rtcp.mli: Engine Net Receiver_stats

@@ -1,0 +1,131 @@
+type layer_track = {
+  mutable active : bool;
+  mutable have_base : bool;  (* seen the first packet of this epoch *)
+  mutable highest : int;  (* highest sequence number seen this epoch *)
+  (* window accumulators *)
+  mutable window_anchor : int;  (* highest at the start of the window *)
+  mutable anchored : bool;  (* anchor is valid (a packet was seen) *)
+  mutable received : int;
+  mutable bytes : int;
+}
+
+type t = {
+  layers : (int * int, layer_track) Hashtbl.t;  (* (session, layer) *)
+  session_bytes : (int, int) Hashtbl.t;
+  lossy_streak : (int, int) Hashtbl.t;  (* consecutive lossy windows *)
+}
+
+let create () =
+  {
+    layers = Hashtbl.create 64;
+    session_bytes = Hashtbl.create 16;
+    lossy_streak = Hashtbl.create 16;
+  }
+
+let track t session layer =
+  match Hashtbl.find_opt t.layers (session, layer) with
+  | Some tr -> tr
+  | None ->
+      let tr =
+        {
+          active = false;
+          have_base = false;
+          highest = 0;
+          window_anchor = 0;
+          anchored = false;
+          received = 0;
+          bytes = 0;
+        }
+      in
+      Hashtbl.add t.layers (session, layer) tr;
+      tr
+
+let on_join_layer t ~session ~layer =
+  let tr = track t session layer in
+  tr.active <- true;
+  tr.have_base <- false;
+  tr.anchored <- false;
+  tr.received <- 0;
+  tr.bytes <- 0
+
+let on_leave_layer t ~session ~layer =
+  let tr = track t session layer in
+  tr.active <- false
+
+let on_data t ~session ~layer ~seq ~size =
+  let tr = track t session layer in
+  if tr.active then begin
+    if not tr.have_base then begin
+      tr.have_base <- true;
+      tr.highest <- seq;
+      (* The first packet of the epoch anchors the window one packet back,
+         so it counts as 1 expected / 1 received. *)
+      tr.window_anchor <- seq - 1;
+      tr.anchored <- true
+    end
+    else if seq > tr.highest then tr.highest <- seq;
+    tr.received <- tr.received + 1;
+    tr.bytes <- tr.bytes + size;
+    let b = Option.value ~default:0 (Hashtbl.find_opt t.session_bytes session) in
+    Hashtbl.replace t.session_bytes session (b + size)
+  end
+
+type window = {
+  expected : int;
+  received : int;
+  bytes : int;
+  loss_rate : float;
+  sustained : bool;
+}
+
+let layer_window tr =
+  if tr.active && tr.anchored then
+    let expected = max 0 (tr.highest - tr.window_anchor) in
+    (expected, min tr.received expected, tr.bytes)
+  else (0, 0, tr.bytes)
+
+let take_window t ~session =
+  let expected = ref 0 and received = ref 0 and bytes = ref 0 in
+  Hashtbl.iter
+    (fun (s, _) tr ->
+      if s = session then begin
+        let e, r, b = layer_window tr in
+        expected := !expected + e;
+        received := !received + r;
+        bytes := !bytes + b;
+        (* roll the window *)
+        tr.window_anchor <- tr.highest;
+        tr.received <- 0;
+        tr.bytes <- 0
+      end)
+    t.layers;
+  let loss_rate =
+    if !expected = 0 then 0.0
+    else float_of_int (!expected - !received) /. float_of_int !expected
+  in
+  (* Loss spanning consecutive windows is congestion; a single lossy
+     window among clean ones is a burst (the distinction the paper's
+     Section V asks for). *)
+  let streak =
+    if loss_rate > 0.0 then
+      1 + Option.value ~default:0 (Hashtbl.find_opt t.lossy_streak session)
+    else 0
+  in
+  Hashtbl.replace t.lossy_streak session streak;
+  {
+    expected = !expected;
+    received = !received;
+    bytes = !bytes;
+    loss_rate;
+    sustained = streak >= 2;
+  }
+
+let layer_loss t ~session ~layer =
+  match Hashtbl.find_opt t.layers (session, layer) with
+  | None -> 0.0
+  | Some tr ->
+      let e, r, _ = layer_window tr in
+      if e = 0 then 0.0 else float_of_int (e - r) /. float_of_int e
+
+let total_bytes t ~session =
+  Option.value ~default:0 (Hashtbl.find_opt t.session_bytes session)

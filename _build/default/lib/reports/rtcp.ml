@@ -1,0 +1,30 @@
+type Net.Packet.payload +=
+  | Report of {
+      receiver : Net.Addr.node_id;
+      session : int;
+      level : int;
+      loss_rate : float;
+      bytes : int;
+      window : Engine.Time.span;
+      settling : bool;
+      sustained : bool;
+    }
+
+let report_size = 100
+
+let send_report ~network ~receiver ~controller ~session ~level ~window
+    ?(settling = false) (w : Receiver_stats.window) =
+  Net.Network.originate network ~src:receiver
+    ~dst:(Net.Addr.Unicast controller) ~size:report_size
+    ~payload:
+      (Report
+         {
+           receiver;
+           session;
+           level;
+           loss_rate = w.loss_rate;
+           bytes = w.bytes;
+           window;
+           settling;
+           sustained = w.sustained;
+         })

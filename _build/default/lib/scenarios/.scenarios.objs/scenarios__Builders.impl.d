@@ -1,0 +1,1 @@
+lib/scenarios/builders.ml: Engine Float Fun List Net

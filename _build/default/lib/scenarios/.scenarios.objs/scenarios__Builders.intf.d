@@ -1,0 +1,1 @@
+lib/scenarios/builders.mli: Net

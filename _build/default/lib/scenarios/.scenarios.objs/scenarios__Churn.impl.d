@@ -1,0 +1,1 @@
+lib/scenarios/churn.ml: Baseline Builders Discovery Engine Experiment Hashtbl List Metrics Multicast Net Option Toposense Traffic

@@ -1,0 +1,1 @@
+lib/scenarios/churn.mli: Engine Experiment Net

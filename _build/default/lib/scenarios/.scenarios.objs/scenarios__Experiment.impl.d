@@ -1,0 +1,1 @@
+lib/scenarios/experiment.ml: Baseline Builders Discovery Engine Format Hashtbl List Multicast Net Option Printf Toposense Traffic

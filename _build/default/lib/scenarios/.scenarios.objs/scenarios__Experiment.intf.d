@@ -1,0 +1,1 @@
+lib/scenarios/experiment.mli: Builders Engine Format Net Toposense

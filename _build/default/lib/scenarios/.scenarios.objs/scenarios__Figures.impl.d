@@ -1,0 +1,1 @@
+lib/scenarios/figures.ml: Builders Engine Experiment Format Fun List Metrics Option Toposense

@@ -1,0 +1,1 @@
+lib/scenarios/figures.mli: Engine Experiment Format Toposense

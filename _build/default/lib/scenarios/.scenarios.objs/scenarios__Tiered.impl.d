@@ -1,0 +1,1 @@
+lib/scenarios/tiered.ml: Array Baseline Builders Discovery Engine Experiment List Metrics Multicast Net Printf Toposense Traffic

@@ -1,0 +1,1 @@
+lib/scenarios/tiered.mli: Builders Engine Experiment Net Toposense

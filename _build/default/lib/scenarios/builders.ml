@@ -1,0 +1,107 @@
+module Topology = Net.Topology
+
+type spec = {
+  topology : Net.Topology.t;
+  controller_node : Net.Addr.node_id;
+  sessions : (Net.Addr.node_id * Net.Addr.node_id list) list;
+}
+
+let fast_bps = Topology.mbps 10.0
+
+(* Queues are sized near each link's bandwidth-delay product (clamped to
+   [10, 100] packets) rather than the ns default of 50 everywhere: at
+   100 Kbps a 50-packet queue adds 4 s of drain delay, smearing every
+   loss episode across several TopoSense intervals, while at 8 Mbps a
+   10-packet queue drops on every burst coincidence long before the link
+   is actually saturated. *)
+let queue_limit_for ~bandwidth_bps =
+  let delay_s = Engine.Time.span_to_sec_f Topology.default_delay in
+  let bdp_packets = bandwidth_bps *. delay_s /. (8.0 *. 1000.0) in
+  max 10 (min 100 (int_of_float (Float.round bdp_packets)))
+
+let default_discipline ~bandwidth_bps =
+  Net.Queue_discipline.Drop_tail { limit = queue_limit_for ~bandwidth_bps }
+
+let discipline_ref = ref default_discipline
+
+let with_discipline f body =
+  let saved = !discipline_ref in
+  discipline_ref := f;
+  Fun.protect ~finally:(fun () -> discipline_ref := saved) body
+
+let duplex topo ~a ~b ~bandwidth_bps =
+  Topology.add_duplex topo ~a ~b ~bandwidth_bps
+    ~discipline:(!discipline_ref ~bandwidth_bps)
+    ()
+
+let topology_a ~receivers_per_set =
+  if receivers_per_set < 1 then invalid_arg "topology_a: receivers_per_set < 1";
+  let topo = Topology.create () in
+  let source = Topology.add_node topo in
+  let core = Topology.add_node topo in
+  let branch_fast = Topology.add_node topo in
+  let branch_slow = Topology.add_node topo in
+  duplex topo ~a:source ~b:core ~bandwidth_bps:fast_bps;
+  (* 500 Kbps: ideally 4 layers (480 Kbps); 100 Kbps: ideally 2 (96 Kbps). *)
+  duplex topo ~a:core ~b:branch_fast ~bandwidth_bps:(Topology.kbps 500.0);
+  duplex topo ~a:core ~b:branch_slow ~bandwidth_bps:(Topology.kbps 100.0);
+  let attach branch =
+    List.map
+      (fun r ->
+        duplex topo ~a:branch ~b:r ~bandwidth_bps:fast_bps;
+        r)
+      (Topology.add_nodes topo receivers_per_set)
+  in
+  let fast = attach branch_fast in
+  let slow = attach branch_slow in
+  {
+    topology = topo;
+    controller_node = source;
+    sessions = [ (source, fast @ slow) ];
+  }
+
+let topology_b ~session_count =
+  if session_count < 1 then invalid_arg "topology_b: session_count < 1";
+  let topo = Topology.create () in
+  let left = Topology.add_node topo in
+  let right = Topology.add_node topo in
+  (* Shared link sized so each session can ideally receive 4 layers. *)
+  duplex topo ~a:left ~b:right
+    ~bandwidth_bps:(Topology.kbps (500.0 *. float_of_int session_count));
+  let sessions =
+    List.map
+      (fun _ ->
+        let source = Topology.add_node topo in
+        let receiver = Topology.add_node topo in
+        duplex topo ~a:source ~b:left ~bandwidth_bps:fast_bps;
+        duplex topo ~a:right ~b:receiver ~bandwidth_bps:fast_bps;
+        (source, [ receiver ]))
+      (List.init session_count Fun.id)
+  in
+  let controller_node =
+    match sessions with (source, _) :: _ -> source | [] -> assert false
+  in
+  { topology = topo; controller_node; sessions }
+
+let figure1 () =
+  let topo = Topology.create () in
+  let source = Topology.add_node topo in
+  let n1 = Topology.add_node topo in
+  let n2 = Topology.add_node topo in
+  let r3 = Topology.add_node topo in
+  let r4 = Topology.add_node topo in
+  let n5 = Topology.add_node topo in
+  let r6 = Topology.add_node topo in
+  let r7 = Topology.add_node topo in
+  duplex topo ~a:source ~b:n1 ~bandwidth_bps:fast_bps;
+  duplex topo ~a:n1 ~b:n2 ~bandwidth_bps:(Topology.kbps 150.0);
+  duplex topo ~a:n2 ~b:r3 ~bandwidth_bps:(Topology.kbps 60.0);
+  duplex topo ~a:n2 ~b:r4 ~bandwidth_bps:(Topology.kbps 150.0);
+  duplex topo ~a:n1 ~b:n5 ~bandwidth_bps:fast_bps;
+  duplex topo ~a:n5 ~b:r6 ~bandwidth_bps:fast_bps;
+  duplex topo ~a:n5 ~b:r7 ~bandwidth_bps:fast_bps;
+  {
+    topology = topo;
+    controller_node = source;
+    sessions = [ (source, [ r3; r4; r6; r7 ]) ];
+  }

@@ -1,0 +1,46 @@
+(** The paper's simulation topologies (Fig. 5).
+
+    {b Topology A} — heterogeneity within one session: a source behind a
+    fast core, two constrained branches (500 Kbps and 100 Kbps) each
+    fanning out to [receivers_per_set] receivers over fast last hops.
+    Optimal subscriptions: 4 layers (480 Kbps) on the fast branch, 2
+    layers (96 Kbps) on the slow one. Three links from source to any
+    receiver at 200 ms each gives the paper's 600 ms maximum path
+    latency.
+
+    {b Topology B} — inter-session fairness: [session_count] independent
+    sessions, each with one receiver, all crossing one shared link sized
+    [session_count] × 500 Kbps so that every session can optimally carry
+    4 layers. *)
+
+type spec = {
+  topology : Net.Topology.t;
+  controller_node : Net.Addr.node_id;
+      (** a source node, as in the paper's runs *)
+  sessions : (Net.Addr.node_id * Net.Addr.node_id list) list;
+      (** (source, receivers) per session *)
+}
+
+val topology_a : receivers_per_set:int -> spec
+(** @raise Invalid_argument if [receivers_per_set < 1]. *)
+
+val topology_b : session_count:int -> spec
+(** @raise Invalid_argument if [session_count < 1]. *)
+
+val figure1 : unit -> spec
+(** The paper's Fig. 1 illustration: source, a 64 Kbps branch serving two
+    receivers (nodes 3 and 4 in the paper) and an unconstrained branch
+    (node 5's subtree). Used by the quickstart example. *)
+
+val fast_bps : float
+(** Core/last-hop bandwidth used by the builders (10 Mbps). *)
+
+val default_discipline : bandwidth_bps:float -> Net.Queue_discipline.spec
+(** Drop-tail sized near the link's bandwidth-delay product, clamped to
+    [10, 100] packets. *)
+
+val with_discipline :
+  (bandwidth_bps:float -> Net.Queue_discipline.spec) -> (unit -> 'a) -> 'a
+(** Build topologies inside the callback with a different per-link
+    discipline (used by the queue-discipline ablation bench):
+    [with_discipline f (fun () -> topology_a ~receivers_per_set:2)]. *)

@@ -1,0 +1,217 @@
+module Sim = Engine.Sim
+module Time = Engine.Time
+module Network = Net.Network
+module Router = Multicast.Router
+module Session = Traffic.Session
+module Layering = Traffic.Layering
+
+type traffic =
+  | Cbr
+  | Vbr of float
+
+type scheme =
+  | Toposense
+  | Rlm
+  | Oracle
+
+type receiver_outcome = {
+  session : int;
+  node : Net.Addr.node_id;
+  optimal : int;
+  changes : (Time.t * int) list;
+  final_level : int;
+  last_loss : float;
+}
+
+type sample = { at : Time.t; level : int; loss : float }
+
+type outcome = {
+  receivers : receiver_outcome list;
+  series : ((int * Net.Addr.node_id) * sample list) list;
+  reports_received : int;
+  suggestions_sent : int;
+  skipped_no_snapshot : int;
+  events_dispatched : int;
+  duration : Time.t;
+}
+
+let source_kind traffic =
+  match traffic with
+  | Cbr -> Traffic.Source.Cbr
+  | Vbr p -> Traffic.Source.Vbr { peak_to_mean = p }
+
+(* A uniform view over the three schemes' per-receiver agents. *)
+type agent =
+  | Topo_agent of Toposense.Receiver_agent.t
+  | Rlm_agent of Baseline.Rlm.t
+  | Oracle_agent of { changes : (Time.t * int) list; level : int }
+
+let run ~spec ~traffic ~scheme ?(params = Toposense.Params.default)
+    ?(seed = 42L) ?(duration = Time.of_sec 1200) ?sample_period
+    ?(leave_latency = Time.span_of_sec 1) ?(expedited_leave = false)
+    ?(probe_discovery = false) () =
+  (match Toposense.Params.validate params with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Experiment.run: " ^ msg));
+  let sim = Sim.create ~seed () in
+  let network = Network.create ~sim spec.Builders.topology in
+  let router = Router.create ~network ~leave_latency ~expedited_leave () in
+  let discovery = Discovery.Service.create ~sim ~router () in
+  let layering = Layering.paper_default in
+  let routing = Network.routing network in
+  let sessions =
+    List.mapi
+      (fun id (source, _) -> Session.create ~router ~source ~layering ~id)
+      spec.Builders.sessions
+  in
+  List.iter (Discovery.Service.register_session discovery) sessions;
+  (* Sources: all layers, always on. *)
+  let _sources =
+    List.map
+      (fun session ->
+        Traffic.Source.start ~network ~session ~kind:(source_kind traffic)
+          ~rng:
+            (Sim.rng sim
+               ~label:(Printf.sprintf "source-%d" (Session.id session)))
+          ())
+      sessions
+  in
+  let optimal ~source ~receiver =
+    Baseline.Static_oracle.optimal_level ~topology:spec.Builders.topology
+      ~routing ~layering ~sessions:spec.Builders.sessions ~source ~receiver
+  in
+  (* Control plane. *)
+  let controller =
+    match scheme with
+    | Toposense ->
+        let probe =
+          if probe_discovery then
+            Some
+              (Toposense.Probe_discovery.create ~network
+                 ~node:spec.Builders.controller_node ~period:params.interval ())
+          else None
+        in
+        let c =
+          Toposense.Controller.create ~network ~discovery ~params
+            ~node:spec.Builders.controller_node ?probe ()
+        in
+        List.iter (Toposense.Controller.add_session c) sessions;
+        Toposense.Controller.start c;
+        Some c
+    | Rlm | Oracle -> None
+  in
+  (* One agent per (session, receiver). *)
+  let agents =
+    List.concat
+      (List.map2
+         (fun session (source, receivers) ->
+           List.map
+             (fun node ->
+               let agent =
+                 match scheme with
+                 | Toposense ->
+                     let a =
+                       Toposense.Receiver_agent.create ~network ~router ~params
+                         ~node ~controller:spec.Builders.controller_node ()
+                     in
+                     Toposense.Receiver_agent.subscribe a ~session
+                       ~initial_level:1;
+                     Toposense.Receiver_agent.start a;
+                     Topo_agent a
+                 | Rlm ->
+                     let a =
+                       Baseline.Rlm.create ~network ~router ~node ~session ()
+                     in
+                     Baseline.Rlm.start a;
+                     Rlm_agent a
+                 | Oracle ->
+                     let level = optimal ~source ~receiver:node in
+                     Session.set_subscription_level session ~router ~node
+                       ~level;
+                     Oracle_agent { changes = [ (Time.zero, level) ]; level }
+               in
+               (session, source, node, agent))
+             receivers)
+         sessions spec.Builders.sessions)
+  in
+  (* Optional per-second sampling for the Fig. 9 style series. *)
+  let series_acc = Hashtbl.create 16 in
+  (match sample_period with
+  | None -> ()
+  | Some period ->
+      List.iter
+        (fun (session, _source, node, agent) ->
+          let id = Session.id session in
+          Hashtbl.replace series_acc (id, node) [];
+          let probe () =
+            let level, loss =
+              match agent with
+              | Topo_agent a ->
+                  ( Toposense.Receiver_agent.level a ~session:id,
+                    Toposense.Receiver_agent.last_window_loss a ~session:id )
+              | Rlm_agent a ->
+                  (Baseline.Rlm.level a, Baseline.Rlm.last_window_loss a)
+              | Oracle_agent o -> (o.level, 0.0)
+            in
+            let prev = Hashtbl.find series_acc (id, node) in
+            Hashtbl.replace series_acc (id, node)
+              ({ at = Sim.now sim; level; loss } :: prev)
+          in
+          ignore (Sim.every sim ~period (fun () -> probe ())))
+        agents);
+  Sim.run_until sim duration;
+  let receivers =
+    List.map
+      (fun (session, source, node, agent) ->
+        let id = Session.id session in
+        let changes, final_level, last_loss =
+          match agent with
+          | Topo_agent a ->
+              ( Toposense.Receiver_agent.changes a ~session:id,
+                Toposense.Receiver_agent.level a ~session:id,
+                Toposense.Receiver_agent.last_window_loss a ~session:id )
+          | Rlm_agent a ->
+              (Baseline.Rlm.changes a, Baseline.Rlm.level a,
+               Baseline.Rlm.last_window_loss a)
+          | Oracle_agent o -> (o.changes, o.level, 0.0)
+        in
+        {
+          session = id;
+          node;
+          optimal = optimal ~source ~receiver:node;
+          changes;
+          final_level;
+          last_loss;
+        })
+      agents
+  in
+  let series =
+    Hashtbl.fold
+      (fun key samples acc -> (key, List.rev samples) :: acc)
+      series_acc []
+    |> List.sort compare
+  in
+  {
+    receivers;
+    series;
+    reports_received =
+      Option.fold ~none:0 ~some:Toposense.Controller.reports_received
+        controller;
+    suggestions_sent =
+      Option.fold ~none:0 ~some:Toposense.Controller.suggestions_sent
+        controller;
+    skipped_no_snapshot =
+      Option.fold ~none:0 ~some:Toposense.Controller.skipped_no_snapshot
+        controller;
+    events_dispatched = Sim.events_dispatched sim;
+    duration;
+  }
+
+let pp_traffic ppf = function
+  | Cbr -> Format.pp_print_string ppf "CBR"
+  | Vbr p -> Format.fprintf ppf "VBR(P=%g)" p
+
+let pp_scheme ppf = function
+  | Toposense -> Format.pp_print_string ppf "TopoSense"
+  | Rlm -> Format.pp_print_string ppf "RLM"
+  | Oracle -> Format.pp_print_string ppf "Oracle"

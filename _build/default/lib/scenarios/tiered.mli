@@ -1,0 +1,81 @@
+(** The paper's tiered Internet model (Fig. 2) with per-domain control
+    (Fig. 3).
+
+    Generates a hierarchy — a national core, regional ISPs, local ISPs,
+    and institutional last hops — with bandwidth falling toward the edge
+    so the bottlenecks sit in the last mile, exactly the regime TopoSense
+    targets. Each regional subtree is one administrative domain with its
+    own controller agent stationed at the regional node; controllers are
+    unaware of each other (subtree independence).
+
+    Institution (receiver) last-hop bandwidths are drawn from a small set
+    of realistic capacities, giving every receiver its own optimum. *)
+
+type config = {
+  regions : int;
+  locals_per_region : int;
+  institutions_per_local : int;
+  sessions : int;
+      (** concurrent layered sessions; every institution subscribes to
+          all of them, so regional and local links carry competing
+          sessions and the stage-4 fair share is exercised across
+          domains *)
+  backbone_bps : float;
+  regional_bps : float;
+  local_bps : float;
+  institution_bps_choices : float list;
+      (** last-hop capacities, drawn uniformly per institution *)
+}
+
+val default_config : config
+(** 3 regions x 2 locals x 3 institutions (18 receivers), 1 session;
+    100 Mbps core, 20 Mbps regional, 3 Mbps local; last hops drawn from
+    {64, 150, 300, 600, 1200} Kbps. *)
+
+type world = {
+  spec : Builders.spec;
+      (** one session per configured source, all rooted at core stubs,
+          every institution a receiver of every session *)
+  domains : (Net.Addr.node_id * Net.Addr.node_id list) list;
+      (** (controller node, domain members) — one per region; the
+          controller node is the regional ISP node itself *)
+}
+
+val generate : ?config:config -> seed:int64 -> unit -> world
+(** Deterministic for a given seed. *)
+
+type control =
+  | Global  (** one controller for the whole tree, at the source *)
+  | Per_domain  (** one controller per regional domain (the paper's model) *)
+
+type receiver_outcome = {
+  session : int;
+  node : Net.Addr.node_id;
+  domain : int;  (** index into [world.domains]; -1 when outside any *)
+  optimal : int;
+  final_level : int;
+  deviation : float;  (** relative deviation over the whole run *)
+  changes : int;
+}
+
+type outcome = {
+  receivers : receiver_outcome list;
+  mean_deviation : float;
+  controllers : int;
+  suggestions_sent : int;
+  events_dispatched : int;
+}
+
+val run :
+  world:world ->
+  control:control ->
+  ?traffic:Experiment.traffic ->
+  ?params:Toposense.Params.t ->
+  ?duration:Engine.Time.t ->
+  ?seed:int64 ->
+  unit ->
+  outcome
+(** Full stack on the generated world: one layered session from the
+    source to every institution, controllers per [control], receiver
+    agents everywhere. Defaults: VBR P=3, default params, 600 s,
+    seed 42. *)

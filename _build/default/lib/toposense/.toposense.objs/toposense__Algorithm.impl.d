@@ -1,0 +1,1 @@
+lib/toposense/algorithm.ml: Backoff Bottleneck Capacity Congestion Engine Fair_share Hashtbl List Net Option Params Subscription Traffic Tree

@@ -1,0 +1,1 @@
+lib/toposense/algorithm.mli: Bottleneck Congestion Engine Net Params Traffic Tree

@@ -1,0 +1,1 @@
+lib/toposense/backoff.ml: Engine Hashtbl List Net Params Tree

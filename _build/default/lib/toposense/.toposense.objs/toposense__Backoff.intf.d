@@ -1,0 +1,1 @@
+lib/toposense/backoff.mli: Engine Net Params Tree

@@ -1,0 +1,1 @@
+lib/toposense/billing.ml: Engine Hashtbl Int List Net

@@ -1,0 +1,1 @@
+lib/toposense/billing.mli: Engine Net

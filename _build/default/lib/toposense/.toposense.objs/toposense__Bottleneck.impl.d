@@ -1,0 +1,1 @@
+lib/toposense/bottleneck.ml: Float Hashtbl List Net Tree

@@ -1,0 +1,1 @@
+lib/toposense/bottleneck.mli: Hashtbl Net Tree

@@ -1,0 +1,1 @@
+lib/toposense/capacity.ml: Array Float Hashtbl List Net Params

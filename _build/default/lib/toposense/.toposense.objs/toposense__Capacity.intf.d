@@ -1,0 +1,1 @@
+lib/toposense/capacity.mli: Net Params

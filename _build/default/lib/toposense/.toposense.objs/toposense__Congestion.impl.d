@@ -1,0 +1,1 @@
+lib/toposense/congestion.ml: Float Hashtbl List Params Tree

@@ -1,0 +1,1 @@
+lib/toposense/congestion.mli: Hashtbl Net Params Tree

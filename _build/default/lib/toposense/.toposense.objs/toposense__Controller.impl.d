@@ -1,0 +1,1 @@
+lib/toposense/controller.ml: Algorithm Billing Congestion Discovery Engine Format Hashtbl List Net Option Params Probe_discovery Reports Sys Traffic Tree

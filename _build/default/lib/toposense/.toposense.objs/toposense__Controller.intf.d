@@ -1,0 +1,1 @@
+lib/toposense/controller.mli: Algorithm Billing Discovery Net Params Probe_discovery Traffic

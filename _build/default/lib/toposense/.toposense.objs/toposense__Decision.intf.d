@@ -1,0 +1,1 @@
+lib/toposense/decision.mli: Format

@@ -1,0 +1,1 @@
+lib/toposense/fair_share.ml: Float Hashtbl List Net Option Traffic Tree

@@ -1,0 +1,1 @@
+lib/toposense/fair_share.mli: Net Traffic Tree

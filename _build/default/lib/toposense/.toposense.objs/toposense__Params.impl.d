@@ -1,0 +1,1 @@
+lib/toposense/params.ml: Engine Format

@@ -1,0 +1,1 @@
+lib/toposense/params.mli: Engine

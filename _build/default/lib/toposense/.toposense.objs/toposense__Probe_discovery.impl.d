@@ -1,0 +1,1 @@
+lib/toposense/probe_discovery.ml: Discovery Engine Fun Hashtbl Int List Net Option Reports

@@ -1,0 +1,1 @@
+lib/toposense/probe_discovery.mli: Discovery Engine Net

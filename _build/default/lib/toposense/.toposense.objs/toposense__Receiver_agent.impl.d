@@ -1,0 +1,1 @@
+lib/toposense/receiver_agent.ml: Controller Engine Hashtbl List Multicast Net Params Printf Probe_discovery Reports Traffic

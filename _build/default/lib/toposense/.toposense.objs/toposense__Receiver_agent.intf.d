@@ -1,0 +1,1 @@
+lib/toposense/receiver_agent.mli: Engine Multicast Net Params Traffic

@@ -1,0 +1,1 @@
+lib/toposense/subscription.ml: Backoff Congestion Decision Engine Float Hashtbl List Net Option Params Traffic Tree

@@ -1,0 +1,1 @@
+lib/toposense/subscription.mli: Backoff Congestion Engine Hashtbl Net Params Traffic Tree

@@ -1,0 +1,1 @@
+lib/toposense/tree.ml: Discovery Hashtbl List Net Option

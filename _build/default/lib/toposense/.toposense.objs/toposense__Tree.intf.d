@@ -1,0 +1,1 @@
+lib/toposense/tree.mli: Discovery Net

@@ -1,0 +1,30 @@
+module Time = Engine.Time
+
+type t = {
+  params : Params.t;
+  rng : Engine.Prng.t;
+  deadlines : (int * Net.Addr.node_id * int, Time.t) Hashtbl.t;
+}
+
+let create ~params ~rng = { params; rng; deadlines = Hashtbl.create 64 }
+
+let arm t ~session ~node ~layer ~now =
+  let span =
+    Engine.Prng.int t.rng
+      ~bound:(t.params.backoff_max - t.params.backoff_min + 1)
+    + t.params.backoff_min
+  in
+  Hashtbl.replace t.deadlines (session, node, layer) (Time.add now span)
+
+let active t ~session ~node ~layer ~now =
+  match Hashtbl.find_opt t.deadlines (session, node, layer) with
+  | None -> false
+  | Some deadline -> Time.(now < deadline)
+
+let blocked_on_path t ~session ~tree ~leaf ~layer ~now =
+  active t ~session ~node:leaf ~layer ~now
+  || List.exists
+       (fun node -> active t ~session ~node ~layer ~now)
+       (Tree.ancestors tree leaf)
+
+let clear t = Hashtbl.reset t.deadlines

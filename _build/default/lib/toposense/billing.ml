@@ -1,0 +1,64 @@
+type usage = {
+  mutable bytes : int;
+  mutable layer_seconds : float;
+}
+
+type t = { table : (int * Net.Addr.node_id, usage) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 32 }
+
+let usage t key =
+  match Hashtbl.find_opt t.table key with
+  | Some u -> u
+  | None ->
+      let u = { bytes = 0; layer_seconds = 0.0 } in
+      Hashtbl.add t.table key u;
+      u
+
+let record t ~session ~receiver ~bytes ~level ~window =
+  if bytes < 0 || level < 0 then invalid_arg "Billing.record: negative usage";
+  let u = usage t (session, receiver) in
+  u.bytes <- u.bytes + bytes;
+  u.layer_seconds <-
+    u.layer_seconds
+    +. (float_of_int level *. Engine.Time.span_to_sec_f window)
+
+let bytes t ~session ~receiver =
+  match Hashtbl.find_opt t.table (session, receiver) with
+  | Some u -> u.bytes
+  | None -> 0
+
+let layer_seconds t ~session ~receiver =
+  match Hashtbl.find_opt t.table (session, receiver) with
+  | Some u -> u.layer_seconds
+  | None -> 0.0
+
+let receivers t ~session =
+  Hashtbl.fold
+    (fun (s, r) _ acc -> if s = session then r :: acc else acc)
+    t.table []
+  |> List.sort_uniq Int.compare
+
+type invoice_line = {
+  receiver : Net.Addr.node_id;
+  megabytes : float;
+  layer_hours : float;
+  amount : float;
+}
+
+let invoice t ~session ~price_per_megabyte ~price_per_layer_hour =
+  List.map
+    (fun receiver ->
+      let megabytes =
+        float_of_int (bytes t ~session ~receiver) /. 1_000_000.0
+      in
+      let layer_hours = layer_seconds t ~session ~receiver /. 3600.0 in
+      {
+        receiver;
+        megabytes;
+        layer_hours;
+        amount =
+          (megabytes *. price_per_megabyte)
+          +. (layer_hours *. price_per_layer_hour);
+      })
+    (receivers t ~session)

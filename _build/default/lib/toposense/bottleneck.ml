@@ -1,0 +1,30 @@
+type result = {
+  bottleneck : (Net.Addr.node_id, float) Hashtbl.t;
+  usable : (Net.Addr.node_id, float) Hashtbl.t;
+}
+
+let compute ~tree ~capacity =
+  let bottleneck = Hashtbl.create 32 and usable = Hashtbl.create 32 in
+  List.iter
+    (fun node ->
+      let b =
+        match Tree.parent tree node with
+        | None -> infinity
+        | Some p ->
+            Float.min (Hashtbl.find bottleneck p) (capacity ~edge:(p, node))
+      in
+      Hashtbl.replace bottleneck node b)
+    (Tree.top_down tree);
+  List.iter
+    (fun node ->
+      let u =
+        match Tree.children tree node with
+        | [] -> Hashtbl.find bottleneck node
+        | children ->
+            List.fold_left
+              (fun acc c -> Float.max acc (Hashtbl.find usable c))
+              neg_infinity children
+      in
+      Hashtbl.replace usable node u)
+    (Tree.bottom_up tree);
+  { bottleneck; usable }

@@ -1,0 +1,19 @@
+(** Stage 3: bottleneck bandwidths.
+
+    With the capacity estimates in hand, the bottleneck of a node is the
+    minimum estimated capacity along its path from the source (a single
+    top-down pass), and the *usable* bandwidth at a node is the maximum
+    bottleneck over its children (a bottom-up pass) — a parent must carry
+    enough layers for its most capable subtree, not its least. *)
+
+type result = {
+  bottleneck : (Net.Addr.node_id, float) Hashtbl.t;
+      (** min capacity from source to node, bits/s; [infinity] unknown *)
+  usable : (Net.Addr.node_id, float) Hashtbl.t;
+      (** max child bottleneck (leaf: own bottleneck) *)
+}
+
+val compute :
+  tree:Tree.t ->
+  capacity:(edge:(Net.Addr.node_id * Net.Addr.node_id) -> float) ->
+  result

@@ -1,0 +1,137 @@
+type entry = {
+  mutable estimate_bps : float;  (* infinity = unknown *)
+  mutable intervals_since_set : int;
+  mutable observed_bps : float array;  (* ring of recent throughputs *)
+  mutable observed_idx : int;
+}
+
+type t = {
+  params : Params.t;
+  entries : (Net.Addr.node_id * Net.Addr.node_id, entry) Hashtbl.t;
+}
+
+let create ~params = { params; entries = Hashtbl.create 32 }
+
+type link_obs = {
+  sessions : (int * float * int) list;
+  dest_internal : bool;
+  dest_self_congested : bool;
+}
+
+let entry t edge =
+  match Hashtbl.find_opt t.entries edge with
+  | Some e -> e
+  | None ->
+      let e =
+        {
+          estimate_bps = infinity;
+          intervals_since_set = 0;
+          observed_bps = Array.make 3 0.0;
+          observed_idx = 0;
+        }
+      in
+      Hashtbl.add t.entries edge e;
+      e
+
+let observe t ~edge ~interval_s obs =
+  if interval_s <= 0.0 then invalid_arg "Capacity.observe: interval <= 0";
+  let e = entry t edge in
+  let total_bytes =
+    List.fold_left (fun acc (_, _, b) -> acc + b) 0 obs.sessions
+  in
+  let usage_bps = float_of_int (total_bytes * 8) /. interval_s in
+  (* Age the current estimate first. Ordinarily it inflates slowly
+     (reported bytes lag transmissions); but when the traffic through the
+     edge fills the estimate without any loss, the estimate is provably
+     too low — an artifact of measuring during someone else's congestion
+     or of lost reports — and we let it recover quickly rather than wait
+     for the periodic reset. *)
+  if Float.is_finite e.estimate_bps then begin
+    e.intervals_since_set <- e.intervals_since_set + 1;
+    if e.intervals_since_set >= t.params.capacity_reset_intervals then begin
+      e.estimate_bps <- infinity;
+      e.intervals_since_set <- 0
+    end
+    else begin
+      let loss_free =
+        obs.sessions <> []
+        && List.for_all
+             (fun (_, loss, _) -> loss <= t.params.p_threshold)
+             obs.sessions
+      in
+      let growth =
+        if loss_free && usage_bps >= 0.8 *. e.estimate_bps then
+          Float.max t.params.capacity_growth 0.15
+        else t.params.capacity_growth
+      in
+      e.estimate_bps <- e.estimate_bps *. (1.0 +. growth)
+    end
+  end;
+  (match obs.sessions with
+  | [] -> ()
+  | [ _ ] when not obs.dest_internal ->
+      (* A single-session last-hop edge: the bytes its receiver reports
+         are capped by that receiver's *subscription*, not by the link,
+         so a loss episode here would pin a fast edge at an artificially
+         low value and trap the receiver below its optimum. Loss at a
+         pure leaf is attributed upstream, where sibling correlation can
+         localize it. (Several sessions losing together at the same leaf
+         IS localizing evidence — their summed bytes measure the link —
+         so the multi-session case falls through to the pin logic.) *)
+      ()
+  | sessions ->
+      let all_lossy =
+        List.for_all (fun (_, loss, _) -> loss > t.params.p_threshold) sessions
+      in
+      let overall_loss =
+        (* Bytes-weighted mean of per-session losses at the destination;
+           the per-link aggregate the paper's condition (1) asks for. *)
+        if total_bytes = 0 then 0.0
+        else
+          List.fold_left
+            (fun acc (_, loss, b) -> acc +. (loss *. float_of_int b))
+            0.0 sessions
+          /. float_of_int total_bytes
+      in
+      let localized =
+        (* Loss at the destination only localizes to THIS edge when its
+           children lose in correlation (self-congestion), or when every
+           one of several sessions crossing it is lossy (the paper's
+           condition 2, which one session alone cannot satisfy
+           meaningfully: a lone lossy session pins every edge on its own
+           path, capping itself at whatever throughput it happened to
+           have and handing the bandwidth to its competitors). *)
+        obs.dest_self_congested || List.length sessions >= 2
+      in
+      if
+        localized && all_lossy
+        && overall_loss > t.params.p_threshold
+        && total_bytes > 0
+      then begin
+        (* Windows measured during a loss episode undershoot the link
+           rate (onset straddling, staggered receiver descents), so pin
+           at the best throughput demonstrated over the last few
+           intervals rather than this window alone. *)
+        e.estimate_bps <- Array.fold_left Float.max usage_bps e.observed_bps;
+        e.intervals_since_set <- 0
+      end);
+  e.observed_bps.(e.observed_idx) <- usage_bps;
+  e.observed_idx <- (e.observed_idx + 1) mod Array.length e.observed_bps
+
+let estimate_bps t ~edge =
+  match Hashtbl.find_opt t.entries edge with
+  | Some e -> e.estimate_bps
+  | None -> infinity
+
+let known_edges t =
+  Hashtbl.fold
+    (fun edge e acc -> if Float.is_finite e.estimate_bps then edge :: acc else acc)
+    t.entries []
+  |> List.sort compare
+
+let reset t ~edge =
+  match Hashtbl.find_opt t.entries edge with
+  | Some e ->
+      e.estimate_bps <- infinity;
+      e.intervals_since_set <- 0
+  | None -> ()

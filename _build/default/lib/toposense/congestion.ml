@@ -1,0 +1,75 @@
+type verdict = {
+  congested : bool;
+  loss : float;
+  max_bytes : int;
+  self_congested : bool;
+}
+
+let compute ~(params : Params.t) ~tree ~measure =
+  let verdicts = Hashtbl.create 32 in
+  (* Bottom-up: losses, subtree byte maxima and self-evidence. *)
+  List.iter
+    (fun node ->
+      let v =
+        match Tree.children tree node with
+        | [] ->
+            let loss, bytes =
+              match measure node with Some m -> m | None -> (0.0, 0)
+            in
+            {
+              congested = false;
+              loss;
+              max_bytes = bytes;
+              self_congested = loss > params.p_threshold;
+            }
+        | children ->
+            let child_verdicts =
+              List.map (fun c -> Hashtbl.find verdicts c) children
+            in
+            let losses = List.map (fun v -> v.loss) child_verdicts in
+            let loss = List.fold_left Float.min infinity losses in
+            let max_bytes =
+              List.fold_left (fun acc v -> max acc v.max_bytes) 0 child_verdicts
+            in
+            (* A single-child node adds no evidence of its own: its child's
+               loss could originate anywhere below, and claiming it here
+               would walk congestion up every chain to the source, where
+               "action at the root of the congested subtree" would halve
+               the whole session. Only sibling-correlated loss localizes a
+               bottleneck to this node's inbound link. *)
+            let self_congested =
+              match losses with
+              | [] | [ _ ] -> false
+              | _ ->
+                  let n = float_of_int (List.length losses) in
+                  let all_above =
+                    List.for_all (fun l -> l > params.p_threshold) losses
+                  in
+                  let mean = List.fold_left ( +. ) 0.0 losses /. n in
+                  let similar =
+                    List.filter
+                      (fun l ->
+                        Float.abs (l -. mean) <= params.similar_band *. mean)
+                      losses
+                  in
+                  let similar_frac = float_of_int (List.length similar) /. n in
+                  all_above && similar_frac >= params.eta_similar
+            in
+            { congested = false; loss; max_bytes; self_congested }
+      in
+      Hashtbl.replace verdicts node v)
+    (Tree.bottom_up tree);
+  (* Top-down: a node is congested if it is self-congested or its parent
+     ended up congested. *)
+  List.iter
+    (fun node ->
+      let v = Hashtbl.find verdicts node in
+      let parent_congested =
+        match Tree.parent tree node with
+        | None -> false
+        | Some p -> (Hashtbl.find verdicts p).congested
+      in
+      Hashtbl.replace verdicts node
+        { v with congested = v.self_congested || parent_congested })
+    (Tree.top_down tree);
+  verdicts

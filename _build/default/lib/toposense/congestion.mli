@@ -1,0 +1,33 @@
+(** Stage 1: congestion states.
+
+    Loss rates are only known at leaf receivers; an internal node's loss
+    is the *minimum* of its children's (the paper's conservative choice: a
+    parent need only cover the least-demanding child). States are then
+    assigned: a leaf is congested when its loss exceeds [p_threshold]; an
+    internal node when all children exceed the threshold and at least
+    [eta_similar] of them sit within [similar_band] of the mean child loss
+    — correlated loss across siblings is the signature of a shared
+    bottleneck just above them. Finally congestion is inherited downward:
+    every descendant of a congested node is marked congested.
+
+    The stage also records, per node, the maximum bytes received by any
+    receiver in the node's subtree — stage 2's estimate of the traffic
+    that crossed the node's inbound link. *)
+
+type verdict = {
+  congested : bool;
+  loss : float;  (** leaf: reported; internal: min over children *)
+  max_bytes : int;
+      (** max bytes received by any receiver in the subtree this window *)
+  self_congested : bool;
+      (** congested by its own evidence, before parent inheritance *)
+}
+
+val compute :
+  params:Params.t ->
+  tree:Tree.t ->
+  measure:(Net.Addr.node_id -> (float * int) option) ->
+  (Net.Addr.node_id, verdict) Hashtbl.t
+(** [measure node] returns [(loss_rate, bytes_received)] for leaf
+    receivers; leaves without a measurement (no report yet) are treated
+    as lossless with zero bytes. Internal nodes' entries are computed. *)

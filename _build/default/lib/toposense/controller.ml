@@ -1,0 +1,271 @@
+module Sim = Engine.Sim
+module Time = Engine.Time
+
+type Net.Packet.payload +=
+  | Suggestion of { session : int; level : int }
+
+let suggestion_size = 60
+
+(* Report accumulation between algorithm runs. *)
+type acc = {
+  mutable loss_sum : float;
+  mutable report_count : int;
+  mutable bytes : int;
+  mutable level : int;
+  mutable settling : bool;
+  mutable any_sustained : bool;
+}
+
+type receiver_state = {
+  mutable fresh : acc option;  (* reports since the last run *)
+  mutable last_loss : float;  (* carried forward when reports are lost *)
+  mutable last_level : int;
+  mutable level_changed_at : Time.t;  (* when a report last showed a new level *)
+}
+
+type t = {
+  network : Net.Network.t;
+  discovery : Discovery.Service.t;
+  params : Params.t;
+  node : Net.Addr.node_id;
+  domain : Net.Addr.node_id list option;
+  probe : Probe_discovery.t option;
+  algorithm : Algorithm.t;
+  mutable sessions : Traffic.Session.t list;
+  receivers : (int * Net.Addr.node_id, receiver_state) Hashtbl.t;
+  mutable task : Sim.handle option;
+  mutable reports_received : int;
+  mutable suggestions_sent : int;
+  mutable intervals_run : int;
+  mutable skipped_no_snapshot : int;
+  mutable billing : Billing.t option;
+}
+
+let receiver_state t ~session ~node =
+  match Hashtbl.find_opt t.receivers (session, node) with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          fresh = None;
+          last_loss = 0.0;
+          last_level = 0;
+          level_changed_at = Sim.now (Net.Network.sim t.network);
+        }
+      in
+      Hashtbl.add t.receivers (session, node) s;
+      s
+
+let on_report t ~session ~receiver ~level ~loss_rate ~bytes ~settling
+    ~sustained =
+  t.reports_received <- t.reports_received + 1;
+  let st = receiver_state t ~session ~node:receiver in
+  (match st.fresh with
+  | Some a ->
+      a.loss_sum <- a.loss_sum +. loss_rate;
+      a.report_count <- a.report_count + 1;
+      a.bytes <- a.bytes + bytes;
+      a.level <- level;
+      a.settling <- a.settling || settling;
+      a.any_sustained <- a.any_sustained || sustained
+  | None ->
+      st.fresh <-
+        Some
+          {
+            loss_sum = loss_rate;
+            report_count = 1;
+            bytes;
+            level;
+            settling;
+            any_sustained = sustained;
+          });
+  (* [level] rides along in the report but the controller's view of
+     subscription levels comes from the topology image (possibly stale),
+     as in the paper — that is exactly the lever Fig. 10 studies. *)
+  ignore level
+
+let create ~network ~discovery ~params ~node ?domain ?probe () =
+  let sim = Net.Network.sim network in
+  let t =
+    {
+      network;
+      discovery;
+      params;
+      node;
+      domain;
+      probe;
+      algorithm = Algorithm.create ~params ~rng:(Sim.rng sim ~label:"toposense");
+      sessions = [];
+      receivers = Hashtbl.create 64;
+      task = None;
+      reports_received = 0;
+      suggestions_sent = 0;
+      intervals_run = 0;
+      skipped_no_snapshot = 0;
+      billing = None;
+    }
+  in
+  Net.Network.add_local_handler network node (fun pkt ->
+      Option.iter (fun p -> Probe_discovery.handle_packet p pkt) t.probe;
+      match pkt.Net.Packet.payload with
+      | Reports.Rtcp.Report r ->
+          Option.iter
+            (fun b ->
+              Billing.record b ~session:r.session ~receiver:r.receiver
+                ~bytes:r.bytes ~level:r.level ~window:r.window)
+            t.billing;
+          on_report t ~session:r.session ~receiver:r.receiver ~level:r.level
+            ~loss_rate:r.loss_rate ~bytes:r.bytes ~settling:r.settling
+            ~sustained:r.sustained
+      | _ -> ());
+  t
+
+let add_session t session = t.sessions <- t.sessions @ [ session ]
+
+let set_billing t billing = t.billing <- Some billing
+
+(* Fold the accumulated reports into per-member measures for one session
+   tree; receivers whose reports were all lost keep their last loss and
+   contribute zero fresh bytes. *)
+let session_input t session tree =
+  let id = Traffic.Session.id session in
+  let members = Tree.members tree in
+  let settling_tbl = Hashtbl.create 8 in
+  let now = Sim.now (Net.Network.sim t.network) in
+  let measures, levels =
+    List.fold_left
+      (fun (measures, levels) (node, snapshot_level) ->
+        let st = receiver_state t ~session:id ~node in
+        let loss, bytes =
+          match st.fresh with
+          | Some a ->
+              let loss = a.loss_sum /. float_of_int a.report_count in
+              (* Section V's bursty-vs-sustained filter: a lone lossy
+                 window among clean ones is treated as a burst, not
+                 congestion. *)
+              let loss =
+                if t.params.require_sustained_loss && not a.any_sustained
+                then 0.0
+                else loss
+              in
+              st.fresh <- None;
+              st.last_loss <- loss;
+              if a.settling then Hashtbl.replace settling_tbl node ();
+              (loss, a.bytes)
+          | None -> (st.last_loss, 0)
+        in
+        if snapshot_level <> st.last_level then st.level_changed_at <- now;
+        st.last_level <- snapshot_level;
+        ((node, (loss, bytes)) :: measures, (node, snapshot_level) :: levels))
+      ([], []) members
+  in
+  let may_add node =
+    let st = receiver_state t ~session:id ~node in
+    Time.diff now st.level_changed_at >= 2 * t.params.interval
+  in
+  {
+    Algorithm.id;
+    layering = Traffic.Session.layering session;
+    tree;
+    measures;
+    levels;
+    may_add;
+    frozen = (fun node -> Hashtbl.mem settling_tbl node);
+  }
+
+let debug_enabled = Sys.getenv_opt "TOPOSENSE_DEBUG" <> None
+
+let debug_dump t inputs =
+  let now = Sim.now (Net.Network.sim t.network) in
+  List.iter
+    (fun (input : Algorithm.session_input) ->
+      Format.eprintf "@[<v>[%a] session %d@," Time.pp now input.Algorithm.id;
+      List.iter
+        (fun node ->
+          let v = Algorithm.last_verdict t.algorithm ~session:input.id ~node in
+          let d = Algorithm.demand_bps t.algorithm ~session:input.id ~node in
+          let s = Algorithm.supply_bps t.algorithm ~session:input.id ~node in
+          let fmt_opt ppf = function
+            | Some x -> Format.fprintf ppf "%.0fk" (x /. 1000.0)
+            | None -> Format.pp_print_string ppf "-"
+          in
+          match v with
+          | Some v ->
+              Format.eprintf
+                "  n%d %s loss=%.3f bytes=%d demand=%a supply=%a@," node
+                (if v.Congestion.congested then "CONG" else "ok  ")
+                v.Congestion.loss v.Congestion.max_bytes fmt_opt d fmt_opt s
+          | None -> ())
+        (Tree.top_down input.tree);
+      Format.eprintf "@]@.")
+    inputs
+
+let run_interval t =
+  t.intervals_run <- t.intervals_run + 1;
+  let sim = Net.Network.sim t.network in
+  let now = Sim.now sim in
+  let inputs =
+    List.filter_map
+      (fun session ->
+        let id = Traffic.Session.id session in
+        let queried =
+          match t.probe with
+          | Some p -> Probe_discovery.latest p ~session:id
+          | None ->
+              Discovery.Service.query t.discovery ~session:id
+                ~staleness:t.params.staleness
+        in
+        match queried with
+        | None ->
+            t.skipped_no_snapshot <- t.skipped_no_snapshot + 1;
+            None
+        | Some snap -> (
+            (* Per-domain control (paper Fig. 3): this controller only
+               sees and manages its own administrative domain's part of
+               the session tree. *)
+            let snap =
+              match t.domain with
+              | None -> Some snap
+              | Some domain -> Discovery.Snapshot.restrict snap ~domain
+            in
+            match snap with
+            | None ->
+                t.skipped_no_snapshot <- t.skipped_no_snapshot + 1;
+                None
+            | Some snap ->
+                let tree = Tree.of_snapshot snap in
+                Some (session_input t session tree)))
+      t.sessions
+  in
+  let prescriptions = Algorithm.step t.algorithm ~now inputs in
+  if debug_enabled then debug_dump t inputs;
+  List.iter
+    (fun (p : Algorithm.prescription) ->
+      t.suggestions_sent <- t.suggestions_sent + 1;
+      if p.receiver = t.node then () (* no self-suggestions *)
+      else
+        Net.Network.originate t.network ~src:t.node
+          ~dst:(Net.Addr.Unicast p.receiver) ~size:suggestion_size
+          ~payload:(Suggestion { session = p.session; level = p.level }))
+    prescriptions
+
+let start t =
+  Option.iter Probe_discovery.start t.probe;
+  if t.task = None then begin
+    let sim = Net.Network.sim t.network in
+    t.task <-
+      Some (Sim.every sim ~period:t.params.interval (fun () -> run_interval t))
+  end
+
+let stop t =
+  match t.task with
+  | Some h ->
+      Sim.cancel (Net.Network.sim t.network) h;
+      t.task <- None
+  | None -> ()
+
+let algorithm t = t.algorithm
+let reports_received t = t.reports_received
+let suggestions_sent t = t.suggestions_sent
+let intervals_run t = t.intervals_run
+let skipped_no_snapshot t = t.skipped_no_snapshot

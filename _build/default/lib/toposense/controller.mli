@@ -1,0 +1,65 @@
+(** The domain controller agent.
+
+    An application-level process at one node (the paper stations it at a
+    source node, so its control traffic shares the congested links).
+    Each interval it queries the discovery service for every registered
+    session's tree — aged by [params.staleness] — folds in the receiver
+    reports that arrived since the previous interval, runs
+    {!Algorithm.step}, and unicasts a suggestion packet to every member
+    receiver. Suggestions are real packets: they can be dropped, which is
+    what the receivers' unilateral-fallback timer is for. *)
+
+type Net.Packet.payload +=
+  | Suggestion of { session : int; level : int }
+
+val suggestion_size : int
+(** Bytes on the wire for a suggestion packet (60). *)
+
+type t
+
+val create :
+  network:Net.Network.t ->
+  discovery:Discovery.Service.t ->
+  params:Params.t ->
+  node:Net.Addr.node_id ->
+  ?domain:Net.Addr.node_id list ->
+  ?probe:Probe_discovery.t ->
+  unit ->
+  t
+(** Installs the report handler on [node]. Call {!add_session} for every
+    session, then {!start}.
+
+    With [domain], the controller manages only the given administrative
+    domain (the paper's Fig. 3 model): session trees are restricted to
+    the domain via {!Discovery.Snapshot.restrict}, so congestion control,
+    capacity estimation and suggestions all stay domain-local. Several
+    controllers with disjoint domains coexist without knowing of each
+    other.
+
+    With [probe], topology comes from in-band {!Probe_discovery} instead
+    of the oracle service: the controller feeds it every packet it
+    receives and reads its assembled snapshots, so the topology image is
+    exactly as old, partial and lossy as real probing makes it.
+    {!start} also starts the prober. *)
+
+val add_session : t -> Traffic.Session.t -> unit
+(** The session must also be registered with the discovery service. *)
+
+val set_billing : t -> Billing.t -> unit
+(** Every receiver report is additionally folded into the billing
+    record (the paper's controller-as-billing-agent use case). *)
+
+val start : t -> unit
+(** Begins the periodic algorithm runs (first run one interval from
+    now). *)
+
+val stop : t -> unit
+
+val algorithm : t -> Algorithm.t
+(** The underlying algorithm state (diagnostics, tests, benches). *)
+
+val reports_received : t -> int
+val suggestions_sent : t -> int
+val intervals_run : t -> int
+val skipped_no_snapshot : t -> int
+(** Intervals where a session had no old-enough snapshot yet. *)

@@ -1,0 +1,74 @@
+type node_kind = Leaf | Internal
+
+type bw_equality = Lesser | Equal | Greater
+
+type interval_ref = Older | Recent
+
+type action =
+  | Add_next_layer
+  | Drop_layer_if_high_loss
+  | Maintain_demand
+  | Reduce_to_supply of interval_ref
+  | Reduce_to_half_supply of { which : interval_ref; set_backoff : bool }
+  | Reduce_to_half_supply_if_very_high_loss of interval_ref
+  | Accept_children
+
+let history_bits ~older ~middle ~current =
+  (if older then 4 else 0) + (if middle then 2 else 0) + if current then 1 else 0
+
+(* Transcription of Table I. Each [match] arm corresponds to one table
+   row; the history sets are written out so the compiler checks totality
+   over 0..7. *)
+let lookup ~kind ~history ~bw =
+  if history < 0 || history > 7 then invalid_arg "Decision.lookup: history";
+  match kind with
+  | Leaf -> (
+      match (bw, history) with
+      | Lesser, 0 -> Add_next_layer
+      | Lesser, 1 -> Drop_layer_if_high_loss
+      | Lesser, (2 | 4 | 5 | 6) -> Maintain_demand
+      | Lesser, 3 -> Reduce_to_supply Older
+      | Lesser, 7 -> Reduce_to_half_supply { which = Older; set_backoff = true }
+      | Equal, (0 | 4) -> Add_next_layer
+      | Equal, (1 | 2 | 5 | 6) -> Maintain_demand
+      | Equal, (3 | 7) ->
+          Reduce_to_half_supply { which = Older; set_backoff = true }
+      | Greater, 0 -> Add_next_layer
+      | Greater, (1 | 2 | 4 | 5 | 6) -> Maintain_demand
+      | Greater, (3 | 7) -> Reduce_to_half_supply_if_very_high_loss Older
+      | _, _ -> assert false (* history checked above *))
+  | Internal -> (
+      match (bw, history) with
+      | _, (0 | 4) -> Accept_children
+      | Greater, (1 | 5 | 7) ->
+          Reduce_to_half_supply { which = Recent; set_backoff = false }
+      | (Equal | Lesser), (1 | 5 | 7) ->
+          Reduce_to_half_supply { which = Older; set_backoff = false }
+      | _, (2 | 3 | 6) -> Maintain_demand
+      | _, _ -> assert false)
+
+let pp_action ppf = function
+  | Add_next_layer -> Format.pp_print_string ppf "add-next-layer"
+  | Drop_layer_if_high_loss -> Format.pp_print_string ppf "drop-if-high-loss"
+  | Maintain_demand -> Format.pp_print_string ppf "maintain"
+  | Reduce_to_supply Older -> Format.pp_print_string ppf "reduce-to-supply(old)"
+  | Reduce_to_supply Recent ->
+      Format.pp_print_string ppf "reduce-to-supply(recent)"
+  | Reduce_to_half_supply { which; set_backoff } ->
+      Format.fprintf ppf "reduce-to-half-supply(%s%s)"
+        (match which with Older -> "old" | Recent -> "recent")
+        (if set_backoff then ",backoff" else "")
+  | Reduce_to_half_supply_if_very_high_loss _ ->
+      Format.pp_print_string ppf "reduce-half-if-very-high-loss"
+  | Accept_children -> Format.pp_print_string ppf "accept-children"
+
+let pp_bw ppf = function
+  | Lesser -> Format.pp_print_string ppf "lesser"
+  | Equal -> Format.pp_print_string ppf "equal"
+  | Greater -> Format.pp_print_string ppf "greater"
+
+let classify_bw ~tolerance ~older ~recent =
+  let big = Float.max (Float.max older recent) 1.0 in
+  if Float.abs (older -. recent) <= tolerance *. big then Equal
+  else if older < recent then Lesser
+  else Greater

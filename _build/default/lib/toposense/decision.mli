@@ -1,0 +1,44 @@
+(** Table I of the paper: the demand decision table.
+
+    Indexed by node kind, 3-bit congestion-state history and the BW
+    equality class, it yields the action a node takes when computing its
+    demand for the next interval.
+
+    History encoding (paper Section III): TopoSense runs at instants
+    T0 < T1 < T2 (T2 = now); the congestion state at T0 is bit 2, at T1
+    bit 1, at T2 bit 0, with CONGESTED = 1. BW equality compares the total
+    bandwidth received in [T0,T1] (the older interval) against [T1,T2]
+    (the recent interval): [Lesser] means the older interval received
+    less. *)
+
+type node_kind = Leaf | Internal
+
+type bw_equality = Lesser | Equal | Greater
+
+type interval_ref =
+  | Older  (** the paper's "supply in T0–Tn" *)
+  | Recent  (** the paper's "supply in Tn–T2n" *)
+
+type action =
+  | Add_next_layer  (** if the next layer is not backing off *)
+  | Drop_layer_if_high_loss  (** drop one layer and set back-off *)
+  | Maintain_demand
+  | Reduce_to_supply of interval_ref
+  | Reduce_to_half_supply of { which : interval_ref; set_backoff : bool }
+  | Reduce_to_half_supply_if_very_high_loss of interval_ref
+  | Accept_children  (** internal: pass the aggregated child demand up *)
+
+val history_bits : older:bool -> middle:bool -> current:bool -> int
+(** Packs three congestion flags into the table's 3-bit index
+    (older = T0 = bit 2 … current = T2 = bit 0). *)
+
+val lookup : kind:node_kind -> history:int -> bw:bw_equality -> action
+(** Total over [history] in 0..7; @raise Invalid_argument outside. *)
+
+val pp_action : Format.formatter -> action -> unit
+val pp_bw : Format.formatter -> bw_equality -> unit
+
+val classify_bw : tolerance:float -> older:float -> recent:float -> bw_equality
+(** [Equal] when the two totals differ by at most [tolerance] relative to
+    the larger (with an absolute floor of one packet so two silent
+    intervals compare equal). *)

@@ -1,0 +1,54 @@
+(** TopoSense tuning parameters.
+
+    The paper names the thresholds ([p_threshold], [eta_similar], the
+    random back-off, the capacity re-estimation) but does not publish
+    values; defaults here are the interpretation documented in DESIGN.md
+    Section 3 and are exercised by the ablation benches. *)
+
+type t = {
+  interval : Engine.Time.span;
+      (** period between TopoSense runs (T_{i+1} - T_i) *)
+  report_interval : Engine.Time.span;
+      (** period of receiver RTCP-like reports *)
+  p_threshold : float;  (** loss rate above which a node is congested *)
+  p_high : float;  (** "loss rate is high" (Table I, leaf history 1) *)
+  p_very_high : float;  (** "loss is very high" (Table I, Greater rows) *)
+  eta_similar : float;
+      (** fraction of children that must have similar loss for an internal
+          node to be congested *)
+  similar_band : float;
+      (** relative band around the mean child loss counted as "similar" *)
+  bw_equal_tolerance : float;
+      (** relative tolerance for the BW-equality comparison *)
+  capacity_growth : float;
+      (** per-interval multiplicative inflation of a capacity estimate *)
+  capacity_reset_intervals : int;
+      (** estimates are reset to infinity every this many intervals *)
+  backoff_min : Engine.Time.span;  (** shortest random back-off *)
+  backoff_max : Engine.Time.span;  (** longest random back-off *)
+  suggestion_timeout_intervals : int;
+      (** receiver goes unilateral after this many silent intervals *)
+  staleness : Engine.Time.span;
+      (** age of the topology information served to the controller *)
+  deaf_period : Engine.Time.span;
+      (** after a receiver drops a layer, loss is not reported for this
+          long: the residual loss from queue drain and IGMP leave latency
+          would otherwise read as fresh congestion and cascade the drop
+          (the deaf-period idea is RLM's) *)
+  require_sustained_loss : bool;
+      (** when true, the controller only treats loss as congestion
+          evidence if the receiver flagged it sustained (two consecutive
+          lossy windows) — the bursty-vs-sustained differentiation the
+          paper's Section V calls for; default false *)
+}
+
+val default : t
+(** interval 2 s, reports 1 s, p_threshold 0.03, p_high 0.15,
+    p_very_high 0.30, eta_similar 0.7, similar_band 0.25, tolerance 0.1,
+    growth 0.02, reset every 15 intervals, back-off 10–30 s, suggestion
+    timeout 3 intervals, staleness 0, deaf period 2.5 s, no sustained-loss
+    filter. *)
+
+val validate : t -> (unit, string) result
+(** Checks ranges (positive spans, thresholds in (0,1), ordered
+    back-off bounds …). *)

@@ -1,0 +1,220 @@
+module Sim = Engine.Sim
+module Time = Engine.Time
+module Stats = Reports.Receiver_stats
+
+type session_state = {
+  session : Traffic.Session.t;
+  mutable last_suggestion : Time.t;
+  mutable last_window_loss : float;
+  mutable probe_deadline : Time.t;  (* unilateral add no earlier than this *)
+  mutable deaf_until : Time.t;  (* suppress loss after a drop *)
+  mutable changes : (Time.t * int) list;  (* newest first *)
+}
+
+type t = {
+  network : Net.Network.t;
+  router : Multicast.Router.t;
+  params : Params.t;
+  node : Net.Addr.node_id;
+  controller : Net.Addr.node_id;
+  stats : Stats.t;
+  rng : Engine.Prng.t;
+  sessions : (int, session_state) Hashtbl.t;
+  mutable tasks : Sim.handle list;
+  mutable suggestions_received : int;
+  mutable unilateral_actions : int;
+}
+
+let sim t = Net.Network.sim t.network
+
+let level t ~session =
+  match Hashtbl.find_opt t.sessions session with
+  | None -> 0
+  | Some st ->
+      Traffic.Session.subscription_level st.session ~router:t.router
+        ~node:t.node
+
+let set_level t ~session ~level:target =
+  match Hashtbl.find_opt t.sessions session with
+  | None -> invalid_arg "Receiver_agent.set_level: unknown session"
+  | Some st ->
+      let layering = Traffic.Session.layering st.session in
+      let target = max 0 (min target (Traffic.Layering.count layering)) in
+      let current = level t ~session in
+      if target <> current then begin
+        (* Keep accounting epochs in step with membership. *)
+        if target > current then
+          for layer = current to target - 1 do
+            Stats.on_join_layer t.stats ~session ~layer
+          done
+        else
+          for layer = current - 1 downto target do
+            Stats.on_leave_layer t.stats ~session ~layer
+          done;
+        Traffic.Session.set_subscription_level st.session ~router:t.router
+          ~node:t.node ~level:target;
+        let now = Sim.now (sim t) in
+        if target < current then
+          st.deaf_until <- Time.add now t.params.deaf_period;
+        st.changes <- (now, target) :: st.changes
+      end
+
+let on_packet t (pkt : Net.Packet.t) =
+  match pkt.payload with
+  | Net.Packet.Data { session; layer; seq } ->
+      Stats.on_data t.stats ~session ~layer ~seq ~size:pkt.size
+  | Probe_discovery.Probe_query { probe_id; session } -> (
+      (* Answer the discovery probe; routers fill in the hop list on the
+         way back to the controller. *)
+      match Hashtbl.find_opt t.sessions session with
+      | None -> ()
+      | Some _ ->
+          Net.Network.originate t.network ~src:t.node
+            ~dst:(Net.Addr.Unicast pkt.src) ~size:Probe_discovery.probe_size
+            ~payload:
+              (Probe_discovery.Probe_response
+                 {
+                   probe_id;
+                   session;
+                   receiver = t.node;
+                   level = level t ~session;
+                   hops = ref [];
+                 }))
+  | Controller.Suggestion { session; level = suggested } -> (
+      match Hashtbl.find_opt t.sessions session with
+      | None -> ()
+      | Some st ->
+          t.suggestions_received <- t.suggestions_received + 1;
+          st.last_suggestion <- Sim.now (sim t);
+          (* The controller's view of our level lags by a report; obey
+             drops verbatim but climb at most one layer at a time. *)
+          let current = level t ~session in
+          let target =
+            if suggested > current then current + 1 else suggested
+          in
+          set_level t ~session ~level:target)
+  | _ -> ()
+
+let create ~network ~router ~params ~node ~controller () =
+  let t =
+    {
+      network;
+      router;
+      params;
+      node;
+      controller;
+      stats = Stats.create ();
+      rng =
+        Sim.rng (Net.Network.sim network)
+          ~label:(Printf.sprintf "receiver-%d" node);
+      sessions = Hashtbl.create 4;
+      tasks = [];
+      suggestions_received = 0;
+      unilateral_actions = 0;
+    }
+  in
+  Net.Network.add_local_handler network node (fun pkt -> on_packet t pkt);
+  t
+
+let subscribe t ~session ~initial_level =
+  let id = Traffic.Session.id session in
+  if Hashtbl.mem t.sessions id then
+    invalid_arg "Receiver_agent.subscribe: already subscribed";
+  let now = Sim.now (sim t) in
+  let st =
+    {
+      session;
+      last_suggestion = now;
+      last_window_loss = 0.0;
+      probe_deadline = now;
+      deaf_until = now;
+      changes = [];
+    }
+  in
+  Hashtbl.add t.sessions id st;
+  set_level t ~session:id ~level:initial_level
+
+let send_reports t =
+  let now = Sim.now (sim t) in
+  Hashtbl.iter
+    (fun id st ->
+      let w = Stats.take_window t.stats ~session:id in
+      (* Loss measured while the network is still draining a drop we just
+         made is reported truthfully (the controller needs it to correlate
+         siblings and estimate capacities) but flagged as settling so it
+         does not trigger a further reduction of this receiver. *)
+      let settling = Time.(now < st.deaf_until) in
+      st.last_window_loss <- w.loss_rate;
+      Reports.Rtcp.send_report ~network:t.network ~receiver:t.node
+        ~controller:t.controller ~session:id ~level:(level t ~session:id)
+        ~window:t.params.report_interval ~settling w)
+    t.sessions
+
+(* Unilateral fallback: the controller has gone quiet for this session —
+   keep reception safe without it. Sustained high loss sheds the top
+   layer; clean reception probes one layer up at a randomized period
+   (an RLM-style join experiment). *)
+let watchdog t =
+  let now = Sim.now (sim t) in
+  let timeout = t.params.suggestion_timeout_intervals * t.params.interval in
+  Hashtbl.iter
+    (fun id st ->
+      if Time.diff now st.last_suggestion > timeout then begin
+        let current = level t ~session:id in
+        if
+          st.last_window_loss > t.params.p_high
+          && current > 1
+          && Time.(now >= st.deaf_until)
+        then begin
+          t.unilateral_actions <- t.unilateral_actions + 1;
+          set_level t ~session:id ~level:(current - 1);
+          st.probe_deadline <-
+            Time.add now
+              (Engine.Prng.int t.rng
+                 ~bound:(t.params.backoff_max - t.params.backoff_min + 1)
+              + t.params.backoff_min)
+        end
+        else if
+          st.last_window_loss <= t.params.p_threshold
+          && Time.(now >= st.probe_deadline)
+          && current < Traffic.Layering.count (Traffic.Session.layering st.session)
+        then begin
+          t.unilateral_actions <- t.unilateral_actions + 1;
+          set_level t ~session:id ~level:(current + 1);
+          st.probe_deadline <-
+            Time.add now
+              (Engine.Prng.int t.rng
+                 ~bound:(t.params.backoff_max - t.params.backoff_min + 1)
+              + t.params.backoff_min)
+        end
+      end)
+    t.sessions
+
+let start t =
+  if t.tasks = [] then begin
+    let s = sim t in
+    t.tasks <-
+      [
+        Sim.every s ~period:t.params.report_interval (fun () -> send_reports t);
+        Sim.every s ~period:t.params.interval (fun () -> watchdog t);
+      ]
+  end
+
+let stop t =
+  List.iter (Sim.cancel (sim t)) t.tasks;
+  t.tasks <- []
+
+let changes t ~session =
+  match Hashtbl.find_opt t.sessions session with
+  | None -> []
+  | Some st -> List.rev st.changes
+
+let last_window_loss t ~session =
+  match Hashtbl.find_opt t.sessions session with
+  | None -> 0.0
+  | Some st -> st.last_window_loss
+
+let suggestions_received t = t.suggestions_received
+let unilateral_actions t = t.unilateral_actions
+let node t = t.node
+let sessions t = Hashtbl.fold (fun _ st acc -> st.session :: acc) t.sessions []

@@ -1,0 +1,52 @@
+(** The receiver agent.
+
+    Runs at a receiver node. It keeps the reception accounting
+    ({!Reports.Receiver_stats}), sends periodic RTCP-like reports to the
+    controller, and obeys the controller's suggestion packets. When no
+    suggestion has arrived for [suggestion_timeout_intervals] TopoSense
+    intervals (suggestions are droppable packets), the receiver makes
+    unilateral decisions, as the paper's architecture prescribes: drop a
+    layer on sustained high loss, and probe one layer upward at a
+    randomized period when reception is clean.
+
+    One agent per node; it may subscribe to several sessions. *)
+
+type t
+
+val create :
+  network:Net.Network.t ->
+  router:Multicast.Router.t ->
+  params:Params.t ->
+  node:Net.Addr.node_id ->
+  controller:Net.Addr.node_id ->
+  unit ->
+  t
+(** Installs the packet handler on [node]. *)
+
+val subscribe : t -> session:Traffic.Session.t -> initial_level:int -> unit
+(** Joins the session at [initial_level] and starts reporting on it. *)
+
+val start : t -> unit
+(** Starts the periodic report and watchdog tasks. *)
+
+val stop : t -> unit
+
+val level : t -> session:int -> int
+(** Current subscription level. *)
+
+val set_level : t -> session:int -> level:int -> unit
+(** Changes the subscription (joins/leaves layer groups and resets the
+    per-layer accounting epochs). Exposed for tests and baselines. *)
+
+val changes : t -> session:int -> (Engine.Time.t * int) list
+(** Every subscription-level change, oldest first, as (time, new level).
+    The initial subscribe is included. *)
+
+val last_window_loss : t -> session:int -> float
+(** Loss rate of the most recent report window (0 before the first
+    report); what Fig. 9's loss trace samples. *)
+
+val suggestions_received : t -> int
+val unilateral_actions : t -> int
+val node : t -> Net.Addr.node_id
+val sessions : t -> Traffic.Session.t list

@@ -1,0 +1,52 @@
+(** Stage 5: demand computation and supply allocation.
+
+    Runs once per TopoSense interval per session, carrying per-node state
+    across intervals (congestion-state history, received-bytes history,
+    granted-supply history — the indices into Table I).
+
+    Demand flows bottom-up: a leaf turns its Table I action into a
+    bandwidth demand (its current cumulative rate, one more layer, or a
+    reduction toward past supply); an internal node aggregates its
+    children — the *maximum* child demand, because layers on its inbound
+    link are shared — then applies its own Table I row. A node whose
+    parent is congested defers: it passes its aggregate through and lets
+    the root of the congested subtree act (which also arms the back-off
+    timer for the highest layer it drops).
+
+    Supply flows top-down: each node receives the minimum of its demand,
+    its parent's supply and the stage-4 cap of its inbound edge. A member
+    leaf's prescription is the largest level its supply affords, adding
+    at most one layer per interval and never adding a layer that is
+    backing off on its path. *)
+
+type t
+
+val create : params:Params.t -> backoff:Backoff.t -> t
+
+type input = {
+  session : int;
+  layering : Traffic.Layering.t;
+  tree : Tree.t;
+  verdicts : (Net.Addr.node_id, Congestion.verdict) Hashtbl.t;
+  level_of : Net.Addr.node_id -> int;
+      (** current subscription level of a member leaf *)
+  may_add : Net.Addr.node_id -> bool;
+      (** false while a leaf's last level change is younger than the
+          feedback loop: the loss evidence for the new level has not
+          arrived yet, and adding again would overshoot by two layers *)
+  frozen : Net.Addr.node_id -> bool;
+      (** settling leaves: loss counts as evidence upstream but must not
+          reduce this leaf again *)
+  edge_cap : Net.Addr.node_id * Net.Addr.node_id -> float;
+      (** stage-4 cap for this session on a physical edge, bits/s *)
+}
+
+val step :
+  t -> now:Engine.Time.t -> input -> (Net.Addr.node_id * int) list
+(** Prescribed subscription levels for the session's member leaves,
+    sorted by node id. Also advances all per-node histories. *)
+
+val demand_bps : t -> session:int -> node:Net.Addr.node_id -> float option
+(** Last computed demand at a node (diagnostics and tests). *)
+
+val supply_bps : t -> session:int -> node:Net.Addr.node_id -> float option

@@ -1,0 +1,64 @@
+module Addr = Net.Addr
+
+type t = {
+  session : int;
+  source : Addr.node_id;
+  parent : (Addr.node_id, Addr.node_id) Hashtbl.t;
+  children : (Addr.node_id, Addr.node_id list) Hashtbl.t;
+  top_down : Addr.node_id list;
+  members : (Addr.node_id * int) list;
+}
+
+let of_snapshot (snap : Discovery.Snapshot.t) =
+  if not (Discovery.Snapshot.is_tree snap) then
+    invalid_arg "Tree.of_snapshot: snapshot is not a tree";
+  let parent = Hashtbl.create 32 and children = Hashtbl.create 32 in
+  List.iter
+    (fun (e : Discovery.Snapshot.edge) ->
+      Hashtbl.replace parent e.child e.parent;
+      let cs = Option.value ~default:[] (Hashtbl.find_opt children e.parent) in
+      Hashtbl.replace children e.parent (cs @ [ e.child ]))
+    snap.edges;
+  (* BFS from the source keeps only the reachable component. *)
+  let top_down = ref [] in
+  let rec bfs = function
+    | [] -> ()
+    | n :: rest ->
+        top_down := n :: !top_down;
+        bfs (rest @ Option.value ~default:[] (Hashtbl.find_opt children n))
+  in
+  bfs [ snap.source ];
+  let top_down = List.rev !top_down in
+  let present = Hashtbl.create 32 in
+  List.iter (fun n -> Hashtbl.replace present n ()) top_down;
+  let members =
+    List.filter (fun (m, _) -> Hashtbl.mem present m) snap.members
+  in
+  { session = snap.session; source = snap.source; parent; children; top_down; members }
+
+let source t = t.source
+let session t = t.session
+
+let mem t n = List.mem n t.top_down
+
+let parent t n = if n = t.source then None else Hashtbl.find_opt t.parent n
+
+let children t n = Option.value ~default:[] (Hashtbl.find_opt t.children n)
+
+let is_leaf t n = children t n = []
+
+let top_down t = t.top_down
+let bottom_up t = List.rev t.top_down
+
+let members t = t.members
+
+let edges t =
+  List.concat_map (fun p -> List.map (fun c -> (p, c)) (children t p)) t.top_down
+
+let ancestors t n =
+  let rec up acc n =
+    match parent t n with None -> List.rev acc | Some p -> up (p :: acc) p
+  in
+  up [] n
+
+let node_count t = List.length t.top_down

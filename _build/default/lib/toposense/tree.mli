@@ -1,0 +1,39 @@
+(** The controller's internal image of one session topology.
+
+    Built from a discovery {!Discovery.Snapshot}; gives the traversal
+    orders the algorithm stages need (top-down BFS and its reverse) plus
+    parent/child lookups. Nodes are the network node ids that appear in
+    the snapshot. *)
+
+type t
+
+val of_snapshot : Discovery.Snapshot.t -> t
+(** Keeps only the part of the snapshot reachable from the source.
+    @raise Invalid_argument if the snapshot is not a tree. *)
+
+val source : t -> Net.Addr.node_id
+val session : t -> int
+
+val mem : t -> Net.Addr.node_id -> bool
+val parent : t -> Net.Addr.node_id -> Net.Addr.node_id option
+(** [None] for the source. *)
+
+val children : t -> Net.Addr.node_id -> Net.Addr.node_id list
+val is_leaf : t -> Net.Addr.node_id -> bool
+val top_down : t -> Net.Addr.node_id list
+(** BFS order from the source; parents before children. *)
+
+val bottom_up : t -> Net.Addr.node_id list
+(** Reverse of {!top_down}; children before parents. *)
+
+val members : t -> (Net.Addr.node_id * int) list
+(** Receivers with subscription levels, as recorded in the snapshot,
+    restricted to nodes present in the tree. *)
+
+val edges : t -> (Net.Addr.node_id * Net.Addr.node_id) list
+(** (parent, child) pairs, in top-down discovery order. *)
+
+val ancestors : t -> Net.Addr.node_id -> Net.Addr.node_id list
+(** Path from the node's parent up to the source. *)
+
+val node_count : t -> int

@@ -1,0 +1,1 @@
+lib/traffic/layering.ml: Array Format

@@ -1,0 +1,1 @@
+lib/traffic/session.ml: Array Layering Multicast Net

@@ -1,0 +1,1 @@
+lib/traffic/session.mli: Layering Multicast Net

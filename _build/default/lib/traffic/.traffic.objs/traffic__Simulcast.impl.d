@@ -1,0 +1,1 @@
+lib/traffic/simulcast.ml: Array Engine Layering List Multicast Net Option

@@ -1,0 +1,1 @@
+lib/traffic/simulcast.mli: Engine Layering Multicast Net

@@ -1,0 +1,1 @@
+lib/traffic/source.ml: Array Engine Float Layering Net Session

@@ -1,0 +1,1 @@
+lib/traffic/tcp_flow.ml: Engine Float List Net

@@ -1,0 +1,1 @@
+lib/traffic/tcp_flow.mli: Engine Net

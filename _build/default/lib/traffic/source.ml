@@ -1,0 +1,159 @@
+module Sim = Engine.Sim
+module Time = Engine.Time
+
+type kind =
+  | Cbr
+  | Vbr of { peak_to_mean : float }
+  | On_off of { mean_on_s : float; mean_off_s : float }
+
+type t = {
+  network : Net.Network.t;
+  session : Session.t;
+  kind : kind;
+  rng : Engine.Prng.t;
+  seq : int array;  (* next sequence number per layer *)
+  sent : int array;
+  mutable bytes : int;
+  mutable running : bool;
+}
+
+let packet_bits = Net.Packet.data_size * 8
+
+let emit t ~layer =
+  let session_id = Session.id t.session in
+  let group = Session.group_for_layer t.session ~layer in
+  Net.Network.originate t.network
+    ~src:(Session.source t.session)
+    ~dst:(Net.Addr.Multicast group) ~size:Net.Packet.data_size
+    ~payload:(Net.Packet.Data { session = session_id; layer; seq = t.seq.(layer) });
+  t.seq.(layer) <- t.seq.(layer) + 1;
+  t.sent.(layer) <- t.sent.(layer) + 1;
+  t.bytes <- t.bytes + Net.Packet.data_size
+
+(* CBR: one packet every packet_bits / rate seconds, forever. *)
+let rec cbr_loop t ~layer ~gap =
+  if t.running then begin
+    emit t ~layer;
+    ignore
+      (Sim.schedule_after (Net.Network.sim t.network) gap (fun () ->
+           cbr_loop t ~layer ~gap))
+  end
+
+(* VBR: per 1 s interval, draw the packet count for the interval and space
+   the packets evenly within it. *)
+let vbr_interval_count t ~avg ~peak_to_mean =
+  let p = peak_to_mean in
+  if Engine.Prng.float t.rng < 1.0 /. p then
+    Float.max 1.0 ((p *. avg) +. 1.0 -. p)
+  else 1.0
+
+let rec vbr_loop t ~layer ~avg ~peak_to_mean =
+  if t.running then begin
+    let sim = Net.Network.sim t.network in
+    let n = vbr_interval_count t ~avg ~peak_to_mean in
+    let count = int_of_float (Float.round n) in
+    let gap = Time.span_of_sec_f (1.0 /. float_of_int count) in
+    let rec burst k =
+      if t.running && k < count then begin
+        emit t ~layer;
+        ignore (Sim.schedule_after sim gap (fun () -> burst (k + 1)))
+      end
+    in
+    burst 0;
+    ignore
+      (Sim.schedule_after sim (Time.span_of_sec 1) (fun () ->
+           vbr_loop t ~layer ~avg ~peak_to_mean))
+  end
+
+(* On/off: CBR ticks during an exponentially-long on-phase, silence
+   during the off-phase. *)
+let rec onoff_on t ~layer ~gap ~mean_on_s ~mean_off_s =
+  let sim = Net.Network.sim t.network in
+  let until =
+    Time.add (Sim.now sim)
+      (Time.span_of_sec_f (Engine.Prng.exponential t.rng ~mean:mean_on_s))
+  in
+  let rec tick () =
+    if t.running then begin
+      if Time.(Sim.now sim < until) then begin
+        emit t ~layer;
+        ignore (Sim.schedule_after sim gap tick)
+      end
+      else
+        let off =
+          Time.span_of_sec_f (Engine.Prng.exponential t.rng ~mean:mean_off_s)
+        in
+        ignore
+          (Sim.schedule_after sim off (fun () ->
+               onoff_on t ~layer ~gap ~mean_on_s ~mean_off_s))
+    end
+  in
+  tick ()
+
+let start ~network ~session ~kind ~rng ?start_at () =
+  (match kind with
+  | Vbr { peak_to_mean } when peak_to_mean < 1.0 ->
+      invalid_arg "Source.start: peak_to_mean < 1"
+  | On_off { mean_on_s; mean_off_s }
+    when mean_on_s <= 0.0 || mean_off_s <= 0.0 ->
+      invalid_arg "Source.start: on/off means must be positive"
+  | Vbr _ | Cbr | On_off _ -> ());
+  let layering = Session.layering session in
+  let layers = Layering.count layering in
+  let t =
+    {
+      network;
+      session;
+      kind;
+      rng;
+      seq = Array.make layers 0;
+      sent = Array.make layers 0;
+      bytes = 0;
+      running = true;
+    }
+  in
+  let sim = Net.Network.sim network in
+  let begin_at = match start_at with Some s -> s | None -> Sim.now sim in
+  let kickoff () =
+    (* Each layer starts at a random phase within its own period so
+       co-located sessions do not emit in lockstep — synchronized phases
+       make drop-tail deterministically discriminate against whichever
+       source happens to enqueue last. *)
+    for layer = 0 to layers - 1 do
+      let rate = Layering.rate_bps layering ~layer in
+      match kind with
+      | Cbr ->
+          let gap = Time.span_of_sec_f (float_of_int packet_bits /. rate) in
+          let phase =
+            Time.span_of_sec_f
+              (Engine.Prng.float rng *. Time.span_to_sec_f gap)
+          in
+          ignore
+            (Sim.schedule_after sim phase (fun () -> cbr_loop t ~layer ~gap))
+      | Vbr { peak_to_mean } ->
+          let avg = rate /. float_of_int packet_bits in
+          let phase = Time.span_of_sec_f (Engine.Prng.float rng) in
+          ignore
+            (Sim.schedule_after sim phase (fun () ->
+                 vbr_loop t ~layer ~avg ~peak_to_mean))
+      | On_off { mean_on_s; mean_off_s } ->
+          (* During the on phase the layer runs at its nominal rate, so
+             the long-run average is rate x on/(on+off). *)
+          let gap = Time.span_of_sec_f (float_of_int packet_bits /. rate) in
+          let phase =
+            Time.span_of_sec_f
+              (Engine.Prng.float rng *. Time.span_to_sec_f gap)
+          in
+          ignore
+            (Sim.schedule_after sim phase (fun () ->
+                 onoff_on t ~layer ~gap ~mean_on_s ~mean_off_s))
+    done
+  in
+  if Time.(begin_at <= Sim.now sim) then kickoff ()
+  else ignore (Sim.schedule_at sim begin_at kickoff);
+  t
+
+let stop t = t.running <- false
+
+let packets_sent t ~layer = t.sent.(layer)
+let bytes_sent t = t.bytes

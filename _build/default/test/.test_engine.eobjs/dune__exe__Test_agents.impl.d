@@ -1,0 +1,1 @@
+test/test_agents.ml: Alcotest Discovery Engine List Metrics Multicast Net Printf Reports Scenarios Toposense Traffic

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Baseline Engine List Multicast Net Printf Scenarios Traffic

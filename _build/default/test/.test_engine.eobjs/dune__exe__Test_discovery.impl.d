@@ -1,0 +1,1 @@
+test/test_discovery.ml: Alcotest Discovery Engine List Multicast Net Traffic

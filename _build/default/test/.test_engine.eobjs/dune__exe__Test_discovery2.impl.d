@@ -1,0 +1,1 @@
+test/test_discovery2.ml: Alcotest Discovery Engine List Multicast Net Printf Scenarios Toposense Traffic

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Engine Float Gen Int List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Baseline Discovery Engine Float Hashtbl Int List Multicast Net Option Printf Scenarios Toposense Traffic

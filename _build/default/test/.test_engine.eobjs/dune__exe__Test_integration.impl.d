@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Engine List Metrics Multicast Net Printf Scenarios Toposense Traffic

@@ -1,0 +1,1 @@
+test/test_multicast.ml: Alcotest Array Engine Int List Multicast Net Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Engine Int List Net QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Baseline Discovery Engine Float Hashtbl Int Int64 List Multicast Net Printf QCheck QCheck_alcotest Toposense Traffic

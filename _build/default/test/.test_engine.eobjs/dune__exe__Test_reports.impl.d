@@ -1,0 +1,1 @@
+test/test_reports.ml: Alcotest Engine Float List Net QCheck QCheck_alcotest Reports

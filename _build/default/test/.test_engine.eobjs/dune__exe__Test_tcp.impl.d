@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Discovery Engine Float List Multicast Net Printf Toposense Traffic

@@ -1,0 +1,1 @@
+test/test_toposense.ml: Alcotest Discovery Engine Float Hashtbl List Option Printf Toposense Traffic

@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Engine Hashtbl Int List Multicast Net Option Printf QCheck QCheck_alcotest Traffic

@@ -1,0 +1,163 @@
+(* Tests for session-tree snapshots and the staleness-buffered discovery
+   service. *)
+
+module Time = Engine.Time
+module Sim = Engine.Sim
+module Topology = Net.Topology
+module Network = Net.Network
+module Router = Multicast.Router
+module Layering = Traffic.Layering
+module Session = Traffic.Session
+module Snapshot = Discovery.Snapshot
+module Service = Discovery.Service
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+(* 0 (source) - 1 - {2, 3}; 1 - 4. *)
+let harness () =
+  let sim = Sim.create () in
+  let topo = Topology.create () in
+  ignore (Topology.add_nodes topo 5);
+  List.iter
+    (fun (a, b) ->
+      Topology.add_duplex topo ~a ~b ~bandwidth_bps:1e7
+        ~delay:(Time.span_of_ms 10) ())
+    [ (0, 1); (1, 2); (1, 3); (1, 4) ];
+  let nw = Network.create ~sim topo in
+  let router = Router.create ~network:nw () in
+  let session =
+    Session.create ~router ~source:0 ~layering:Layering.paper_default ~id:0
+  in
+  (sim, nw, router, session)
+
+let settle sim s = Sim.run_until sim (Time.add (Sim.now sim) (Time.span_of_sec_f s))
+
+let test_snapshot_structure () =
+  let sim, _, router, session = harness () in
+  Session.set_subscription_level session ~router ~node:2 ~level:2;
+  Session.set_subscription_level session ~router ~node:3 ~level:4;
+  settle sim 1.0;
+  let snap = Snapshot.capture ~router ~session ~at:(Sim.now sim) in
+  checkb "is tree" true (Snapshot.is_tree snap);
+  checki "source" 0 snap.source;
+  Alcotest.check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "members with levels" [ (2, 2); (3, 4) ] snap.members;
+  Alcotest.check (Alcotest.list Alcotest.int) "children of 1" [ 2; 3 ]
+    (Snapshot.children snap 1);
+  Alcotest.check (Alcotest.list Alcotest.int) "nodes" [ 0; 1; 2; 3 ]
+    (Snapshot.nodes snap)
+
+let test_snapshot_edge_layers () =
+  let sim, _, router, session = harness () in
+  Session.set_subscription_level session ~router ~node:2 ~level:1;
+  Session.set_subscription_level session ~router ~node:3 ~level:3;
+  settle sim 1.0;
+  let snap = Snapshot.capture ~router ~session ~at:(Sim.now sim) in
+  let edge p c =
+    List.find (fun (e : Snapshot.edge) -> e.parent = p && e.child = c) snap.edges
+  in
+  Alcotest.check (Alcotest.list Alcotest.int) "0->1 carries union" [ 0; 1; 2 ]
+    (edge 0 1).layers;
+  Alcotest.check (Alcotest.list Alcotest.int) "1->2 base only" [ 0 ]
+    (edge 1 2).layers;
+  Alcotest.check (Alcotest.list Alcotest.int) "1->3 three layers" [ 0; 1; 2 ]
+    (edge 1 3).layers
+
+let test_snapshot_empty_session () =
+  let sim, _, router, session = harness () in
+  let snap = Snapshot.capture ~router ~session ~at:(Sim.now sim) in
+  checkb "tree (trivially)" true (Snapshot.is_tree snap);
+  checki "no members" 0 (List.length snap.members);
+  checki "no edges" 0 (List.length snap.edges)
+
+let test_service_fresh_query () =
+  let sim, _, router, session = harness () in
+  let svc = Service.create ~sim ~router () in
+  Service.register_session svc session;
+  Session.set_subscription_level session ~router ~node:2 ~level:2;
+  settle sim 1.0;
+  match Service.query svc ~session:0 ~staleness:0 with
+  | None -> Alcotest.fail "expected a snapshot"
+  | Some snap ->
+      checki "live members" 1 (List.length snap.members)
+
+let test_service_staleness () =
+  let sim, _, router, session = harness () in
+  let svc = Service.create ~sim ~router () in
+  Service.register_session svc session;
+  (* Membership appears at t=5; a query at t=8 with staleness 5 must see
+     the world as of t<=3: no members. *)
+  ignore
+    (Sim.schedule_at sim (Time.of_sec 5) (fun () ->
+         Session.set_subscription_level session ~router ~node:2 ~level:2));
+  Sim.run_until sim (Time.of_sec 8);
+  (match Service.query svc ~session:0 ~staleness:(Time.span_of_sec 5) with
+  | None -> Alcotest.fail "expected old snapshot"
+  | Some snap ->
+      checki "old view: no members" 0 (List.length snap.members);
+      checkb "old timestamp" true Time.(snap.taken_at <= Time.of_sec 3));
+  (* With staleness 1 the join is visible. *)
+  match Service.query svc ~session:0 ~staleness:(Time.span_of_sec 1) with
+  | None -> Alcotest.fail "expected recent snapshot"
+  | Some snap -> checki "recent view: member" 1 (List.length snap.members)
+
+let test_service_no_old_enough () =
+  let sim, _, router, session = harness () in
+  let svc = Service.create ~sim ~router () in
+  Service.register_session svc session;
+  Sim.run_until sim (Time.of_sec 2);
+  checkb "nothing 10s old" true
+    (Service.query svc ~session:0 ~staleness:(Time.span_of_sec 10) = None)
+
+let test_service_unknown_session () =
+  let sim, _, router, _session = harness () in
+  let svc = Service.create ~sim ~router () in
+  checkb "unknown" true (Service.query svc ~session:99 ~staleness:0 = None)
+
+let test_service_stop () =
+  let sim, _, router, session = harness () in
+  let svc = Service.create ~sim ~router () in
+  Service.register_session svc session;
+  Sim.run_until sim (Time.of_sec 2);
+  Service.stop svc;
+  let before = Sim.events_dispatched sim in
+  Sim.run_until sim (Time.of_sec 20);
+  (* Only residual events, not one per second. *)
+  checkb "capturing stopped" true (Sim.events_dispatched sim - before <= 2)
+
+let test_leave_latency_visible_in_snapshot () =
+  (* Discovery reports the actual forwarding state: a receiver that just
+     left is off the member list but its branch is still on the tree. *)
+  let sim, _, router, session = harness () in
+  Session.set_subscription_level session ~router ~node:2 ~level:1;
+  settle sim 1.0;
+  Session.set_subscription_level session ~router ~node:2 ~level:0;
+  settle sim 0.2;
+  let snap = Snapshot.capture ~router ~session ~at:(Sim.now sim) in
+  checki "no members" 0 (List.length snap.members);
+  checkb "branch still installed" true
+    (List.exists (fun (e : Snapshot.edge) -> e.child = 2) snap.edges)
+
+let () =
+  Alcotest.run "discovery"
+    [
+      ( "snapshot",
+        [
+          Alcotest.test_case "structure" `Quick test_snapshot_structure;
+          Alcotest.test_case "edge layers" `Quick test_snapshot_edge_layers;
+          Alcotest.test_case "empty session" `Quick test_snapshot_empty_session;
+          Alcotest.test_case "leave latency visible" `Quick
+            test_leave_latency_visible_in_snapshot;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "fresh query" `Quick test_service_fresh_query;
+          Alcotest.test_case "staleness" `Quick test_service_staleness;
+          Alcotest.test_case "no old enough" `Quick test_service_no_old_enough;
+          Alcotest.test_case "unknown session" `Quick
+            test_service_unknown_session;
+          Alcotest.test_case "stop" `Quick test_service_stop;
+        ] );
+    ]

@@ -1,0 +1,412 @@
+(* Tests for the discrete-event engine: heap, time, PRNG, sim loop, stats,
+   trace. *)
+
+module Time = Engine.Time
+module Sim = Engine.Sim
+module Heap = Engine.Heap
+module Prng = Engine.Prng
+module Stats = Engine.Stats
+module Trace = Engine.Trace
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+let checkf msg = check (Alcotest.float 1e-9) msg
+
+(* ---------- Time ---------- *)
+
+let test_time_units () =
+  checki "ms" 1_000_000 (Time.to_ns (Time.of_ms 1));
+  checki "sec" 1_000_000_000 (Time.to_ns (Time.of_sec 1));
+  checki "us" 1_000 (Time.to_ns (Time.of_us 1));
+  checkf "roundtrip" 1.5 (Time.to_sec_f (Time.of_sec_f 1.5))
+
+let test_time_add_diff () =
+  let t = Time.add (Time.of_sec 2) (Time.span_of_ms 500) in
+  checki "add" 2_500_000_000 (Time.to_ns t);
+  checki "diff" 500_000_000 (Time.diff t (Time.of_sec 2));
+  checki "neg diff" (-500_000_000) (Time.diff (Time.of_sec 2) t)
+
+let test_time_invalid () =
+  Alcotest.check_raises "negative ns" (Invalid_argument "Time.of_ns: negative")
+    (fun () -> ignore (Time.of_ns (-1)));
+  Alcotest.check_raises "negative span"
+    (Invalid_argument "Time.add: negative span") (fun () ->
+      ignore (Time.add Time.zero (-5)))
+
+let test_time_compare () =
+  checkb "lt" true Time.(of_sec 1 < of_sec 2);
+  checkb "le eq" true Time.(of_sec 2 <= of_sec 2);
+  checkb "gt" true Time.(of_sec 3 > of_sec 2);
+  checki "min" (Time.to_ns (Time.of_sec 1))
+    (Time.to_ns (Time.min (Time.of_sec 1) (Time.of_sec 2)))
+
+(* ---------- Heap ---------- *)
+
+let test_heap_order () =
+  let h = Heap.create ~cmp:Int.compare in
+  List.iter (Heap.push h) [ 5; 3; 8; 1; 9; 2; 7 ];
+  let rec drain acc =
+    match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  check (Alcotest.list Alcotest.int) "sorted" [ 1; 2; 3; 5; 7; 8; 9 ] (drain [])
+
+let test_heap_empty () =
+  let h = Heap.create ~cmp:Int.compare in
+  checkb "empty" true (Heap.is_empty h);
+  checkb "pop none" true (Heap.pop h = None);
+  checkb "peek none" true (Heap.peek h = None)
+
+let test_heap_peek_stable () =
+  let h = Heap.create ~cmp:Int.compare in
+  Heap.push h 4;
+  Heap.push h 2;
+  checkb "peek min" true (Heap.peek h = Some 2);
+  checki "len unchanged" 2 (Heap.length h)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:Int.compare in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort Int.compare xs)
+
+let prop_heap_interleaved =
+  QCheck.Test.make ~name:"heap interleaved push/pop keeps min" ~count:200
+    QCheck.(list (pair bool small_int))
+    (fun ops ->
+      let h = Heap.create ~cmp:Int.compare in
+      let model = ref [] in
+      List.for_all
+        (fun (is_push, x) ->
+          if is_push then begin
+            Heap.push h x;
+            model := List.sort Int.compare (x :: !model);
+            true
+          end
+          else
+            match (Heap.pop h, !model) with
+            | None, [] -> true
+            | Some v, m :: rest ->
+                model := rest;
+                v = m
+            | _ -> false)
+        ops)
+
+(* ---------- Prng ---------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:7L and b = Prng.create ~seed:7L in
+  for _ = 1 to 100 do
+    checkb "same" true (Prng.bits64 a = Prng.bits64 b)
+  done
+
+let test_prng_streams_differ () =
+  let root = Prng.create ~seed:7L in
+  let a = Prng.split root ~label:"a" and b = Prng.split root ~label:"b" in
+  checkb "streams differ" true (Prng.bits64 a <> Prng.bits64 b)
+
+let test_prng_split_stable () =
+  let r1 = Prng.create ~seed:9L and r2 = Prng.create ~seed:9L in
+  let a = Prng.split r1 ~label:"x" and b = Prng.split r2 ~label:"x" in
+  checkb "same stream" true (Prng.bits64 a = Prng.bits64 b)
+
+let test_prng_bounds () =
+  let g = Prng.create ~seed:1L in
+  for _ = 1 to 1000 do
+    let v = Prng.int g ~bound:10 in
+    checkb "in range" true (v >= 0 && v < 10);
+    let f = Prng.float g in
+    checkb "float range" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_prng_uniform_mean () =
+  let g = Prng.create ~seed:3L in
+  let s = Stats.create () in
+  for _ = 1 to 20_000 do
+    Stats.add s (Prng.uniform g ~lo:2.0 ~hi:4.0)
+  done;
+  checkb "mean near 3" true (Float.abs (Stats.mean s -. 3.0) < 0.02)
+
+let test_prng_bernoulli () =
+  let g = Prng.create ~seed:4L in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Prng.bool g ~p:0.25 then incr hits
+  done;
+  let frac = float_of_int !hits /. float_of_int n in
+  checkb "p near 0.25" true (Float.abs (frac -. 0.25) < 0.02)
+
+let test_prng_invalid () =
+  let g = Prng.create ~seed:1L in
+  Alcotest.check_raises "bound" (Invalid_argument "Prng.int: bound <= 0")
+    (fun () -> ignore (Prng.int g ~bound:0));
+  Alcotest.check_raises "mean" (Invalid_argument "Prng.exponential: mean <= 0")
+    (fun () -> ignore (Prng.exponential g ~mean:0.0))
+
+(* ---------- Sim ---------- *)
+
+let test_sim_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore (Sim.schedule_at sim (Time.of_sec 2) (fun () -> log := 2 :: !log));
+  ignore (Sim.schedule_at sim (Time.of_sec 1) (fun () -> log := 1 :: !log));
+  ignore (Sim.schedule_at sim (Time.of_sec 3) (fun () -> log := 3 :: !log));
+  Sim.run_until sim (Time.of_sec 10);
+  check (Alcotest.list Alcotest.int) "order" [ 1; 2; 3 ] (List.rev !log)
+
+let test_sim_fifo_ties () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Sim.schedule_at sim (Time.of_sec 1) (fun () -> log := i :: !log))
+  done;
+  Sim.run_until sim (Time.of_sec 2);
+  check (Alcotest.list Alcotest.int) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_sim_clock_advances () =
+  let sim = Sim.create () in
+  let seen = ref Time.zero in
+  ignore (Sim.schedule_at sim (Time.of_sec 5) (fun () -> seen := Sim.now sim));
+  Sim.run_until sim (Time.of_sec 10);
+  checki "event time" (Time.to_ns (Time.of_sec 5)) (Time.to_ns !seen);
+  checki "horizon" (Time.to_ns (Time.of_sec 10)) (Time.to_ns (Sim.now sim))
+
+let test_sim_horizon_excludes_later () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  ignore (Sim.schedule_at sim (Time.of_sec 5) (fun () -> fired := true));
+  Sim.run_until sim (Time.of_sec 4);
+  checkb "not yet" false !fired;
+  Sim.run_until sim (Time.of_sec 5);
+  checkb "now" true !fired
+
+let test_sim_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let h = Sim.schedule_at sim (Time.of_sec 1) (fun () -> fired := true) in
+  Sim.cancel sim h;
+  Sim.run_until sim (Time.of_sec 2);
+  checkb "cancelled" false !fired
+
+let test_sim_schedule_past_rejected () =
+  let sim = Sim.create () in
+  Sim.run_until sim (Time.of_sec 5);
+  checkb "raises" true
+    (try
+       ignore (Sim.schedule_at sim (Time.of_sec 1) ignore);
+       false
+     with Invalid_argument _ -> true)
+
+let test_sim_nested_schedule () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore
+    (Sim.schedule_at sim (Time.of_sec 1) (fun () ->
+         log := "a" :: !log;
+         ignore
+           (Sim.schedule_after sim (Time.span_of_sec 1) (fun () ->
+                log := "b" :: !log))));
+  Sim.run_until sim (Time.of_sec 3);
+  check (Alcotest.list Alcotest.string) "nested" [ "a"; "b" ] (List.rev !log)
+
+let test_sim_every () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  ignore (Sim.every sim ~period:(Time.span_of_sec 1) (fun () -> incr count));
+  Sim.run_until sim (Time.of_sec 10);
+  checki "ten firings" 10 !count
+
+let test_sim_every_cancel () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let h = Sim.every sim ~period:(Time.span_of_sec 1) (fun () -> incr count) in
+  ignore
+    (Sim.schedule_at sim (Time.of_ms 3_500) (fun () -> Sim.cancel sim h));
+  Sim.run_until sim (Time.of_sec 10);
+  checki "stopped after 3" 3 !count
+
+let test_sim_every_start () =
+  let sim = Sim.create () in
+  let times = ref [] in
+  ignore
+    (Sim.every sim ~start:(Time.of_sec 5) ~period:(Time.span_of_sec 2)
+       (fun () -> times := Time.to_sec_f (Sim.now sim) :: !times));
+  Sim.run_until sim (Time.of_sec 10);
+  check
+    (Alcotest.list (Alcotest.float 1e-9))
+    "start offset" [ 5.0; 7.0; 9.0 ] (List.rev !times)
+
+let test_sim_every_jitter () =
+  let sim = Sim.create () in
+  let rng = Sim.rng sim ~label:"jitter" in
+  let times = ref [] in
+  ignore
+    (Sim.every sim ~jitter:(rng, 0.2) ~period:(Time.span_of_sec 1) (fun () ->
+         times := Time.to_sec_f (Sim.now sim) :: !times));
+  Sim.run_until sim (Time.of_sec 20);
+  let n = List.length !times in
+  checkb (Printf.sprintf "about 20 firings (%d)" n) true (n >= 17 && n <= 22);
+  (* Displacements stay within the jitter band around the nominal grid. *)
+  List.iteri
+    (fun i at ->
+      let nominal = float_of_int (n - i) in
+      checkb "within band" true (Float.abs (at -. nominal) <= 0.21))
+    !times
+
+let test_sim_dispatched_counter () =
+  let sim = Sim.create () in
+  for i = 1 to 7 do
+    ignore (Sim.schedule_at sim (Time.of_sec i) ignore)
+  done;
+  Sim.run_until sim (Time.of_sec 100);
+  checki "count" 7 (Sim.events_dispatched sim)
+
+let prop_sim_events_in_time_order =
+  QCheck.Test.make ~name:"events dispatch in nondecreasing time order"
+    ~count:100
+    QCheck.(list (int_bound 1000))
+    (fun times ->
+      let sim = Sim.create () in
+      let fired = ref [] in
+      List.iter
+        (fun ms ->
+          ignore
+            (Sim.schedule_at sim (Time.of_ms ms) (fun () ->
+                 fired := ms :: !fired)))
+        times;
+      Sim.run_until sim (Time.of_sec 10);
+      let f = List.rev !fired in
+      List.length f = List.length times
+      && List.for_all2 ( = ) f (List.stable_sort Int.compare times))
+
+(* ---------- Stats ---------- *)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  checki "count" 4 (Stats.count s);
+  checkf "mean" 2.5 (Stats.mean s);
+  checkf "sum" 10.0 (Stats.sum s);
+  checkf "min" 1.0 (Stats.min s);
+  checkf "max" 4.0 (Stats.max s);
+  check (Alcotest.float 1e-9) "variance" (5.0 /. 3.0) (Stats.variance s)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  checkf "mean 0" 0.0 (Stats.mean s);
+  checkf "var 0" 0.0 (Stats.variance s)
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () and whole = Stats.create () in
+  let xs = [ 1.0; 5.0; 2.0 ] and ys = [ 9.0; 3.0; 7.0; 4.0 ] in
+  List.iter (Stats.add a) xs;
+  List.iter (Stats.add b) ys;
+  List.iter (Stats.add whole) (xs @ ys);
+  let m = Stats.merge a b in
+  checki "count" (Stats.count whole) (Stats.count m);
+  check (Alcotest.float 1e-9) "mean" (Stats.mean whole) (Stats.mean m);
+  check (Alcotest.float 1e-9) "variance" (Stats.variance whole)
+    (Stats.variance m)
+
+let prop_stats_mean_matches_naive =
+  QCheck.Test.make ~name:"online mean equals naive mean" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      let naive = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+      Float.abs (Stats.mean s -. naive) < 1e-6)
+
+(* ---------- Trace ---------- *)
+
+let test_trace_ring () =
+  let tr = Trace.create ~capacity:3 in
+  for i = 1 to 5 do
+    Trace.record tr (Time.of_sec i) i
+  done;
+  checki "len capped" 3 (Trace.length tr);
+  checki "total" 5 (Trace.total tr);
+  check (Alcotest.list Alcotest.int) "keeps newest" [ 3; 4; 5 ]
+    (List.map snd (Trace.to_list tr))
+
+let test_trace_find_last () =
+  let tr = Trace.create ~capacity:10 in
+  List.iter (fun i -> Trace.record tr (Time.of_sec i) i) [ 1; 2; 3; 4 ];
+  checkb "finds newest even" true
+    (Trace.find_last tr ~f:(fun x -> x mod 2 = 0) = Some (Time.of_sec 4, 4));
+  checkb "none" true (Trace.find_last tr ~f:(fun x -> x > 10) = None)
+
+let test_trace_iter_order () =
+  let tr = Trace.create ~capacity:2 in
+  List.iter (fun i -> Trace.record tr (Time.of_sec i) i) [ 1; 2; 3 ];
+  let acc = ref [] in
+  Trace.iter tr ~f:(fun _ x -> acc := x :: !acc);
+  check (Alcotest.list Alcotest.int) "oldest first" [ 2; 3 ] (List.rev !acc)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "units" `Quick test_time_units;
+          Alcotest.test_case "add/diff" `Quick test_time_add_diff;
+          Alcotest.test_case "invalid" `Quick test_time_invalid;
+          Alcotest.test_case "compare" `Quick test_time_compare;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "sorted drain" `Quick test_heap_order;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "peek" `Quick test_heap_peek_stable;
+        ] );
+      qsuite "heap-props" [ prop_heap_sorted; prop_heap_interleaved ];
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "streams differ" `Quick test_prng_streams_differ;
+          Alcotest.test_case "split stable" `Quick test_prng_split_stable;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "uniform mean" `Quick test_prng_uniform_mean;
+          Alcotest.test_case "bernoulli" `Quick test_prng_bernoulli;
+          Alcotest.test_case "invalid args" `Quick test_prng_invalid;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "time order" `Quick test_sim_order;
+          Alcotest.test_case "fifo ties" `Quick test_sim_fifo_ties;
+          Alcotest.test_case "clock" `Quick test_sim_clock_advances;
+          Alcotest.test_case "horizon" `Quick test_sim_horizon_excludes_later;
+          Alcotest.test_case "cancel" `Quick test_sim_cancel;
+          Alcotest.test_case "past rejected" `Quick
+            test_sim_schedule_past_rejected;
+          Alcotest.test_case "nested" `Quick test_sim_nested_schedule;
+          Alcotest.test_case "every" `Quick test_sim_every;
+          Alcotest.test_case "every cancel" `Quick test_sim_every_cancel;
+          Alcotest.test_case "every start" `Quick test_sim_every_start;
+          Alcotest.test_case "every jitter" `Quick test_sim_every_jitter;
+          Alcotest.test_case "dispatch count" `Quick
+            test_sim_dispatched_counter;
+        ] );
+      qsuite "sim-props" [ prop_sim_events_in_time_order ];
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "merge" `Quick test_stats_merge;
+        ] );
+      qsuite "stats-props" [ prop_stats_mean_matches_naive ];
+      ( "trace",
+        [
+          Alcotest.test_case "ring" `Quick test_trace_ring;
+          Alcotest.test_case "find_last" `Quick test_trace_find_last;
+          Alcotest.test_case "iter order" `Quick test_trace_iter_order;
+        ] );
+    ]

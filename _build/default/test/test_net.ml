@@ -1,0 +1,356 @@
+(* Tests for the packet-level network substrate: topology, routing, links,
+   drop-tail queues, and end-to-end unicast forwarding. *)
+
+module Time = Engine.Time
+module Sim = Engine.Sim
+module Topology = Net.Topology
+module Routing = Net.Routing
+module Network = Net.Network
+module Packet = Net.Packet
+module Addr = Net.Addr
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+
+type Packet.payload += Probe of int
+
+(* A line topology n0 - n1 - ... - n(k-1). *)
+let line ?(bandwidth_bps = 1_000_000.0) ?(delay = Time.span_of_ms 10)
+    ?(queue_limit = Topology.default_queue_limit) k =
+  let topo = Topology.create () in
+  let nodes = Topology.add_nodes topo k in
+  List.iteri
+    (fun i a ->
+      if i < k - 1 then
+        Topology.add_duplex topo ~a ~b:(a + 1) ~bandwidth_bps ~delay
+          ~queue_limit ())
+    nodes;
+  topo
+
+(* ---------- Topology ---------- *)
+
+let test_topology_nodes () =
+  let topo = Topology.create () in
+  let a = Topology.add_node topo and b = Topology.add_node topo in
+  checki "ids dense" 0 a;
+  checki "ids dense 2" 1 b;
+  checki "count" 2 (Topology.node_count topo)
+
+let test_topology_duplicate_rejected () =
+  let topo = line 2 in
+  checkb "duplicate raises" true
+    (try
+       Topology.add_duplex topo ~a:0 ~b:1 ~bandwidth_bps:1.0 ();
+       false
+     with Invalid_argument _ -> true);
+  checkb "reverse duplicate raises" true
+    (try
+       Topology.add_duplex topo ~a:1 ~b:0 ~bandwidth_bps:1.0 ();
+       false
+     with Invalid_argument _ -> true)
+
+let test_topology_self_loop_rejected () =
+  let topo = Topology.create () in
+  let a = Topology.add_node topo in
+  checkb "raises" true
+    (try
+       Topology.add_duplex topo ~a ~b:a ~bandwidth_bps:1.0 ();
+       false
+     with Invalid_argument _ -> true)
+
+let test_topology_neighbors () =
+  let topo = line 3 in
+  check (Alcotest.list Alcotest.int) "middle" [ 0; 2 ]
+    (Topology.neighbors topo 1);
+  check (Alcotest.list Alcotest.int) "end" [ 1 ] (Topology.neighbors topo 0)
+
+let test_topology_connectivity () =
+  checkb "line connected" true (Topology.is_connected (line 4));
+  let topo = Topology.create () in
+  ignore (Topology.add_nodes topo 2);
+  checkb "two islands" false (Topology.is_connected topo)
+
+(* ---------- Routing ---------- *)
+
+let test_routing_line () =
+  let topo = line 4 in
+  let r = Routing.compute topo in
+  checki "0->3 via 1" 1 (Routing.next_hop r ~from:0 ~dst:3);
+  checki "3->0 via 2" 2 (Routing.next_hop r ~from:3 ~dst:0);
+  check (Alcotest.list Alcotest.int) "path" [ 0; 1; 2; 3 ]
+    (Routing.path r ~from:0 ~dst:3);
+  checki "distance 3 hops" (3 * Time.to_ns (Time.of_ms 10))
+    (Routing.distance r ~from:0 ~dst:3)
+
+let test_routing_shortcut () =
+  (* Square with a diagonal: 0-1-2, 0-3-2, plus direct 0-2 -> direct wins. *)
+  let topo = Topology.create () in
+  ignore (Topology.add_nodes topo 4);
+  let d = Time.span_of_ms 10 in
+  List.iter
+    (fun (a, b) -> Topology.add_duplex topo ~a ~b ~bandwidth_bps:1e6 ~delay:d ())
+    [ (0, 1); (1, 2); (0, 3); (3, 2); (0, 2) ];
+  let r = Routing.compute topo in
+  checki "direct" 2 (Routing.next_hop r ~from:0 ~dst:2);
+  check (Alcotest.list Alcotest.int) "path len" [ 0; 2 ]
+    (Routing.path r ~from:0 ~dst:2)
+
+let test_routing_disconnected_rejected () =
+  let topo = Topology.create () in
+  ignore (Topology.add_nodes topo 3);
+  Topology.add_duplex topo ~a:0 ~b:1 ~bandwidth_bps:1e6 ();
+  checkb "raises" true
+    (try
+       ignore (Routing.compute topo);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_routing_paths_valid =
+  (* On a random connected graph, every routed path starts and ends right,
+     never repeats a node, and walks only existing edges. *)
+  let gen =
+    QCheck.make
+      QCheck.Gen.(
+        let* n = 2 -- 12 in
+        (* random spanning edges + extras *)
+        let* extra = list_size (0 -- 10) (pair (int_bound (n - 1)) (int_bound (n - 1))) in
+        return (n, extra))
+  in
+  QCheck.Test.make ~name:"routed paths are valid walks" ~count:100 gen
+    (fun (n, extra) ->
+      let topo = Topology.create () in
+      ignore (Topology.add_nodes topo n);
+      let edges = ref [] in
+      let add a b =
+        if
+          a <> b
+          && not (List.exists (fun (x, y) -> (x = a && y = b) || (x = b && y = a)) !edges)
+        then begin
+          edges := (a, b) :: !edges;
+          Topology.add_duplex topo ~a ~b ~bandwidth_bps:1e6 ()
+        end
+      in
+      for i = 1 to n - 1 do
+        add i (i - 1)
+      done;
+      List.iter (fun (a, b) -> add a b) extra;
+      let r = Routing.compute topo in
+      let ok = ref true in
+      for from = 0 to n - 1 do
+        for dst = 0 to n - 1 do
+          if from <> dst then begin
+            let p = Routing.path r ~from ~dst in
+            let adjacent a b =
+              List.exists
+                (fun (x, y) -> (x = a && y = b) || (x = b && y = a))
+                !edges
+            in
+            let rec walk = function
+              | a :: (b :: _ as rest) -> adjacent a b && walk rest
+              | [ _ ] | [] -> true
+            in
+            if
+              List.hd p <> from
+              || List.hd (List.rev p) <> dst
+              || List.length (List.sort_uniq Int.compare p) <> List.length p
+              || not (walk p)
+            then ok := false
+          end
+        done
+      done;
+      !ok)
+
+let prop_routing_distance_symmetric =
+  QCheck.Test.make ~name:"distance is symmetric on symmetric links" ~count:50
+    QCheck.(int_range 2 10)
+    (fun n ->
+      let topo = line n in
+      let r = Routing.compute topo in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          if a <> b && Routing.distance r ~from:a ~dst:b <> Routing.distance r ~from:b ~dst:a
+          then ok := false
+        done
+      done;
+      !ok)
+
+(* ---------- Link timing and queueing ---------- *)
+
+(* 1 Mbps link: an 1000-byte packet serializes in 8 ms. *)
+let test_link_serialization_timing () =
+  let sim = Sim.create () in
+  let topo = line ~bandwidth_bps:1e6 ~delay:(Time.span_of_ms 10) 2 in
+  let nw = Network.create ~sim topo in
+  let arrival = ref None in
+  Network.set_local_handler nw 1 (fun _ -> arrival := Some (Sim.now sim));
+  Network.originate nw ~src:0 ~dst:(Addr.Unicast 1) ~size:1000
+    ~payload:(Probe 0);
+  Sim.run_until sim (Time.of_sec 1);
+  match !arrival with
+  | None -> Alcotest.fail "packet not delivered"
+  | Some t -> checki "8ms ser + 10ms prop" (Time.to_ns (Time.of_ms 18)) (Time.to_ns t)
+
+let test_link_back_to_back () =
+  let sim = Sim.create () in
+  let topo = line ~bandwidth_bps:1e6 ~delay:(Time.span_of_ms 10) 2 in
+  let nw = Network.create ~sim topo in
+  let arrivals = ref [] in
+  Network.set_local_handler nw 1 (fun _ ->
+      arrivals := Time.to_ns (Sim.now sim) :: !arrivals);
+  for i = 1 to 3 do
+    Network.originate nw ~src:0 ~dst:(Addr.Unicast 1) ~size:1000
+      ~payload:(Probe i)
+  done;
+  Sim.run_until sim (Time.of_sec 1);
+  check
+    (Alcotest.list Alcotest.int)
+    "spaced by serialization"
+    [
+      Time.to_ns (Time.of_ms 18);
+      Time.to_ns (Time.of_ms 26);
+      Time.to_ns (Time.of_ms 34);
+    ]
+    (List.rev !arrivals)
+
+let test_link_drop_tail () =
+  let sim = Sim.create () in
+  (* Tiny queue: 2 waiting + 1 in service = at most 3 get through. *)
+  let topo = line ~bandwidth_bps:1e6 ~delay:(Time.span_of_ms 1) ~queue_limit:2 2 in
+  let nw = Network.create ~sim topo in
+  let delivered = ref 0 in
+  Network.set_local_handler nw 1 (fun _ -> incr delivered);
+  for i = 1 to 10 do
+    Network.originate nw ~src:0 ~dst:(Addr.Unicast 1) ~size:1000
+      ~payload:(Probe i)
+  done;
+  Sim.run_until sim (Time.of_sec 1);
+  checki "only 3 delivered" 3 !delivered;
+  let link = Network.link_on_iface nw ~node:0 ~iface:0 in
+  checki "7 dropped" 7 (Net.Link.drops link);
+  checki "3 transmitted" 3 (Net.Link.tx_packets link);
+  checki "bytes" 3000 (Net.Link.tx_bytes link)
+
+let test_link_drains_queue () =
+  let sim = Sim.create () in
+  let topo = line ~bandwidth_bps:1e6 ~delay:(Time.span_of_ms 1) ~queue_limit:50 2 in
+  let nw = Network.create ~sim topo in
+  let delivered = ref 0 in
+  Network.set_local_handler nw 1 (fun _ -> incr delivered);
+  for i = 1 to 20 do
+    Network.originate nw ~src:0 ~dst:(Addr.Unicast 1) ~size:500
+      ~payload:(Probe i)
+  done;
+  Sim.run_until sim (Time.of_sec 1);
+  checki "all delivered" 20 !delivered
+
+(* ---------- Network forwarding ---------- *)
+
+let test_unicast_multihop () =
+  let sim = Sim.create () in
+  let nw = Network.create ~sim (line 5) in
+  let got = ref None in
+  Network.set_local_handler nw 4 (fun pkt -> got := Some pkt.Packet.src);
+  Network.originate nw ~src:0 ~dst:(Addr.Unicast 4) ~size:100
+    ~payload:(Probe 7);
+  Sim.run_until sim (Time.of_sec 1);
+  checkb "delivered with src" true (!got = Some 0)
+
+let test_unicast_to_self () =
+  let sim = Sim.create () in
+  let nw = Network.create ~sim (line 2) in
+  let got = ref false in
+  Network.set_local_handler nw 0 (fun _ -> got := true);
+  Network.originate nw ~src:0 ~dst:(Addr.Unicast 0) ~size:100
+    ~payload:(Probe 0);
+  checkb "self delivery immediate" true !got
+
+let test_intermediate_not_delivered () =
+  let sim = Sim.create () in
+  let nw = Network.create ~sim (line 3) in
+  let mid = ref 0 and dst = ref 0 in
+  Network.set_local_handler nw 1 (fun _ -> incr mid);
+  Network.set_local_handler nw 2 (fun _ -> incr dst);
+  Network.originate nw ~src:0 ~dst:(Addr.Unicast 2) ~size:100
+    ~payload:(Probe 0);
+  Sim.run_until sim (Time.of_sec 1);
+  checki "middle sees nothing" 0 !mid;
+  checki "destination sees one" 1 !dst
+
+let test_iface_mapping () =
+  let sim = Sim.create () in
+  let nw = Network.create ~sim (line 3) in
+  checki "node1 has two ifaces" 2 (Network.iface_count nw 1);
+  let i0 = Network.iface_to nw ~node:1 ~neighbor:0 in
+  let i2 = Network.iface_to nw ~node:1 ~neighbor:2 in
+  checkb "distinct" true (i0 <> i2);
+  checki "neighbor roundtrip" 0 (Network.neighbor nw ~node:1 ~iface:i0);
+  checki "toward 0" i0 (Network.iface_toward nw ~node:1 ~dst:0)
+
+let test_mcast_without_handler_dropped () =
+  let sim = Sim.create () in
+  let nw = Network.create ~sim (line 2) in
+  let got = ref false in
+  Network.set_local_handler nw 1 (fun _ -> got := true);
+  Network.originate nw ~src:0 ~dst:(Addr.Multicast 0) ~size:100
+    ~payload:(Probe 0);
+  Sim.run_until sim (Time.of_sec 1);
+  checkb "dropped" false !got
+
+let test_packet_ids_unique () =
+  let sim = Sim.create () in
+  let nw = Network.create ~sim (line 2) in
+  let ids = ref [] in
+  Network.set_local_handler nw 1 (fun pkt -> ids := pkt.Packet.id :: !ids);
+  for i = 1 to 5 do
+    Network.originate nw ~src:0 ~dst:(Addr.Unicast 1) ~size:100
+      ~payload:(Probe i)
+  done;
+  Sim.run_until sim (Time.of_sec 1);
+  checki "unique ids" 5 (List.length (List.sort_uniq Int.compare !ids));
+  checki "counter" 5 (Network.packets_created nw)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "node ids" `Quick test_topology_nodes;
+          Alcotest.test_case "duplicate link" `Quick
+            test_topology_duplicate_rejected;
+          Alcotest.test_case "self loop" `Quick test_topology_self_loop_rejected;
+          Alcotest.test_case "neighbors" `Quick test_topology_neighbors;
+          Alcotest.test_case "connectivity" `Quick test_topology_connectivity;
+        ] );
+      ( "routing",
+        [
+          Alcotest.test_case "line" `Quick test_routing_line;
+          Alcotest.test_case "shortcut" `Quick test_routing_shortcut;
+          Alcotest.test_case "disconnected" `Quick
+            test_routing_disconnected_rejected;
+        ] );
+      qsuite "routing-props"
+        [ prop_routing_paths_valid; prop_routing_distance_symmetric ];
+      ( "link",
+        [
+          Alcotest.test_case "serialization timing" `Quick
+            test_link_serialization_timing;
+          Alcotest.test_case "back to back" `Quick test_link_back_to_back;
+          Alcotest.test_case "drop tail" `Quick test_link_drop_tail;
+          Alcotest.test_case "drains queue" `Quick test_link_drains_queue;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "multihop" `Quick test_unicast_multihop;
+          Alcotest.test_case "to self" `Quick test_unicast_to_self;
+          Alcotest.test_case "transit nodes silent" `Quick
+            test_intermediate_not_delivered;
+          Alcotest.test_case "iface mapping" `Quick test_iface_mapping;
+          Alcotest.test_case "mcast no handler" `Quick
+            test_mcast_without_handler_dropped;
+          Alcotest.test_case "packet ids" `Quick test_packet_ids_unique;
+        ] );
+    ]

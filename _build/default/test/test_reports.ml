@@ -1,0 +1,220 @@
+(* Tests for receiver-side loss accounting and RTCP-like report packets. *)
+
+module Time = Engine.Time
+module Sim = Engine.Sim
+module Stats = Reports.Receiver_stats
+module Rtcp = Reports.Rtcp
+module Topology = Net.Topology
+module Network = Net.Network
+module Addr = Net.Addr
+module Packet = Net.Packet
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
+
+let feed t ~session ~layer seqs =
+  List.iter (fun seq -> Stats.on_data t ~session ~layer ~seq ~size:1000) seqs
+
+(* ---------- Receiver_stats ---------- *)
+
+let test_no_loss () =
+  let t = Stats.create () in
+  Stats.on_join_layer t ~session:0 ~layer:0;
+  feed t ~session:0 ~layer:0 [ 10; 11; 12; 13 ];
+  let w = Stats.take_window t ~session:0 in
+  checki "expected" 4 w.expected;
+  checki "received" 4 w.received;
+  checkf "loss" 0.0 w.loss_rate;
+  checki "bytes" 4000 w.bytes
+
+let test_gap_is_loss () =
+  let t = Stats.create () in
+  Stats.on_join_layer t ~session:0 ~layer:0;
+  feed t ~session:0 ~layer:0 [ 0; 1; 4; 5 ];
+  (* seqs 2,3 lost: expected 6, received 4 *)
+  let w = Stats.take_window t ~session:0 in
+  checki "expected" 6 w.expected;
+  checki "received" 4 w.received;
+  checkf "loss 1/3" (1.0 /. 3.0) w.loss_rate
+
+let test_windows_roll () =
+  let t = Stats.create () in
+  Stats.on_join_layer t ~session:0 ~layer:0;
+  feed t ~session:0 ~layer:0 [ 0; 1; 2 ];
+  ignore (Stats.take_window t ~session:0);
+  feed t ~session:0 ~layer:0 [ 3; 5 ];
+  let w = Stats.take_window t ~session:0 in
+  checki "expected in 2nd window" 3 w.expected;
+  checki "received in 2nd window" 2 w.received
+
+let test_join_mid_stream_not_loss () =
+  (* Joining at seq 1000 must not count 0..999 as lost. *)
+  let t = Stats.create () in
+  Stats.on_join_layer t ~session:0 ~layer:0;
+  feed t ~session:0 ~layer:0 [ 1000; 1001; 1002 ];
+  let w = Stats.take_window t ~session:0 in
+  checki "expected" 3 w.expected;
+  checkf "no loss" 0.0 w.loss_rate
+
+let test_rejoin_resets_epoch () =
+  let t = Stats.create () in
+  Stats.on_join_layer t ~session:0 ~layer:0;
+  feed t ~session:0 ~layer:0 [ 0; 1 ];
+  Stats.on_leave_layer t ~session:0 ~layer:0;
+  ignore (Stats.take_window t ~session:0);
+  (* Rejoin much later; the seq jump must not appear as loss. *)
+  Stats.on_join_layer t ~session:0 ~layer:0;
+  feed t ~session:0 ~layer:0 [ 500; 501 ];
+  let w = Stats.take_window t ~session:0 in
+  checki "expected" 2 w.expected;
+  checkf "no loss" 0.0 w.loss_rate
+
+let test_left_layer_ignored () =
+  let t = Stats.create () in
+  Stats.on_join_layer t ~session:0 ~layer:0;
+  Stats.on_join_layer t ~session:0 ~layer:1;
+  feed t ~session:0 ~layer:0 [ 0; 1 ];
+  Stats.on_leave_layer t ~session:0 ~layer:1;
+  (* Packets for the left layer still arriving must not count. *)
+  feed t ~session:0 ~layer:1 [ 7; 8; 9 ];
+  let w = Stats.take_window t ~session:0 in
+  checki "only layer 0" 2 w.expected;
+  checki "bytes only layer 0" 2000 w.bytes
+
+let test_multi_layer_aggregation () =
+  let t = Stats.create () in
+  Stats.on_join_layer t ~session:0 ~layer:0;
+  Stats.on_join_layer t ~session:0 ~layer:1;
+  feed t ~session:0 ~layer:0 [ 0; 1; 2; 3 ];
+  feed t ~session:0 ~layer:1 [ 0; 3 ];
+  (* layer1: expected 4 (0..3), received 2 *)
+  let w = Stats.take_window t ~session:0 in
+  checki "expected" 8 w.expected;
+  checki "received" 6 w.received;
+  checkf "loss" 0.25 w.loss_rate
+
+let test_sessions_separate () =
+  let t = Stats.create () in
+  Stats.on_join_layer t ~session:0 ~layer:0;
+  Stats.on_join_layer t ~session:1 ~layer:0;
+  feed t ~session:0 ~layer:0 [ 0; 1 ];
+  feed t ~session:1 ~layer:0 [ 0; 1; 2; 5 ];
+  let w0 = Stats.take_window t ~session:0 in
+  let w1 = Stats.take_window t ~session:1 in
+  checkf "s0 clean" 0.0 w0.loss_rate;
+  checkf "s1 lossy" (1.0 /. 3.0) w1.loss_rate;
+  checki "total bytes s1" 4000 (Stats.total_bytes t ~session:1)
+
+let test_layer_loss_view () =
+  let t = Stats.create () in
+  Stats.on_join_layer t ~session:0 ~layer:2;
+  feed t ~session:0 ~layer:2 [ 0; 2 ];
+  checkf "current window layer loss" (1.0 /. 3.0)
+    (Stats.layer_loss t ~session:0 ~layer:2);
+  checkf "unknown layer" 0.0 (Stats.layer_loss t ~session:0 ~layer:5)
+
+let test_sustained_classification () =
+  let t = Stats.create () in
+  Stats.on_join_layer t ~session:0 ~layer:0;
+  (* Window 1: lossy -> not yet sustained. *)
+  feed t ~session:0 ~layer:0 [ 0; 2 ];
+  let w1 = Stats.take_window t ~session:0 in
+  checkb "first lossy window is a burst" false w1.sustained;
+  (* Window 2: lossy again -> sustained. *)
+  feed t ~session:0 ~layer:0 [ 3; 5 ];
+  let w2 = Stats.take_window t ~session:0 in
+  checkb "second consecutive lossy window" true w2.sustained;
+  (* Window 3: clean -> streak resets. *)
+  feed t ~session:0 ~layer:0 [ 6; 7 ];
+  let w3 = Stats.take_window t ~session:0 in
+  checkb "clean window" false w3.sustained;
+  (* Window 4: lossy once more -> burst again. *)
+  feed t ~session:0 ~layer:0 [ 8; 10 ];
+  let w4 = Stats.take_window t ~session:0 in
+  checkb "streak restarted" false w4.sustained
+
+let test_empty_window () =
+  let t = Stats.create () in
+  Stats.on_join_layer t ~session:0 ~layer:0;
+  let w = Stats.take_window t ~session:0 in
+  checki "nothing expected" 0 w.expected;
+  checkf "loss 0 when silent" 0.0 w.loss_rate
+
+let prop_loss_rate_matches_drops =
+  (* Deliver a random subset of 0..n-1 (always including the endpooints so
+     expectations are exact); loss rate must equal the dropped fraction. *)
+  let gen =
+    QCheck.make
+      QCheck.Gen.(
+        let* n = 2 -- 200 in
+        let* keep = list_size (return n) bool in
+        return (n, keep))
+  in
+  QCheck.Test.make ~name:"loss rate = dropped fraction" ~count:100 gen
+    (fun (n, keep) ->
+      let t = Stats.create () in
+      Stats.on_join_layer t ~session:0 ~layer:0;
+      let received = ref 0 in
+      List.iteri
+        (fun i k ->
+          if i = 0 || i = n - 1 || k then begin
+            incr received;
+            Stats.on_data t ~session:0 ~layer:0 ~seq:i ~size:10
+          end)
+        keep;
+      let w = Stats.take_window t ~session:0 in
+      w.expected = n
+      && w.received = !received
+      && Float.abs
+           (w.loss_rate -. (float_of_int (n - !received) /. float_of_int n))
+         < 1e-9)
+
+(* ---------- Rtcp over the network ---------- *)
+
+let test_report_travels () =
+  let sim = Sim.create () in
+  let topo = Topology.create () in
+  ignore (Topology.add_nodes topo 2);
+  Topology.add_duplex topo ~a:0 ~b:1 ~bandwidth_bps:1e6 ();
+  let nw = Network.create ~sim topo in
+  let got = ref None in
+  Network.set_local_handler nw 0 (fun pkt ->
+      match pkt.Packet.payload with
+      | Rtcp.Report r -> got := Some (r.receiver, r.session, r.level, r.loss_rate)
+      | _ -> ());
+  let stats = Stats.create () in
+  Stats.on_join_layer stats ~session:3 ~layer:0;
+  feed stats ~session:3 ~layer:0 [ 0; 1; 2; 3 ];
+  let w = Stats.take_window stats ~session:3 in
+  Rtcp.send_report ~network:nw ~receiver:1 ~controller:0 ~session:3 ~level:2
+    ~window:(Time.span_of_sec 1) w;
+  Sim.run_until sim (Time.of_sec 1);
+  checkb "arrived intact" true (!got = Some (1, 3, 2, 0.0))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "reports"
+    [
+      ( "receiver-stats",
+        [
+          Alcotest.test_case "no loss" `Quick test_no_loss;
+          Alcotest.test_case "gap is loss" `Quick test_gap_is_loss;
+          Alcotest.test_case "windows roll" `Quick test_windows_roll;
+          Alcotest.test_case "mid-stream join" `Quick
+            test_join_mid_stream_not_loss;
+          Alcotest.test_case "rejoin epoch" `Quick test_rejoin_resets_epoch;
+          Alcotest.test_case "left layer ignored" `Quick
+            test_left_layer_ignored;
+          Alcotest.test_case "multi layer" `Quick test_multi_layer_aggregation;
+          Alcotest.test_case "sessions separate" `Quick test_sessions_separate;
+          Alcotest.test_case "layer loss view" `Quick test_layer_loss_view;
+          Alcotest.test_case "empty window" `Quick test_empty_window;
+          Alcotest.test_case "sustained classification" `Quick
+            test_sustained_classification;
+        ] );
+      qsuite "props" [ prop_loss_rate_matches_drops ];
+      ( "rtcp",
+        [ Alcotest.test_case "report travels" `Quick test_report_travels ] );
+    ]

@@ -1,0 +1,780 @@
+(* Unit tests for the TopoSense algorithm stages: parameters, the Table I
+   decision table, the controller's tree image, back-off timers,
+   congestion states, capacity estimation, bottlenecks, fair sharing and
+   the demand/supply pass. *)
+
+module Time = Engine.Time
+module Params = Toposense.Params
+module Decision = Toposense.Decision
+module Tree = Toposense.Tree
+module Backoff = Toposense.Backoff
+module Congestion = Toposense.Congestion
+module Capacity = Toposense.Capacity
+module Bottleneck = Toposense.Bottleneck
+module Fair_share = Toposense.Fair_share
+module Algorithm = Toposense.Algorithm
+module Layering = Traffic.Layering
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let checkf msg = Alcotest.check (Alcotest.float 1e-6) msg
+
+let params = Params.default
+
+(* Build a snapshot by hand: edges as (parent, child, layers), members as
+   (node, level). *)
+let snapshot ?(session = 0) ?(source = 0) ~edges ~members () =
+  {
+    Discovery.Snapshot.session;
+    taken_at = Time.zero;
+    source;
+    edges =
+      List.map
+        (fun (parent, child, layers) ->
+          { Discovery.Snapshot.parent; child; layers })
+        edges;
+    members;
+  }
+
+(* The Fig. 1-ish shape used throughout:
+   0 -> 1 -> {2 -> {4, 5}, 3 -> {6, 7}} with members 4..7. *)
+let two_branch ?(levels = [ (4, 4); (5, 4); (6, 2); (7, 2) ]) () =
+  snapshot
+    ~edges:
+      [
+        (0, 1, [ 0 ]);
+        (1, 2, [ 0 ]);
+        (1, 3, [ 0 ]);
+        (2, 4, [ 0 ]);
+        (2, 5, [ 0 ]);
+        (3, 6, [ 0 ]);
+        (3, 7, [ 0 ]);
+      ]
+    ~members:levels ()
+
+(* ---------- Params ---------- *)
+
+let test_params_default_valid () =
+  checkb "default ok" true (Params.validate Params.default = Ok ())
+
+let test_params_rejections () =
+  let bad =
+    [
+      { params with Params.interval = 0 };
+      { params with Params.p_threshold = 0.0 };
+      { params with Params.p_high = 0.001 };
+      { params with Params.p_very_high = 0.05 };
+      { params with Params.eta_similar = 1.5 };
+      { params with Params.backoff_max = params.Params.backoff_min - 1 };
+      { params with Params.capacity_reset_intervals = 0 };
+      { params with Params.suggestion_timeout_intervals = 0 };
+      { params with Params.staleness = -1 };
+      { params with Params.deaf_period = -1 };
+    ]
+  in
+  List.iteri
+    (fun i p ->
+      checkb (Printf.sprintf "bad %d rejected" i) true
+        (match Params.validate p with Error _ -> true | Ok () -> false))
+    bad
+
+(* ---------- Decision table (Table I, exhaustive) ---------- *)
+
+let action =
+  Alcotest.testable Decision.pp_action (fun a b -> a = b)
+
+let test_history_bits () =
+  checki "000" 0 (Decision.history_bits ~older:false ~middle:false ~current:false);
+  checki "001" 1 (Decision.history_bits ~older:false ~middle:false ~current:true);
+  checki "010" 2 (Decision.history_bits ~older:false ~middle:true ~current:false);
+  checki "100" 4 (Decision.history_bits ~older:true ~middle:false ~current:false);
+  checki "111" 7 (Decision.history_bits ~older:true ~middle:true ~current:true)
+
+let lookup = Decision.lookup
+
+let test_leaf_lesser_rows () =
+  let bw = Decision.Lesser in
+  Alcotest.check action "h0 add" Decision.Add_next_layer
+    (lookup ~kind:Decision.Leaf ~history:0 ~bw);
+  Alcotest.check action "h1 drop if high" Decision.Drop_layer_if_high_loss
+    (lookup ~kind:Decision.Leaf ~history:1 ~bw);
+  List.iter
+    (fun h ->
+      Alcotest.check action
+        (Printf.sprintf "h%d maintain" h)
+        Decision.Maintain_demand
+        (lookup ~kind:Decision.Leaf ~history:h ~bw))
+    [ 2; 4; 5; 6 ];
+  Alcotest.check action "h3 reduce to old supply"
+    (Decision.Reduce_to_supply Decision.Older)
+    (lookup ~kind:Decision.Leaf ~history:3 ~bw);
+  Alcotest.check action "h7 halve + backoff"
+    (Decision.Reduce_to_half_supply
+       { which = Decision.Older; set_backoff = true })
+    (lookup ~kind:Decision.Leaf ~history:7 ~bw)
+
+let test_leaf_equal_rows () =
+  let bw = Decision.Equal in
+  List.iter
+    (fun h ->
+      Alcotest.check action
+        (Printf.sprintf "h%d add" h)
+        Decision.Add_next_layer
+        (lookup ~kind:Decision.Leaf ~history:h ~bw))
+    [ 0; 4 ];
+  List.iter
+    (fun h ->
+      Alcotest.check action
+        (Printf.sprintf "h%d maintain" h)
+        Decision.Maintain_demand
+        (lookup ~kind:Decision.Leaf ~history:h ~bw))
+    [ 1; 2; 5; 6 ];
+  List.iter
+    (fun h ->
+      Alcotest.check action
+        (Printf.sprintf "h%d halve" h)
+        (Decision.Reduce_to_half_supply
+           { which = Decision.Older; set_backoff = true })
+        (lookup ~kind:Decision.Leaf ~history:h ~bw))
+    [ 3; 7 ]
+
+let test_leaf_greater_rows () =
+  let bw = Decision.Greater in
+  Alcotest.check action "h0 add" Decision.Add_next_layer
+    (lookup ~kind:Decision.Leaf ~history:0 ~bw);
+  List.iter
+    (fun h ->
+      Alcotest.check action
+        (Printf.sprintf "h%d maintain" h)
+        Decision.Maintain_demand
+        (lookup ~kind:Decision.Leaf ~history:h ~bw))
+    [ 1; 2; 4; 5; 6 ];
+  List.iter
+    (fun h ->
+      Alcotest.check action
+        (Printf.sprintf "h%d conditional halve" h)
+        (Decision.Reduce_to_half_supply_if_very_high_loss Decision.Older)
+        (lookup ~kind:Decision.Leaf ~history:h ~bw))
+    [ 3; 7 ]
+
+let test_internal_rows () =
+  List.iter
+    (fun bw ->
+      List.iter
+        (fun h ->
+          Alcotest.check action "h0/4 accept" Decision.Accept_children
+            (lookup ~kind:Decision.Internal ~history:h ~bw))
+        [ 0; 4 ];
+      List.iter
+        (fun h ->
+          Alcotest.check action "h2/3/6 maintain" Decision.Maintain_demand
+            (lookup ~kind:Decision.Internal ~history:h ~bw))
+        [ 2; 3; 6 ])
+    [ Decision.Lesser; Decision.Equal; Decision.Greater ];
+  List.iter
+    (fun h ->
+      Alcotest.check action "greater halves recent"
+        (Decision.Reduce_to_half_supply
+           { which = Decision.Recent; set_backoff = false })
+        (lookup ~kind:Decision.Internal ~history:h ~bw:Decision.Greater);
+      List.iter
+        (fun bw ->
+          Alcotest.check action "equal/lesser halves older"
+            (Decision.Reduce_to_half_supply
+               { which = Decision.Older; set_backoff = false })
+            (lookup ~kind:Decision.Internal ~history:h ~bw))
+        [ Decision.Equal; Decision.Lesser ])
+    [ 1; 5; 7 ]
+
+let test_lookup_total_and_bounded () =
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun bw ->
+          for h = 0 to 7 do
+            ignore (lookup ~kind ~history:h ~bw)
+          done)
+        [ Decision.Lesser; Decision.Equal; Decision.Greater ])
+    [ Decision.Leaf; Decision.Internal ];
+  checkb "history 8 rejected" true
+    (try
+       ignore (lookup ~kind:Decision.Leaf ~history:8 ~bw:Decision.Equal);
+       false
+     with Invalid_argument _ -> true)
+
+let test_classify_bw () =
+  let c = Decision.classify_bw ~tolerance:0.1 in
+  checkb "equal within tolerance" true (c ~older:100.0 ~recent:105.0 = Decision.Equal);
+  checkb "lesser" true (c ~older:50.0 ~recent:100.0 = Decision.Lesser);
+  checkb "greater" true (c ~older:100.0 ~recent:50.0 = Decision.Greater);
+  checkb "two silent windows equal" true (c ~older:0.0 ~recent:0.0 = Decision.Equal)
+
+(* ---------- Tree ---------- *)
+
+let test_tree_structure () =
+  let tree = Tree.of_snapshot (two_branch ()) in
+  checki "node count" 8 (Tree.node_count tree);
+  checki "source" 0 (Tree.source tree);
+  checkb "source parent" true (Tree.parent tree 0 = None);
+  checkb "parent of 4" true (Tree.parent tree 4 = Some 2);
+  Alcotest.check (Alcotest.list Alcotest.int) "children of 1" [ 2; 3 ]
+    (Tree.children tree 1);
+  checkb "leaf" true (Tree.is_leaf tree 7);
+  checkb "internal" false (Tree.is_leaf tree 3);
+  Alcotest.check (Alcotest.list Alcotest.int) "ancestors of 5" [ 2; 1; 0 ]
+    (Tree.ancestors tree 5)
+
+let test_tree_orders () =
+  let tree = Tree.of_snapshot (two_branch ()) in
+  let td = Tree.top_down tree in
+  checki "top-down starts at source" 0 (List.hd td);
+  (* Every parent appears before its children. *)
+  let pos n =
+    let rec find i = function
+      | [] -> -1
+      | x :: rest -> if x = n then i else find (i + 1) rest
+    in
+    find 0 td
+  in
+  List.iter
+    (fun (p, c) -> checkb "parent first" true (pos p < pos c))
+    (Tree.edges tree);
+  Alcotest.check (Alcotest.list Alcotest.int) "bottom-up reverses" (List.rev td)
+    (Tree.bottom_up tree)
+
+let test_tree_members_restricted () =
+  (* A member not attached to the tree is dropped. *)
+  let snap = two_branch ~levels:[ (4, 3); (99, 1) ] () in
+  let tree = Tree.of_snapshot snap in
+  Alcotest.check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "ghost member dropped" [ (4, 3) ] (Tree.members tree)
+
+let test_tree_rejects_non_tree () =
+  let snap =
+    snapshot
+      ~edges:[ (0, 1, [ 0 ]); (0, 2, [ 0 ]); (1, 2, [ 0 ]) ]
+      ~members:[] ()
+  in
+  checkb "two parents rejected" true
+    (try
+       ignore (Tree.of_snapshot snap);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- Backoff ---------- *)
+
+let test_backoff_lifecycle () =
+  let rng = Engine.Prng.create ~seed:1L in
+  let b = Backoff.create ~params ~rng in
+  let now = Time.of_sec 100 in
+  checkb "inactive" false (Backoff.active b ~session:0 ~node:4 ~layer:2 ~now);
+  Backoff.arm b ~session:0 ~node:4 ~layer:2 ~now;
+  checkb "active" true (Backoff.active b ~session:0 ~node:4 ~layer:2 ~now);
+  checkb "other layer inactive" false
+    (Backoff.active b ~session:0 ~node:4 ~layer:3 ~now);
+  checkb "other session inactive" false
+    (Backoff.active b ~session:1 ~node:4 ~layer:2 ~now);
+  (* Expires within backoff_max. *)
+  let later = Time.add now (params.Params.backoff_max + 1) in
+  checkb "expired" false
+    (Backoff.active b ~session:0 ~node:4 ~layer:2 ~now:later);
+  (* Still active at backoff_min - epsilon. *)
+  let soon = Time.add now (params.Params.backoff_min - 1) in
+  checkb "still before min" true
+    (Backoff.active b ~session:0 ~node:4 ~layer:2 ~now:soon)
+
+let test_backoff_blocks_path () =
+  let rng = Engine.Prng.create ~seed:1L in
+  let b = Backoff.create ~params ~rng in
+  let tree = Tree.of_snapshot (two_branch ()) in
+  let now = Time.zero in
+  Backoff.arm b ~session:0 ~node:2 ~layer:4 ~now;
+  checkb "ancestor blocks leaf 4" true
+    (Backoff.blocked_on_path b ~session:0 ~tree ~leaf:4 ~layer:4 ~now);
+  checkb "ancestor blocks leaf 5" true
+    (Backoff.blocked_on_path b ~session:0 ~tree ~leaf:5 ~layer:4 ~now);
+  checkb "other branch clear" false
+    (Backoff.blocked_on_path b ~session:0 ~tree ~leaf:6 ~layer:4 ~now);
+  Backoff.clear b;
+  checkb "cleared" false
+    (Backoff.blocked_on_path b ~session:0 ~tree ~leaf:4 ~layer:4 ~now)
+
+(* ---------- Congestion ---------- *)
+
+let verdicts_of ~measures snap =
+  let tree = Tree.of_snapshot snap in
+  (tree, Congestion.compute ~params ~tree
+           ~measure:(fun node -> List.assoc_opt node measures))
+
+let test_congestion_clean () =
+  let _, v =
+    verdicts_of
+      ~measures:[ (4, (0.0, 100)); (5, (0.0, 90)); (6, (0.0, 50)); (7, (0.0, 40)) ]
+      (two_branch ())
+  in
+  Hashtbl.iter
+    (fun node verdict ->
+      checkb
+        (Printf.sprintf "n%d clear" node)
+        false verdict.Congestion.congested)
+    v
+
+let test_congestion_leaf_threshold () =
+  let _, v =
+    verdicts_of
+      ~measures:[ (4, (0.05, 10)); (5, (0.0, 10)); (6, (0.0, 10)); (7, (0.0, 10)) ]
+      (two_branch ())
+  in
+  checkb "lossy leaf congested" true (Hashtbl.find v 4).Congestion.congested;
+  checkb "clean sibling not" false (Hashtbl.find v 5).Congestion.congested;
+  checkb "parent not congested (dissimilar)" false
+    (Hashtbl.find v 2).Congestion.congested
+
+let test_congestion_similar_siblings () =
+  let _, v =
+    verdicts_of
+      ~measures:
+        [ (4, (0.40, 10)); (5, (0.45, 12)); (6, (0.0, 10)); (7, (0.0, 10)) ]
+      (two_branch ())
+  in
+  checkb "shared parent congested" true (Hashtbl.find v 2).Congestion.congested;
+  checkb "self evidence" true (Hashtbl.find v 2).Congestion.self_congested;
+  checkb "other branch clear" false (Hashtbl.find v 3).Congestion.congested
+
+let test_congestion_dissimilar_siblings () =
+  let _, v =
+    verdicts_of
+      ~measures:
+        [ (4, (0.10, 10)); (5, (0.90, 12)); (6, (0.0, 10)); (7, (0.0, 10)) ]
+      (two_branch ())
+  in
+  checkb "dissimilar: parent not self-congested" false
+    (Hashtbl.find v 2).Congestion.self_congested
+
+let test_congestion_single_child_chain () =
+  (* 0 -> 1 -> 2 -> 3(leaf, lossy): no chain node may self-detect. *)
+  let snap =
+    snapshot
+      ~edges:[ (0, 1, [ 0 ]); (1, 2, [ 0 ]); (2, 3, [ 0 ]) ]
+      ~members:[ (3, 2) ] ()
+  in
+  let _, v = verdicts_of ~measures:[ (3, (0.5, 10)) ] snap in
+  checkb "leaf congested" true (Hashtbl.find v 3).Congestion.congested;
+  checkb "chain parent not" false (Hashtbl.find v 2).Congestion.congested;
+  checkb "source not" false (Hashtbl.find v 0).Congestion.congested
+
+let test_congestion_min_loss_propagation () =
+  let _, v =
+    verdicts_of
+      ~measures:
+        [ (4, (0.40, 10)); (5, (0.45, 12)); (6, (0.30, 10)); (7, (0.20, 10)) ]
+      (two_branch ())
+  in
+  checkf "min at 2" 0.40 (Hashtbl.find v 2).Congestion.loss;
+  checkf "min at 3" 0.20 (Hashtbl.find v 3).Congestion.loss;
+  checkf "min at 1" 0.20 (Hashtbl.find v 1).Congestion.loss
+
+let test_congestion_parent_inheritance () =
+  let _, v =
+    verdicts_of
+      ~measures:
+        [ (4, (0.40, 10)); (5, (0.45, 12)); (6, (0.0, 10)); (7, (0.0, 10)) ]
+      (two_branch ())
+  in
+  (* 2 is self-congested; its children inherit. *)
+  checkb "leaf 4 congested" true (Hashtbl.find v 4).Congestion.congested;
+  checkb "leaf 5 congested" true (Hashtbl.find v 5).Congestion.congested;
+  (* 5's loss was 0.45 > threshold -> also self. 4 likewise. *)
+  checkb "inheritance does not leak across branches" false
+    (Hashtbl.find v 6).Congestion.congested
+
+let test_congestion_max_bytes () =
+  let _, v =
+    verdicts_of
+      ~measures:
+        [ (4, (0.0, 100)); (5, (0.0, 300)); (6, (0.0, 50)); (7, (0.0, 70)) ]
+      (two_branch ())
+  in
+  checki "subtree max at 2" 300 (Hashtbl.find v 2).Congestion.max_bytes;
+  checki "subtree max at 3" 70 (Hashtbl.find v 3).Congestion.max_bytes;
+  checki "root sees global max" 300 (Hashtbl.find v 0).Congestion.max_bytes
+
+let test_congestion_missing_measure () =
+  let _, v = verdicts_of ~measures:[] (two_branch ()) in
+  checkb "no reports -> lossless" false (Hashtbl.find v 4).Congestion.congested;
+  checki "no bytes" 0 (Hashtbl.find v 1).Congestion.max_bytes
+
+(* ---------- Capacity ---------- *)
+
+let obs ?(dest_internal = true) ?(dest_self_congested = true) sessions =
+  { Capacity.sessions; dest_internal; dest_self_congested }
+
+let test_capacity_starts_unknown () =
+  let c = Capacity.create ~params in
+  checkb "infinite" true (Capacity.estimate_bps c ~edge:(0, 1) = infinity)
+
+let test_capacity_pins_on_evidence () =
+  let c = Capacity.create ~params in
+  (* 25_000 bytes over 2 s = 100 kbit/s. *)
+  Capacity.observe c ~edge:(0, 1) ~interval_s:2.0 (obs [ (0, 0.5, 25_000) ]);
+  checkf "pinned at observed" 100_000.0 (Capacity.estimate_bps c ~edge:(0, 1));
+  Alcotest.check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "known edges" [ (0, 1) ]
+    (Capacity.known_edges c)
+
+let test_capacity_needs_all_sessions_lossy () =
+  let c = Capacity.create ~params in
+  Capacity.observe c ~edge:(0, 1) ~interval_s:2.0
+    (obs [ (0, 0.5, 25_000); (1, 0.0, 30_000) ]);
+  checkb "one clean session blocks" true
+    (Capacity.estimate_bps c ~edge:(0, 1) = infinity)
+
+let test_capacity_leaf_dest_never_pins () =
+  let c = Capacity.create ~params in
+  Capacity.observe c ~edge:(0, 1) ~interval_s:2.0
+    (obs ~dest_internal:false [ (0, 0.5, 25_000) ]);
+  checkb "single-session leaf edge unpinned" true
+    (Capacity.estimate_bps c ~edge:(0, 1) = infinity);
+  (* Two sessions losing together at the same leaf DO measure the link. *)
+  Capacity.observe c ~edge:(0, 1) ~interval_s:2.0
+    (obs ~dest_internal:false ~dest_self_congested:false
+       [ (0, 0.5, 12_000); (1, 0.4, 13_000) ]);
+  checkf "multi-session leaf pin" 100_000.0 (Capacity.estimate_bps c ~edge:(0, 1))
+
+let test_capacity_localization () =
+  let c = Capacity.create ~params in
+  (* Single session, dest not self-congested: no pin. *)
+  Capacity.observe c ~edge:(0, 1) ~interval_s:2.0
+    (obs ~dest_self_congested:false [ (0, 0.5, 25_000) ]);
+  checkb "unlocalized single session" true
+    (Capacity.estimate_bps c ~edge:(0, 1) = infinity);
+  (* Two lossy sessions pin even without self-congestion. *)
+  Capacity.observe c ~edge:(0, 1) ~interval_s:2.0
+    (obs ~dest_self_congested:false [ (0, 0.5, 25_000); (1, 0.4, 25_000) ]);
+  checkf "multi-session pin" 200_000.0 (Capacity.estimate_bps c ~edge:(0, 1))
+
+let test_capacity_growth_and_reset () =
+  let c = Capacity.create ~params in
+  Capacity.observe c ~edge:(0, 1) ~interval_s:2.0 (obs [ (0, 0.5, 25_000) ]);
+  (* One clean low-usage interval: slow growth. *)
+  Capacity.observe c ~edge:(0, 1) ~interval_s:2.0 (obs [ (0, 0.0, 1_000) ]);
+  checkf "2% growth" (100_000.0 *. 1.02) (Capacity.estimate_bps c ~edge:(0, 1));
+  (* Saturating and loss-free: fast growth. *)
+  Capacity.observe c ~edge:(0, 1) ~interval_s:2.0 (obs [ (0, 0.0, 25_000) ]);
+  checkf "15% growth" (100_000.0 *. 1.02 *. 1.15)
+    (Capacity.estimate_bps c ~edge:(0, 1));
+  (* After capacity_reset_intervals quiet intervals, back to unknown. *)
+  for _ = 1 to params.Params.capacity_reset_intervals do
+    Capacity.observe c ~edge:(0, 1) ~interval_s:2.0 (obs [ (0, 0.0, 1_000) ])
+  done;
+  checkb "reset" true (Capacity.estimate_bps c ~edge:(0, 1) = infinity)
+
+let test_capacity_pin_uses_recent_best () =
+  let c = Capacity.create ~params in
+  (* Clean interval at 200 kbit/s, then a lossy one measured at only
+     100 kbit/s: the pin must remember the better recent throughput. *)
+  Capacity.observe c ~edge:(0, 1) ~interval_s:2.0 (obs [ (0, 0.0, 50_000) ]);
+  Capacity.observe c ~edge:(0, 1) ~interval_s:2.0 (obs [ (0, 0.5, 25_000) ]);
+  checkf "pin at best recent" 200_000.0 (Capacity.estimate_bps c ~edge:(0, 1))
+
+let test_capacity_manual_reset () =
+  let c = Capacity.create ~params in
+  Capacity.observe c ~edge:(0, 1) ~interval_s:2.0 (obs [ (0, 0.5, 25_000) ]);
+  Capacity.reset c ~edge:(0, 1);
+  checkb "manual reset" true (Capacity.estimate_bps c ~edge:(0, 1) = infinity)
+
+(* ---------- Bottleneck ---------- *)
+
+let test_bottleneck_propagation () =
+  let tree = Tree.of_snapshot (two_branch ()) in
+  let caps =
+    [ ((0, 1), 1e6); ((1, 2), 5e5); ((1, 3), 1e5); ((2, 4), 1e7); ((2, 5), 2e5) ]
+  in
+  let capacity ~edge =
+    Option.value ~default:infinity (List.assoc_opt edge caps)
+  in
+  let r = Bottleneck.compute ~tree ~capacity in
+  checkf "leaf 4 = min path" 5e5 (Hashtbl.find r.Bottleneck.bottleneck 4);
+  checkf "leaf 5 clipped by own hop" 2e5 (Hashtbl.find r.Bottleneck.bottleneck 5);
+  checkf "leaf 6" 1e5 (Hashtbl.find r.Bottleneck.bottleneck 6);
+  (* usable: max over children *)
+  checkf "usable at 2" 5e5 (Hashtbl.find r.Bottleneck.usable 2);
+  checkf "usable at 1" 5e5 (Hashtbl.find r.Bottleneck.usable 1);
+  checkf "usable at source" 5e5 (Hashtbl.find r.Bottleneck.usable 0)
+
+let test_bottleneck_unknown_is_infinite () =
+  let tree = Tree.of_snapshot (two_branch ()) in
+  let r = Bottleneck.compute ~tree ~capacity:(fun ~edge:_ -> infinity) in
+  checkb "all infinite" true
+    (Float.is_finite (Hashtbl.find r.Bottleneck.bottleneck 4) = false)
+
+(* ---------- Fair share ---------- *)
+
+(* Two chain sessions sharing edge (1,2); session 0 has a 250 Kbps
+   bottleneck below, session 1 is open-ended. This is the paper's
+   motivating example for the proportional rule. *)
+let fair_world ~shared_cap =
+  let lay = Layering.paper_default in
+  let tree_of ~session leaf_edge_cap_marker =
+    ignore leaf_edge_cap_marker;
+    Tree.of_snapshot
+      (snapshot ~session
+         ~edges:[ (0, 1, [ 0 ]); (1, 2, [ 0 ]); (2, 30 + session, [ 0 ]) ]
+         ~members:[ (30 + session, 1) ] ())
+  in
+  let t0 = tree_of ~session:0 () and t1 = tree_of ~session:1 () in
+  let caps =
+    [ ((1, 2), shared_cap); ((2, 30), 250_000.0) ]
+    (* session 1's last hop unconstrained *)
+  in
+  let capacity ~edge =
+    Option.value ~default:infinity (List.assoc_opt edge caps)
+  in
+  let shares =
+    Fair_share.compute
+      ~sessions:
+        [
+          { Fair_share.id = 0; layering = lay; tree = t0 };
+          { Fair_share.id = 1; layering = lay; tree = t1 };
+        ]
+      ~capacity
+  in
+  shares
+
+let test_fair_share_proportional () =
+  (* Shared capacity 1.25 Mbps; x0 is capped by its 250 Kbps downstream
+     bottleneck (224 Kbps in whole layers), x1 by the shared headroom. *)
+  let shares = fair_world ~shared_cap:1_250_000.0 in
+  let c0 = Fair_share.cap_bps shares ~session:0 ~edge:(1, 2) in
+  let c1 = Fair_share.cap_bps shares ~session:1 ~edge:(1, 2) in
+  checkb "session 1 gets much more" true (c1 > (2.0 *. c0));
+  checkb "session 0 at least its bottleneck-worth" true (c0 >= 224_000.0 *. 0.8);
+  checkb "caps within capacity" true (c0 <= 1_250_000.0 && c1 <= 1_250_000.0)
+
+let test_fair_share_single_session_gets_link () =
+  let lay = Layering.paper_default in
+  let t0 =
+    Tree.of_snapshot
+      (snapshot ~edges:[ (0, 1, [ 0 ]); (1, 2, [ 0 ]) ] ~members:[ (2, 1) ] ())
+  in
+  let capacity ~edge = if edge = (0, 1) then 400_000.0 else infinity in
+  let shares =
+    Fair_share.compute
+      ~sessions:[ { Fair_share.id = 0; layering = lay; tree = t0 } ]
+      ~capacity
+  in
+  checkf "whole link" 400_000.0 (Fair_share.cap_bps shares ~session:0 ~edge:(0, 1));
+  checkb "unknown edge uncapped" true
+    (Fair_share.cap_bps shares ~session:0 ~edge:(1, 2) = infinity)
+
+let test_fair_share_base_floor () =
+  (* Tiny shared link: every session still gets at least the base rate. *)
+  let shares = fair_world ~shared_cap:40_000.0 in
+  checkb "floor s0" true
+    (Fair_share.cap_bps shares ~session:0 ~edge:(1, 2) >= 32_000.0);
+  checkb "floor s1" true
+    (Fair_share.cap_bps shares ~session:1 ~edge:(1, 2) >= 32_000.0)
+
+(* ---------- Algorithm (stage 5 behaviour through the public API) ---------- *)
+
+let mk_algorithm () =
+  Algorithm.create ~params ~rng:(Engine.Prng.create ~seed:9L)
+
+let chain_input ?(loss = 0.0) ?(bytes = 8_000) ?(level = 1)
+    ?(may_add = fun _ -> true) ?(frozen = fun _ -> false) () =
+  let tree =
+    Tree.of_snapshot
+      (snapshot
+         ~edges:[ (0, 1, [ 0 ]); (1, 2, [ 0 ]); (1, 3, [ 0 ]) ]
+         ~members:[ (2, level); (3, level) ]
+         ())
+  in
+  {
+    Algorithm.id = 0;
+    layering = Layering.paper_default;
+    tree;
+    measures = [ (2, (loss, bytes)); (3, (loss, bytes)) ];
+    levels = [ (2, level); (3, level) ];
+    may_add;
+    frozen;
+  }
+
+let prescriptions_for algo ~now input = Algorithm.step algo ~now [ input ]
+
+let test_algorithm_probes_up () =
+  let algo = mk_algorithm () in
+  let p =
+    prescriptions_for algo ~now:(Time.of_sec 2) (chain_input ~level:1 ())
+  in
+  List.iter
+    (fun (pr : Algorithm.prescription) -> checki "level 2 prescribed" 2 pr.level)
+    p;
+  checki "two receivers" 2 (List.length p)
+
+let test_algorithm_add_gate_blocks () =
+  let algo = mk_algorithm () in
+  let p =
+    prescriptions_for algo ~now:(Time.of_sec 2)
+      (chain_input ~level:1 ~may_add:(fun _ -> false) ())
+  in
+  List.iter
+    (fun (pr : Algorithm.prescription) -> checki "held at 1" 1 pr.level)
+    p
+
+let test_algorithm_drop_on_heavy_loss () =
+  let algo = mk_algorithm () in
+  (* Establish clean history at level 4 first. *)
+  ignore
+    (prescriptions_for algo ~now:(Time.of_sec 2)
+       (chain_input ~level:4 ~bytes:120_000 ~may_add:(fun _ -> false) ()));
+  ignore
+    (prescriptions_for algo ~now:(Time.of_sec 4)
+       (chain_input ~level:4 ~bytes:120_000 ~may_add:(fun _ -> false) ()));
+  (* Now heavy loss: both siblings similar -> internal acts; prescriptions
+     must come down. *)
+  let p =
+    prescriptions_for algo ~now:(Time.of_sec 6)
+      (chain_input ~level:4 ~loss:0.5 ~bytes:60_000 ~may_add:(fun _ -> false)
+         ())
+  in
+  List.iter
+    (fun (pr : Algorithm.prescription) ->
+      checkb (Printf.sprintf "reduced (%d)" pr.level) true (pr.level < 4))
+    p
+
+let test_algorithm_frozen_leaf_holds () =
+  let algo = mk_algorithm () in
+  ignore
+    (prescriptions_for algo ~now:(Time.of_sec 2)
+       (chain_input ~level:3 ~bytes:60_000 ~may_add:(fun _ -> false) ()));
+  ignore
+    (prescriptions_for algo ~now:(Time.of_sec 4)
+       (chain_input ~level:3 ~bytes:60_000 ~may_add:(fun _ -> false) ()));
+  let p =
+    prescriptions_for algo ~now:(Time.of_sec 6)
+      (chain_input ~level:3 ~loss:0.5 ~bytes:30_000
+         ~may_add:(fun _ -> false)
+         ~frozen:(fun _ -> true)
+         ())
+  in
+  List.iter
+    (fun (pr : Algorithm.prescription) -> checki "frozen holds" 3 pr.level)
+    p
+
+let test_algorithm_capacity_estimate_appears () =
+  let algo = mk_algorithm () in
+  ignore
+    (prescriptions_for algo ~now:(Time.of_sec 2)
+       (chain_input ~level:4 ~bytes:120_000 ~may_add:(fun _ -> false) ()));
+  checkb "no estimate while clean" true
+    (Algorithm.capacity_estimate algo ~edge:(0, 1) = infinity);
+  ignore
+    (prescriptions_for algo ~now:(Time.of_sec 4)
+       (chain_input ~level:4 ~loss:0.5 ~bytes:60_000 ~may_add:(fun _ -> false)
+          ()));
+  (* Edge (0,1): dest 1 is internal with two similar lossy children. *)
+  let e = Algorithm.capacity_estimate algo ~edge:(0, 1) in
+  checkb "estimate pinned" true (Float.is_finite e);
+  (* best recent observation: 120000 B over 2 s = 480 kbit/s *)
+  checkf "value from best recent" 480_000.0 e
+
+let test_algorithm_verdict_exposed () =
+  let algo = mk_algorithm () in
+  ignore
+    (prescriptions_for algo ~now:(Time.of_sec 2)
+       (chain_input ~level:2 ~loss:0.4 ()));
+  match Algorithm.last_verdict algo ~session:0 ~node:2 with
+  | Some v -> checkb "lossy leaf verdict" true v.Congestion.congested
+  | None -> Alcotest.fail "verdict missing"
+
+let () =
+  Alcotest.run "toposense"
+    [
+      ( "params",
+        [
+          Alcotest.test_case "default valid" `Quick test_params_default_valid;
+          Alcotest.test_case "rejections" `Quick test_params_rejections;
+        ] );
+      ( "decision",
+        [
+          Alcotest.test_case "history bits" `Quick test_history_bits;
+          Alcotest.test_case "leaf lesser" `Quick test_leaf_lesser_rows;
+          Alcotest.test_case "leaf equal" `Quick test_leaf_equal_rows;
+          Alcotest.test_case "leaf greater" `Quick test_leaf_greater_rows;
+          Alcotest.test_case "internal" `Quick test_internal_rows;
+          Alcotest.test_case "total" `Quick test_lookup_total_and_bounded;
+          Alcotest.test_case "classify bw" `Quick test_classify_bw;
+        ] );
+      ( "tree",
+        [
+          Alcotest.test_case "structure" `Quick test_tree_structure;
+          Alcotest.test_case "orders" `Quick test_tree_orders;
+          Alcotest.test_case "members restricted" `Quick
+            test_tree_members_restricted;
+          Alcotest.test_case "rejects non-tree" `Quick test_tree_rejects_non_tree;
+        ] );
+      ( "backoff",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_backoff_lifecycle;
+          Alcotest.test_case "path blocking" `Quick test_backoff_blocks_path;
+        ] );
+      ( "congestion",
+        [
+          Alcotest.test_case "clean" `Quick test_congestion_clean;
+          Alcotest.test_case "leaf threshold" `Quick
+            test_congestion_leaf_threshold;
+          Alcotest.test_case "similar siblings" `Quick
+            test_congestion_similar_siblings;
+          Alcotest.test_case "dissimilar siblings" `Quick
+            test_congestion_dissimilar_siblings;
+          Alcotest.test_case "single-child chain" `Quick
+            test_congestion_single_child_chain;
+          Alcotest.test_case "min loss" `Quick test_congestion_min_loss_propagation;
+          Alcotest.test_case "inheritance" `Quick
+            test_congestion_parent_inheritance;
+          Alcotest.test_case "max bytes" `Quick test_congestion_max_bytes;
+          Alcotest.test_case "missing measure" `Quick
+            test_congestion_missing_measure;
+        ] );
+      ( "capacity",
+        [
+          Alcotest.test_case "starts unknown" `Quick test_capacity_starts_unknown;
+          Alcotest.test_case "pins" `Quick test_capacity_pins_on_evidence;
+          Alcotest.test_case "needs all lossy" `Quick
+            test_capacity_needs_all_sessions_lossy;
+          Alcotest.test_case "leaf dest" `Quick test_capacity_leaf_dest_never_pins;
+          Alcotest.test_case "localization" `Quick test_capacity_localization;
+          Alcotest.test_case "growth and reset" `Quick
+            test_capacity_growth_and_reset;
+          Alcotest.test_case "recent best" `Quick
+            test_capacity_pin_uses_recent_best;
+          Alcotest.test_case "manual reset" `Quick test_capacity_manual_reset;
+        ] );
+      ( "bottleneck",
+        [
+          Alcotest.test_case "propagation" `Quick test_bottleneck_propagation;
+          Alcotest.test_case "unknown infinite" `Quick
+            test_bottleneck_unknown_is_infinite;
+        ] );
+      ( "fair-share",
+        [
+          Alcotest.test_case "proportional" `Quick test_fair_share_proportional;
+          Alcotest.test_case "single session" `Quick
+            test_fair_share_single_session_gets_link;
+          Alcotest.test_case "base floor" `Quick test_fair_share_base_floor;
+        ] );
+      ( "algorithm",
+        [
+          Alcotest.test_case "probes up" `Quick test_algorithm_probes_up;
+          Alcotest.test_case "add gate" `Quick test_algorithm_add_gate_blocks;
+          Alcotest.test_case "drop on loss" `Quick
+            test_algorithm_drop_on_heavy_loss;
+          Alcotest.test_case "frozen holds" `Quick test_algorithm_frozen_leaf_holds;
+          Alcotest.test_case "capacity estimate" `Quick
+            test_algorithm_capacity_estimate_appears;
+          Alcotest.test_case "verdict exposed" `Quick
+            test_algorithm_verdict_exposed;
+        ] );
+    ]
