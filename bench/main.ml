@@ -361,6 +361,180 @@ let run_ablations () =
         changes)
     [ 1; 2; 4; 8 ]
 
+(* ---------- bench trajectory (BENCH_*.json) ---------- *)
+
+(* Macro throughput numbers for the hot path, written to BENCH_pr1.json
+   so successive PRs can compare events/sec and packets/sec on fixed
+   scenarios. Runs alone (fast) with BENCH_SMOKE=1 or --trajectory. *)
+
+type bench_row = {
+  bname : string;
+  sim_s : float;
+  wall_s : float;
+  events : int;
+  packets : int;
+  peak_heap : int;
+}
+
+(* Best wall time of [repeat] identical runs: the scenarios are
+   deterministic, so the minimum is the least-noisy estimate of the
+   true cost on a shared machine. *)
+let bench_repeat =
+  match Sys.getenv_opt "BENCH_REPEAT" with
+  | Some s -> (try max 1 (int_of_string s) with _ -> 3)
+  | None -> 3
+
+let time_wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let time_wall_best f =
+  let rec loop best_r best_w n =
+    if n = 0 then (best_r, best_w)
+    else begin
+      let r, w = time_wall f in
+      if w < best_w then loop r w (n - 1) else loop best_r best_w (n - 1)
+    end
+  in
+  let r, w = time_wall f in
+  loop r w (bench_repeat - 1)
+
+let experiment_row ~name ~spec ~traffic ~sim_s () =
+  let duration = Time.of_sec_f sim_s in
+  let o, wall =
+    time_wall_best (fun () ->
+        Experiment.run ~spec ~traffic ~scheme:Experiment.Toposense ~duration ())
+  in
+  {
+    bname = name;
+    sim_s;
+    wall_s = wall;
+    events = o.Experiment.events_dispatched;
+    packets = o.Experiment.forwarded_packets;
+    peak_heap = o.Experiment.peak_heap;
+  }
+
+(* Engine-only: thousands of periodic chains, most cancelled mid-run, on
+   top of a standing population of far-future one-shot events that also
+   get cancelled — the worst case for event-heap tombstones. *)
+let engine_churn_row ~sim_s () =
+  let run () =
+    let sim = Engine.Sim.create () in
+    let horizon = Time.of_sec_f sim_s in
+    let timers =
+      Array.init 2_000 (fun i ->
+          Engine.Sim.every sim
+            ~period:(Time.span_of_ms (1 + (i mod 50)))
+            ignore)
+    in
+    let far =
+      Array.init 100_000 (fun i ->
+          Engine.Sim.schedule_at sim
+            (Time.add horizon (Time.span_of_ms (i + 1)))
+            ignore)
+    in
+    ignore
+      (Engine.Sim.schedule_at sim
+         (Time.of_sec_f (sim_s /. 2.0))
+         (fun () ->
+           Array.iteri
+             (fun i h -> if i mod 10 <> 0 then Engine.Sim.cancel sim h)
+             timers;
+           Array.iter (fun h -> Engine.Sim.cancel sim h) far));
+    Engine.Sim.run_until sim horizon;
+    sim
+  in
+  let sim, wall = time_wall_best run in
+  {
+    bname = "engine-cancel-churn";
+    sim_s;
+    wall_s = wall;
+    events = Engine.Sim.events_dispatched sim;
+    packets = 0;
+    peak_heap = Engine.Sim.max_pending sim;
+  }
+
+let emit_bench_json ~path rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"bench\": \"pr1\",\n";
+  Printf.bprintf buf "  \"mode\": \"%s\",\n"
+    (if full then "full" else "quick");
+  Buffer.add_string buf "  \"scenarios\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i r ->
+      Printf.bprintf buf
+        "    {\"name\": \"%s\", \"sim_seconds\": %.1f, \"wall_seconds\": \
+         %.3f, \"events\": %d, \"events_per_sec\": %.0f, \
+         \"packets_forwarded\": %d, \"packets_per_sec\": %.0f, \
+         \"peak_heap\": %d}%s\n"
+        r.bname r.sim_s r.wall_s r.events
+        (float_of_int r.events /. r.wall_s)
+        r.packets
+        (float_of_int r.packets /. r.wall_s)
+        r.peak_heap
+        (if i = n - 1 then "" else ","))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+let run_trajectory () =
+  header "Bench trajectory (events/sec, packets/sec per scenario)";
+  let sim_s = if full then 600.0 else 300.0 in
+  let rows =
+    [
+      experiment_row ~name:"topoB-32-sessions-vbr"
+        ~spec:(Scenarios.Builders.topology_b ~session_count:32)
+        ~traffic:(Experiment.Vbr 3.0) ~sim_s ();
+      experiment_row ~name:"topoA-16-receivers-cbr"
+        ~spec:(Scenarios.Builders.topology_a ~receivers_per_set:16)
+        ~traffic:Experiment.Cbr ~sim_s ();
+      experiment_row ~name:"priority-overload"
+        ~spec:
+          (Scenarios.Builders.with_discipline
+             (fun ~bandwidth_bps ->
+               match
+                 Scenarios.Builders.default_discipline ~bandwidth_bps
+               with
+               | Net.Queue_discipline.Drop_tail { limit } ->
+                   Net.Queue_discipline.Priority { limit }
+               | d -> d)
+             (fun () -> Scenarios.Builders.topology_a ~receivers_per_set:4))
+        ~traffic:(Experiment.Vbr 6.0) ~sim_s ();
+      experiment_row ~name:"red-burst"
+        ~spec:
+          (Scenarios.Builders.with_discipline
+             (fun ~bandwidth_bps ->
+               match
+                 Scenarios.Builders.default_discipline ~bandwidth_bps
+               with
+               | Net.Queue_discipline.Drop_tail { limit } ->
+                   Net.Queue_discipline.default_red ~limit
+               | d -> d)
+             (fun () -> Scenarios.Builders.topology_a ~receivers_per_set:4))
+        ~traffic:(Experiment.Vbr 6.0) ~sim_s ();
+      engine_churn_row ~sim_s:(sim_s /. 5.0) ();
+    ]
+  in
+  List.iter
+    (fun r ->
+      Format.printf
+        "%-24s %6.1f sim-s in %6.2f s — %9.0f events/s, %8.0f packets/s, \
+         peak heap %d@."
+        r.bname r.sim_s r.wall_s
+        (float_of_int r.events /. r.wall_s)
+        (float_of_int r.packets /. r.wall_s)
+        r.peak_heap)
+    rows;
+  let path =
+    Option.value ~default:"BENCH_pr1.json" (Sys.getenv_opt "BENCH_OUT")
+  in
+  emit_bench_json ~path rows;
+  Format.printf "wrote %s@." path
+
 (* ---------- bechamel micro-benchmarks ---------- *)
 
 let small_sim_run () =
@@ -519,18 +693,26 @@ let benchmark () =
         (Bechamel.Test.elements test))
     tests
 
+let trajectory_only =
+  Sys.getenv_opt "BENCH_SMOKE" <> None
+  || Array.exists (fun a -> a = "--trajectory") Sys.argv
+
 let () =
   Format.printf
     "TopoSense reproduction bench harness (%s mode: %.0f s per simulated \
      run)@."
     (if full then "full" else "quick")
     (Time.to_sec_f duration);
-  run_table1 ();
-  run_fig6 ();
-  run_fig7 ();
-  run_fig8 ();
-  run_fig9 ();
-  run_fig10 ();
-  run_ablations ();
-  benchmark ();
+  if trajectory_only then run_trajectory ()
+  else begin
+    run_table1 ();
+    run_fig6 ();
+    run_fig7 ();
+    run_fig8 ();
+    run_fig9 ();
+    run_fig10 ();
+    run_ablations ();
+    benchmark ();
+    run_trajectory ()
+  end;
   Format.printf "@.done.@."

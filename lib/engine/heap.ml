@@ -18,6 +18,32 @@ let grow h x =
     h.data <- ndata
   end
 
+(* Vacated slots past [size] must not retain their old elements (event
+   thunks capture packets); fill them with an alias of a live element.
+   When the heap empties there is no live element, so drop the array. *)
+let clear_dead h =
+  if h.size = 0 then h.data <- [||]
+  else begin
+    let filler = h.data.(0) in
+    for i = h.size to Array.length h.data - 1 do
+      h.data.(i) <- filler
+    done
+  end
+
+(* Shrink once only a quarter of the capacity is live, re-clearing the
+   dead tail in the process. *)
+let maybe_shrink h =
+  let cap = Array.length h.data in
+  if cap > 16 && h.size * 4 <= cap then begin
+    if h.size = 0 then h.data <- [||]
+    else begin
+      let ncap = max 16 (cap / 2) in
+      let ndata = Array.make ncap h.data.(0) in
+      Array.blit h.data 0 ndata 0 h.size;
+      h.data <- ndata
+    end
+  end
+
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
@@ -49,17 +75,47 @@ let push h x =
 
 let peek h = if h.size = 0 then None else Some h.data.(0)
 
-let pop h =
-  if h.size = 0 then None
-  else begin
-    let root = h.data.(0) in
-    h.size <- h.size - 1;
-    if h.size > 0 then begin
-      h.data.(0) <- h.data.(h.size);
-      sift_down h 0
-    end;
-    Some root
+let peek_exn h =
+  if h.size = 0 then invalid_arg "Heap.peek_exn: empty";
+  h.data.(0)
+
+(* [pop_exn] exists so per-event callers (the simulator loop) pay no
+   [Some] allocation per pop. *)
+let pop_exn h =
+  if h.size = 0 then invalid_arg "Heap.pop_exn: empty";
+  let root = h.data.(0) in
+  h.size <- h.size - 1;
+  if h.size > 0 then begin
+    h.data.(0) <- h.data.(h.size);
+    (* The last slot now aliases the new root; overwrite it so the
+       moved element is not retained twice and the popped root not at
+       all. *)
+    h.data.(h.size) <- h.data.(0);
+    sift_down h 0
   end
+  else h.data <- [||];
+  maybe_shrink h;
+  root
+
+let pop h = if h.size = 0 then None else Some (pop_exn h)
+
+let filter h keep =
+  let j = ref 0 in
+  for i = 0 to h.size - 1 do
+    if keep h.data.(i) then begin
+      h.data.(!j) <- h.data.(i);
+      incr j
+    end
+  done;
+  h.size <- !j;
+  clear_dead h;
+  (* Floyd heapify: restore the heap order bottom-up in O(n). *)
+  for i = (h.size / 2) - 1 downto 0 do
+    sift_down h i
+  done;
+  maybe_shrink h
+
+let capacity h = Array.length h.data
 
 let clear h =
   h.data <- [||];

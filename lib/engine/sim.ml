@@ -3,6 +3,10 @@ type event = {
   seq : int;
   thunk : unit -> unit;
   mutable cancelled : bool;
+  mutable successor : event option;
+      (* A periodic chain's handle cell points at its currently armed
+         event, so cancelling the handle marks the in-heap event itself —
+         which lets the compactor drop it. [None] for one-shot events. *)
 }
 
 type handle = H : event -> handle [@@unboxed]
@@ -13,6 +17,8 @@ type t = {
   root_rng : Prng.t;
   mutable next_seq : int;
   mutable dispatched : int;
+  mutable max_pending : int;
+  mutable cancelled_pending : int;
 }
 
 let cmp_event a b =
@@ -26,32 +32,62 @@ let create ?(seed = 42L) () =
     root_rng = Prng.create ~seed;
     next_seq = 0;
     dispatched = 0;
+    max_pending = 0;
+    cancelled_pending = 0;
   }
 
 let now t = t.clock
 
 let rng t ~label = Prng.split t.root_rng ~label
 
-let schedule_at t at thunk =
+let schedule_event t at thunk =
   if Time.(at < t.clock) then
     invalid_arg
       (Format.asprintf "Sim.schedule_at: %a is before now (%a)" Time.pp at
          Time.pp t.clock);
-  let ev = { at; seq = t.next_seq; thunk; cancelled = false } in
+  let ev = { at; seq = t.next_seq; thunk; cancelled = false; successor = None } in
   t.next_seq <- t.next_seq + 1;
   Heap.push t.queue ev;
-  H ev
+  if Heap.length t.queue > t.max_pending then
+    t.max_pending <- Heap.length t.queue;
+  ev
+
+let schedule_at t at thunk = H (schedule_event t at thunk)
 
 let schedule_after t span thunk = schedule_at t (Time.add t.clock span) thunk
 
-let cancel _t (H ev) = ev.cancelled <- true
+(* Lazy deletion: cancelled events stay in the heap as tombstones until
+   they either surface at the root or outnumber the live events, at which
+   point one O(n) sweep drops them all — long runs that cancel many
+   [every] chains neither grow the heap nor retain the dead closures. *)
+let compact_threshold = 64
+
+let rec mark_cancelled t ev =
+  if not ev.cancelled then begin
+    ev.cancelled <- true;
+    t.cancelled_pending <- t.cancelled_pending + 1
+  end;
+  match ev.successor with None -> () | Some s -> mark_cancelled t s
+
+let cancel t (H ev) =
+  mark_cancelled t ev;
+  if
+    t.cancelled_pending > compact_threshold
+    && 2 * t.cancelled_pending > Heap.length t.queue
+  then begin
+    Heap.filter t.queue (fun e -> not e.cancelled);
+    t.cancelled_pending <- 0
+  end
 
 (* A periodic task is a chain of events; the handle must outlive each link,
-   so it wraps a forwarding cell updated on every rescheduling. *)
+   so it wraps a forwarding cell whose [successor] always points at the
+   currently armed link. *)
 let every t ?start ?jitter ~period f =
   if period <= 0 then invalid_arg "Sim.every: period <= 0";
   let first = match start with Some s -> s | None -> Time.add t.clock period in
-  let cell = { at = first; seq = -1; thunk = ignore; cancelled = false } in
+  let cell =
+    { at = first; seq = -1; thunk = ignore; cancelled = false; successor = None }
+  in
   let displaced base =
     match jitter with
     | None -> base
@@ -62,42 +98,48 @@ let every t ?start ?jitter ~period f =
         Time.of_ns (Stdlib.max (Time.to_ns t.clock) ns)
   in
   let rec arm at =
-    let (H ev) =
-      schedule_at t (displaced at)
-        (fun () ->
-          if not cell.cancelled then begin
-            f ();
-            if not cell.cancelled then arm (Time.add at period)
-          end)
+    let ev =
+      schedule_event t (displaced at) (fun () ->
+          f ();
+          if not cell.cancelled then arm (Time.add at period))
     in
-    (* Forward cancellation through the chain. *)
+    cell.successor <- Some ev;
+    (* Forward a cancellation that raced the re-arm. *)
     if cell.cancelled then ev.cancelled <- true
   in
   arm first;
   H cell
 
+let dispatch t ev =
+  t.clock <- ev.at;
+  if ev.cancelled then t.cancelled_pending <- max 0 (t.cancelled_pending - 1)
+  else begin
+    t.dispatched <- t.dispatched + 1;
+    ev.thunk ()
+  end
+
 let step t =
-  match Heap.pop t.queue with
-  | None -> false
-  | Some ev ->
-      t.clock <- ev.at;
-      if not ev.cancelled then begin
-        t.dispatched <- t.dispatched + 1;
-        ev.thunk ()
-      end;
-      true
+  if Heap.is_empty t.queue then false
+  else begin
+    dispatch t (Heap.pop_exn t.queue);
+    true
+  end
 
 let run_until t horizon =
   let rec loop () =
-    match Heap.peek t.queue with
-    | Some ev when Time.(ev.at <= horizon) ->
-        ignore (step t);
-        loop ()
-    | Some _ | None -> ()
+    if
+      (not (Heap.is_empty t.queue))
+      && Time.((Heap.peek_exn t.queue).at <= horizon)
+    then begin
+      dispatch t (Heap.pop_exn t.queue);
+      loop ()
+    end
   in
   loop ();
   t.clock <- Time.max t.clock horizon
 
 let pending t = Heap.length t.queue
+
+let max_pending t = t.max_pending
 
 let events_dispatched t = t.dispatched

@@ -53,5 +53,9 @@ val step : t -> bool
 val pending : t -> int
 (** Number of events still queued (including cancelled tombstones). *)
 
+val max_pending : t -> int
+(** High-water mark of {!pending} over the run — the peak event-heap
+    size, for capacity planning and the bench trajectory. *)
+
 val events_dispatched : t -> int
 (** Total events fired since creation; for tests and reporting. *)

@@ -4,6 +4,12 @@ module Addr = Net.Addr
 module Network = Net.Network
 module Iset = Set.Make (Int)
 
+module Pset = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
 type gstate = {
   mutable oifs : Iset.t;  (* outgoing interfaces with downstream interest *)
   mutable local : bool;  (* application-level membership at this node *)
@@ -13,30 +19,87 @@ type gstate = {
 
 type t = {
   network : Network.t;
+  node_count : int;
   leave_latency : Time.span;
   expedited_leave : bool;
-  sources : (Addr.group_id, Addr.node_id) Hashtbl.t;
-  state : (Addr.node_id * Addr.group_id, gstate) Hashtbl.t;
-  delivered : (Addr.group_id, int) Hashtbl.t;
+  (* Group ids are dense (allocated by [fresh_group]), so the per-packet
+     tables are arrays indexed by group — the forwarding path does plain
+     loads instead of hashing. Rows of [state_rows] are node-indexed and
+     allocated on a group's first touch. *)
+  mutable src_of : Addr.node_id array;  (* -1 = unknown group *)
+  mutable state_rows : gstate option array array;
+  mutable delivered_by_group : int array;
+  (* Derived views maintained incrementally on join/leave/graft/prune so
+     [members] and [tree_edges] — queried every TopoSense decision epoch —
+     don't fold the whole (node, group) table. *)
+  members_by_group : (Addr.group_id, Iset.t) Hashtbl.t;
+  edges_by_group : (Addr.group_id, Pset.t) Hashtbl.t;
   mutable next_group : Addr.group_id;
 }
 
+let grow_groups t g =
+  let cap = Array.length t.src_of in
+  if g >= cap then begin
+    let ncap = max 8 (max (g + 1) (2 * cap)) in
+    let nsrc = Array.make ncap (-1) in
+    Array.blit t.src_of 0 nsrc 0 cap;
+    t.src_of <- nsrc;
+    let nrows = Array.make ncap [||] in
+    Array.blit t.state_rows 0 nrows 0 cap;
+    t.state_rows <- nrows;
+    let ndel = Array.make ncap 0 in
+    Array.blit t.delivered_by_group 0 ndel 0 cap;
+    t.delivered_by_group <- ndel
+  end
+
+let add_member t ~group ~node =
+  let cur =
+    Option.value ~default:Iset.empty (Hashtbl.find_opt t.members_by_group group)
+  in
+  Hashtbl.replace t.members_by_group group (Iset.add node cur)
+
+let remove_member t ~group ~node =
+  match Hashtbl.find_opt t.members_by_group group with
+  | None -> ()
+  | Some cur -> Hashtbl.replace t.members_by_group group (Iset.remove node cur)
+
+let add_edge t ~group ~parent ~child =
+  let cur =
+    Option.value ~default:Pset.empty (Hashtbl.find_opt t.edges_by_group group)
+  in
+  Hashtbl.replace t.edges_by_group group (Pset.add (parent, child) cur)
+
+let remove_edge t ~group ~parent ~child =
+  match Hashtbl.find_opt t.edges_by_group group with
+  | None -> ()
+  | Some cur ->
+      Hashtbl.replace t.edges_by_group group (Pset.remove (parent, child) cur)
+
 let state t node group =
-  match Hashtbl.find_opt t.state (node, group) with
+  grow_groups t group;
+  let row = t.state_rows.(group) in
+  let row =
+    if Array.length row > 0 then row
+    else begin
+      let r = Array.make t.node_count None in
+      t.state_rows.(group) <- r;
+      r
+    end
+  in
+  match row.(node) with
   | Some s -> s
   | None ->
       let s = { oifs = Iset.empty; local = false; on_tree = false; leave_epoch = 0 } in
-      Hashtbl.add t.state (node, group) s;
+      row.(node) <- Some s;
       s
 
 let source t ~group =
-  match Hashtbl.find_opt t.sources group with
-  | Some s -> s
-  | None -> invalid_arg "Multicast.Router: unknown group"
+  if group < 0 || group >= Array.length t.src_of || t.src_of.(group) < 0 then
+    invalid_arg "Multicast.Router: unknown group";
+  t.src_of.(group)
 
 let count_delivery t group =
-  let n = Option.value ~default:0 (Hashtbl.find_opt t.delivered group) in
-  Hashtbl.replace t.delivered group (n + 1)
+  t.delivered_by_group.(group) <- t.delivered_by_group.(group) + 1
 
 (* Data-plane forwarding, installed on every node. *)
 let handle t node (pkt : Net.Packet.t) ~in_iface =
@@ -44,10 +107,17 @@ let handle t node (pkt : Net.Packet.t) ~in_iface =
   | Addr.Unicast _ -> ()
   | Addr.Multicast group ->
       let src = source t ~group in
+      (* RPF: the packet must arrive over the interface on the unicast
+         shortest path toward the source. Comparing neighbor ids avoids a
+         neighbor->interface lookup on the per-packet path. *)
       let rpf_ok =
         match in_iface with
         | None -> node = src
-        | Some i -> node <> src && i = Network.iface_toward t.network ~node ~dst:src
+        | Some i ->
+            node <> src
+            && Network.neighbor t.network ~node ~iface:i
+               = Net.Routing.next_hop (Network.routing t.network) ~from:node
+                   ~dst:src
       in
       if rpf_ok then begin
         let st = state t node group in
@@ -67,11 +137,14 @@ let create ~network ?(leave_latency = Time.span_of_sec 1)
   let t =
     {
       network;
+      node_count = Network.node_count network;
       leave_latency;
       expedited_leave;
-      sources = Hashtbl.create 64;
-      state = Hashtbl.create 256;
-      delivered = Hashtbl.create 64;
+      src_of = [||];
+      state_rows = [||];
+      delivered_by_group = [||];
+      members_by_group = Hashtbl.create 64;
+      edges_by_group = Hashtbl.create 64;
       next_group = 0;
     }
   in
@@ -87,7 +160,8 @@ let expedited_leave t = t.expedited_leave
 let fresh_group t ~source =
   let g = t.next_group in
   t.next_group <- t.next_group + 1;
-  Hashtbl.replace t.sources g source;
+  grow_groups t g;
+  t.src_of.(g) <- source;
   g
 
 let hop_delay t ~node ~parent =
@@ -105,7 +179,10 @@ let rec graft t ~node ~group =
       (Sim.schedule_after (Network.sim t.network) delay (fun () ->
            let pst = state t parent group in
            let oif = Network.iface_to t.network ~node:parent ~neighbor:node in
-           pst.oifs <- Iset.add oif pst.oifs;
+           if not (Iset.mem oif pst.oifs) then begin
+             pst.oifs <- Iset.add oif pst.oifs;
+             add_edge t ~group ~parent ~child:node
+           end;
            if not pst.on_tree then begin
              pst.on_tree <- true;
              graft t ~node:parent ~group
@@ -125,13 +202,17 @@ let rec maybe_prune t ~node ~group =
       (Sim.schedule_after (Network.sim t.network) delay (fun () ->
            let pst = state t parent group in
            let oif = Network.iface_to t.network ~node:parent ~neighbor:node in
-           pst.oifs <- Iset.remove oif pst.oifs;
+           if Iset.mem oif pst.oifs then begin
+             pst.oifs <- Iset.remove oif pst.oifs;
+             remove_edge t ~group ~parent ~child:node
+           end;
            maybe_prune t ~node:parent ~group))
   end
 
 let join t ~node ~group =
   let src = source t ~group in
   let st = state t node group in
+  if not st.local then add_member t ~group ~node;
   st.local <- true;
   st.leave_epoch <- st.leave_epoch + 1;
   if not st.on_tree then begin
@@ -143,6 +224,7 @@ let leave t ~node ~group =
   let st = state t node group in
   if st.local then begin
     st.local <- false;
+    remove_member t ~group ~node;
     st.leave_epoch <- st.leave_epoch + 1;
     if t.expedited_leave then maybe_prune t ~node ~group
     else begin
@@ -156,27 +238,23 @@ let leave t ~node ~group =
 
 let is_member t ~node ~group = (state t node group).local
 
+(* Both views are maintained incrementally; [Iset.elements] and
+   [Pset.elements] return sorted lists, matching the seed's fold + sort
+   over the whole state table element for element. *)
 let members t ~group =
-  Hashtbl.fold
-    (fun (node, g) st acc -> if g = group && st.local then node :: acc else acc)
-    t.state []
-  |> List.sort Int.compare
+  match Hashtbl.find_opt t.members_by_group group with
+  | None -> []
+  | Some s -> Iset.elements s
 
 let tree_edges t ~group =
-  Hashtbl.fold
-    (fun (node, g) st acc ->
-      if g = group then
-        Iset.fold
-          (fun oif acc ->
-            (node, Network.neighbor t.network ~node ~iface:oif) :: acc)
-          st.oifs acc
-      else acc)
-    t.state []
-  |> List.sort compare
+  match Hashtbl.find_opt t.edges_by_group group with
+  | None -> []
+  | Some s -> Pset.elements s
 
 let on_tree t ~node ~group = (state t node group).on_tree
 
 let delivered t ~group =
-  Option.value ~default:0 (Hashtbl.find_opt t.delivered group)
+  if group < 0 || group >= Array.length t.delivered_by_group then 0
+  else t.delivered_by_group.(group)
 
 let group_count t = t.next_group

@@ -12,6 +12,11 @@ type t = {
   mutable busy : bool;
   mutable tx_packets : int;
   mutable tx_bytes : int;
+  (* Memoized serialization span for the last packet size seen: traffic is
+     dominated by one data-packet size, so this skips the float division
+     on almost every transmission. *)
+  mutable ser_size : int;
+  mutable ser_span : Time.span;
 }
 
 let create ~sim ~src ~dst ~bandwidth_bps ~prop_delay ~queue =
@@ -27,12 +32,19 @@ let create ~sim ~src ~dst ~bandwidth_bps ~prop_delay ~queue =
     busy = false;
     tx_packets = 0;
     tx_bytes = 0;
+    ser_size = -1;
+    ser_span = Time.span_of_sec 0;
   }
 
 let set_deliver t f = t.deliver <- Some f
 
 let serialization_span t (pkt : Packet.t) =
-  Time.span_of_sec_f (float_of_int (pkt.size * 8) /. t.bandwidth_bps)
+  if pkt.size <> t.ser_size then begin
+    t.ser_size <- pkt.size;
+    t.ser_span <-
+      Time.span_of_sec_f (float_of_int (pkt.size * 8) /. t.bandwidth_bps)
+  end;
+  t.ser_span
 
 let rec transmit t (pkt : Packet.t) =
   t.busy <- true;

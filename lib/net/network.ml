@@ -1,9 +1,33 @@
 module Sim = Engine.Sim
+module Time = Engine.Time
+
+(* Growable array with O(1) amortised append and in-order iteration, for
+   handler/observer registration (the seed appended with [l @ [f]]). *)
+module Dyn = struct
+  type 'a t = { mutable items : 'a array; mutable count : int }
+
+  let create () = { items = [||]; count = 0 }
+
+  let push d x =
+    let cap = Array.length d.items in
+    if d.count = cap then begin
+      let ndata = Array.make (if cap = 0 then 4 else 2 * cap) x in
+      Array.blit d.items 0 ndata 0 d.count;
+      d.items <- ndata
+    end;
+    d.items.(d.count) <- x;
+    d.count <- d.count + 1
+
+  let reset_to d x = d.items <- [| x |]; d.count <- 1
+end
 
 type node = {
   mutable out_links : Link.t array;  (** indexed by interface *)
   mutable neighbors : Addr.node_id array;
-  mutable local_handlers : (Packet.t -> unit) list;  (** run in order *)
+  iface_of_neighbor : (Addr.node_id, int) Hashtbl.t;
+      (** inverse of [neighbors]: O(1) interface lookup on the data path
+          (RPF checks hit this for every packet at every hop) *)
+  local_handlers : (Packet.t -> unit) Dyn.t;  (** run in order *)
   mutable mcast_handler : (Packet.t -> in_iface:int option -> unit) option;
 }
 
@@ -12,8 +36,8 @@ type t = {
   routing : Routing.t;
   nodes : node array;
   mutable next_packet_id : int;
-  mutable observers :
-    (Packet.t -> at:Addr.node_id -> in_iface:int option -> unit) list;
+  observers :
+    (Packet.t -> at:Addr.node_id -> in_iface:int option -> unit) Dyn.t;
 }
 
 let sim t = t.sim
@@ -21,16 +45,30 @@ let routing t = t.routing
 let node_count t = Array.length t.nodes
 
 let fresh_node () =
-  { out_links = [||]; neighbors = [||]; local_handlers = []; mcast_handler = None }
+  {
+    out_links = [||];
+    neighbors = [||];
+    iface_of_neighbor = Hashtbl.create 8;
+    local_handlers = Dyn.create ();
+    mcast_handler = None;
+  }
 
 let deliver_local t n (pkt : Packet.t) =
-  List.iter (fun f -> f pkt) t.nodes.(n).local_handlers
+  let hs = t.nodes.(n).local_handlers in
+  for i = 0 to hs.Dyn.count - 1 do
+    hs.Dyn.items.(i) pkt
+  done
 
 (* Forwarding at [node] for a packet arriving from the wire or originated
    locally. Unicast is handled here; multicast is the plugged handler's
-   responsibility (RPF checks, group state). *)
+   responsibility (RPF checks, group state). The observer loops are
+   written out rather than going through [Dyn.iter] so the per-packet
+   path allocates no iteration closure. *)
 let rec handle t ~node ~in_iface (pkt : Packet.t) =
-  List.iter (fun f -> f pkt ~at:node ~in_iface) t.observers;
+  let obs = t.observers in
+  for i = 0 to obs.Dyn.count - 1 do
+    obs.Dyn.items.(i) pkt ~at:node ~in_iface
+  done;
   match pkt.dst with
   | Addr.Unicast d when d = node -> deliver_local t node pkt
   | Addr.Unicast d ->
@@ -43,21 +81,22 @@ let rec handle t ~node ~in_iface (pkt : Packet.t) =
 
 and send_to_neighbor t ~node ~neighbor pkt =
   let nd = t.nodes.(node) in
-  let rec find i =
-    if i >= Array.length nd.neighbors then
-      invalid_arg "Network: not adjacent"
-    else if nd.neighbors.(i) = neighbor then i
-    else find (i + 1)
-  in
-  Link.send nd.out_links.(find 0) pkt
+  match Hashtbl.find nd.iface_of_neighbor neighbor with
+  | i -> Link.send nd.out_links.(i) pkt
+  | exception Not_found -> invalid_arg "Network: not adjacent"
 
 let create ~sim topo =
   let routing = Routing.compute topo in
   let nodes = Array.init (Topology.node_count topo) (fun _ -> fresh_node ()) in
-  let t = { sim; routing; nodes; next_packet_id = 0; observers = [] } in
+  let t =
+    { sim; routing; nodes; next_packet_id = 0; observers = Dyn.create () }
+  in
+  let clock () = Time.to_sec_f (Sim.now sim) in
   let attach ~src ~dst (spec : Topology.link_spec) =
     let queue =
-      Queue_discipline.create spec.discipline
+      Queue_discipline.create spec.discipline ~clock
+        ~service_time_s:
+          (8.0 *. float_of_int Packet.data_size /. spec.bandwidth_bps)
         ~rng:(Sim.rng sim ~label:(Printf.sprintf "queue-%d-%d" src dst))
     in
     let link =
@@ -67,6 +106,7 @@ let create ~sim topo =
     let n = nodes.(src) in
     n.out_links <- Array.append n.out_links [| link |];
     n.neighbors <- Array.append n.neighbors [| dst |];
+    Hashtbl.replace n.iface_of_neighbor dst (Array.length n.neighbors - 1);
     link
   in
   List.iter
@@ -74,13 +114,7 @@ let create ~sim topo =
       let ab = attach ~src:spec.a ~dst:spec.b spec in
       let ba = attach ~src:spec.b ~dst:spec.a spec in
       (* A packet arriving over a->b comes in on b's interface to a. *)
-      let iface_of n neigh =
-        let nd = nodes.(n) in
-        let rec find i =
-          if nd.neighbors.(i) = neigh then i else find (i + 1)
-        in
-        find 0
-      in
+      let iface_of n neigh = Hashtbl.find nodes.(n).iface_of_neighbor neigh in
       let in_b = iface_of spec.b spec.a in
       let in_a = iface_of spec.a spec.b in
       Link.set_deliver ab (fun pkt ->
@@ -95,24 +129,17 @@ let iface_count t n = Array.length t.nodes.(n).out_links
 let neighbor t ~node ~iface = t.nodes.(node).neighbors.(iface)
 
 let iface_to t ~node ~neighbor =
-  let nd = t.nodes.(node) in
-  let rec find i =
-    if i >= Array.length nd.neighbors then raise Not_found
-    else if nd.neighbors.(i) = neighbor then i
-    else find (i + 1)
-  in
-  find 0
+  Hashtbl.find t.nodes.(node).iface_of_neighbor neighbor
 
 let iface_toward t ~node ~dst =
   let nh = Routing.next_hop t.routing ~from:node ~dst in
   iface_to t ~node ~neighbor:nh
 
-let add_transit_observer t f = t.observers <- t.observers @ [ f ]
+let add_transit_observer t f = Dyn.push t.observers f
 
-let set_local_handler t n f = t.nodes.(n).local_handlers <- [ f ]
+let set_local_handler t n f = Dyn.reset_to t.nodes.(n).local_handlers f
 
-let add_local_handler t n f =
-  t.nodes.(n).local_handlers <- t.nodes.(n).local_handlers @ [ f ]
+let add_local_handler t n f = Dyn.push t.nodes.(n).local_handlers f
 let set_mcast_handler t n f = t.nodes.(n).mcast_handler <- Some f
 
 let originate t ~src ~dst ~size ~payload =

@@ -31,31 +31,71 @@ let validate_spec = function
       else if not (0.0 < wq && wq <= 1.0) then Error "wq must be in (0,1]"
       else Ok ()
 
+(* Fills vacated ring slots so polled packets can be reclaimed. *)
+type Packet.payload += Vacant
+
+let vacant : Packet.t =
+  {
+    Packet.id = -1;
+    src = 0;
+    dst = Addr.Unicast 0;
+    size = 1;
+    payload = Vacant;
+    sent_at = Engine.Time.zero;
+  }
+
 type t = {
   spec : spec;
+  is_red : bool;  (* gates the idle-time bookkeeping out of poll *)
   rng : Engine.Prng.t;
-  (* Two-list FIFO deque: [front] is in service order, [back] reversed.
-     Priority eviction scans both lists; queues are at most ~100 packets
-     so the scan is cheap. *)
-  mutable front : Packet.t list;
-  mutable back : Packet.t list;
+  clock : unit -> float;  (* seconds; drives RED's idle decay *)
+  service_s : float;  (* typical packet transmission time, seconds *)
+  (* Fixed-capacity ring buffer: capacity is the discipline's [limit], so
+     enqueue and poll are O(1) with no allocation per operation. *)
+  buf : Packet.t array;
+  mutable head : int;
   mutable len : int;
   mutable drops : int;
   mutable early_drops : int;
   mutable avg : float;  (* RED's EWMA of the queue length *)
+  mutable idle_since : float;  (* clock time the queue drained; -1 = busy *)
 }
 
-let create spec ~rng =
+let limit_of = function
+  | Drop_tail { limit } | Priority { limit } | Red { limit; _ } -> limit
+
+let create ?(clock = fun () -> 0.0) ?(service_time_s = 1e-3) spec ~rng =
   (match validate_spec spec with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Queue_discipline.create: " ^ msg));
-  { spec; rng; front = []; back = []; len = 0; drops = 0; early_drops = 0; avg = 0.0 }
+  if service_time_s <= 0.0 then
+    invalid_arg "Queue_discipline.create: service_time_s <= 0";
+  {
+    spec;
+    is_red = (match spec with Red _ -> true | _ -> false);
+    rng;
+    clock;
+    service_s = service_time_s;
+    buf = Array.make (limit_of spec) vacant;
+    head = 0;
+    len = 0;
+    drops = 0;
+    early_drops = 0;
+    avg = 0.0;
+    idle_since = -1.0;
+  }
 
 let spec t = t.spec
 
+let slot t i =
+  let j = t.head + i in
+  let cap = Array.length t.buf in
+  if j >= cap then j - cap else j
+
 let enqueue t pkt =
-  t.back <- pkt :: t.back;
-  t.len <- t.len + 1
+  t.buf.(slot t t.len) <- pkt;
+  t.len <- t.len + 1;
+  t.idle_since <- -1.0
 
 (* Media importance: the base layer matters most; anything that is not
    media (reports, suggestions, probes) outranks all media. Smaller =
@@ -69,29 +109,27 @@ let offer_priority t limit pkt =
     true
   end
   else begin
-    (* Find the queued packet with the largest importance value; evict it
-       if the arrival is strictly more important. *)
-    let worst =
-      List.fold_left
-        (fun acc p -> if importance p > importance acc then p else acc)
-        (List.fold_left
-           (fun acc p -> if importance p > importance acc then p else acc)
-           pkt t.front)
-        t.back
-    in
+    (* Single pass over the ring: find the queued packet with the largest
+       importance value, the arrival being the initial candidate; evict
+       it only if some queued packet is strictly less important than the
+       arrival. *)
+    let worst_idx = ref (-1) in
+    let worst_imp = ref (importance pkt) in
+    for i = 0 to t.len - 1 do
+      let imp = importance t.buf.(slot t i) in
+      if imp > !worst_imp then begin
+        worst_imp := imp;
+        worst_idx := i
+      end
+    done;
     t.drops <- t.drops + 1;
-    if worst == pkt then false
+    if !worst_idx < 0 then false
     else begin
-      let removed = ref false in
-      let drop_once p =
-        if (not !removed) && p == worst then begin
-          removed := true;
-          false
-        end
-        else true
-      in
-      t.front <- List.filter drop_once t.front;
-      t.back <- List.filter drop_once t.back;
+      (* Close the gap, keeping FIFO order of the survivors. *)
+      for i = !worst_idx to t.len - 2 do
+        t.buf.(slot t i) <- t.buf.(slot t (i + 1))
+      done;
+      t.buf.(slot t (t.len - 1)) <- vacant;
       t.len <- t.len - 1;
       enqueue t pkt;
       true
@@ -99,6 +137,16 @@ let offer_priority t limit pkt =
   end
 
 let offer_red t ~limit ~min_th ~max_th ~max_p ~wq pkt =
+  (* Floyd/Jacobson idle decay: while the queue sat empty the EWMA should
+     have decayed once per (virtual) packet-transmission time. *)
+  if t.len = 0 && t.idle_since >= 0.0 then begin
+    let now = t.clock () in
+    let m = (now -. t.idle_since) /. t.service_s in
+    if m > 0.0 then begin
+      t.avg <- t.avg *. ((1.0 -. wq) ** m);
+      t.idle_since <- now
+    end
+  end;
   t.avg <- ((1.0 -. wq) *. t.avg) +. (wq *. float_of_int t.len);
   if t.len >= limit then begin
     t.drops <- t.drops + 1;
@@ -142,17 +190,18 @@ let offer t pkt =
       offer_red t ~limit ~min_th ~max_th ~max_p ~wq pkt
 
 let poll t =
-  (match t.front with
-  | [] ->
-      t.front <- List.rev t.back;
-      t.back <- []
-  | _ :: _ -> ());
-  match t.front with
-  | [] -> None
-  | pkt :: rest ->
-      t.front <- rest;
-      t.len <- t.len - 1;
-      Some pkt
+  if t.len = 0 then None
+  else begin
+    let pkt = t.buf.(t.head) in
+    t.buf.(t.head) <- vacant;
+    t.head <- (if t.head + 1 = Array.length t.buf then 0 else t.head + 1);
+    t.len <- t.len - 1;
+    if t.len = 0 then begin
+      if t.is_red then t.idle_since <- t.clock ();
+      t.head <- 0
+    end;
+    Some pkt
+  end
 
 let length t = t.len
 let drops t = t.drops

@@ -34,9 +34,22 @@ val validate_spec : spec -> (unit, string) result
 
 type t
 
-val create : spec -> rng:Engine.Prng.t -> t
-(** @raise Invalid_argument on an invalid spec. The [rng] drives RED's
-    random early drops (unused by the other disciplines). *)
+val create :
+  ?clock:(unit -> float) ->
+  ?service_time_s:float ->
+  spec ->
+  rng:Engine.Prng.t ->
+  t
+(** @raise Invalid_argument on an invalid spec or non-positive
+    [service_time_s]. The [rng] drives RED's random early drops (unused
+    by the other disciplines).
+
+    [clock] (seconds, monotone within a run) and [service_time_s] (the
+    typical packet transmission time on the outgoing link) drive RED's
+    idle decay: after the queue sits empty for [d] seconds the averaged
+    queue length is multiplied by [(1-wq)^(d / service_time_s)] on the
+    next arrival, per Floyd & Jacobson. The default clock is constant,
+    which disables the decay (seed behaviour). *)
 
 val spec : t -> spec
 

@@ -32,8 +32,23 @@ type outcome = {
   suggestions_sent : int;
   skipped_no_snapshot : int;
   events_dispatched : int;
+  forwarded_packets : int;
+  peak_heap : int;
   duration : Time.t;
 }
+
+(* Total packet transmissions across every simplex link — each hop a
+   packet takes counts once, so this tracks forwarding work, not
+   originations. *)
+let forwarded_packets_of network =
+  let total = ref 0 in
+  for n = 0 to Network.node_count network - 1 do
+    for i = 0 to Network.iface_count network n - 1 do
+      total :=
+        !total + Net.Link.tx_packets (Network.link_on_iface network ~node:n ~iface:i)
+    done
+  done;
+  !total
 
 let source_kind traffic =
   match traffic with
@@ -204,6 +219,8 @@ let run ~spec ~traffic ~scheme ?(params = Toposense.Params.default)
       Option.fold ~none:0 ~some:Toposense.Controller.skipped_no_snapshot
         controller;
     events_dispatched = Sim.events_dispatched sim;
+    forwarded_packets = forwarded_packets_of network;
+    peak_heap = Sim.max_pending sim;
     duration;
   }
 

@@ -36,6 +36,9 @@ type outcome = {
   suggestions_sent : int;
   skipped_no_snapshot : int;
   events_dispatched : int;
+  forwarded_packets : int;
+      (** total per-hop link transmissions across the run *)
+  peak_heap : int;  (** high-water mark of the simulator's event heap *)
   duration : Engine.Time.t;
 }
 

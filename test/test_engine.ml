@@ -64,6 +64,54 @@ let test_heap_peek_stable () =
   checkb "peek min" true (Heap.peek h = Some 2);
   checki "len unchanged" 2 (Heap.length h)
 
+let test_heap_pop_clears_and_shrinks () =
+  let h = Heap.create ~cmp:Int.compare in
+  for i = 1 to 200 do
+    Heap.push h i
+  done;
+  let cap_full = Heap.capacity h in
+  checkb "grew" true (cap_full >= 200);
+  for _ = 1 to 160 do
+    ignore (Heap.pop h)
+  done;
+  checki "len" 40 (Heap.length h);
+  checkb "shrank once quarter full" true (Heap.capacity h < cap_full);
+  checkb "cap >= len" true (Heap.capacity h >= Heap.length h);
+  for _ = 1 to 40 do
+    ignore (Heap.pop h)
+  done;
+  (* An empty heap holds no backing array at all: the last popped
+     element is reclaimable. *)
+  checki "empty releases storage" 0 (Heap.capacity h)
+
+let test_heap_exn_accessors () =
+  let h = Heap.create ~cmp:Int.compare in
+  Alcotest.check_raises "peek_exn empty"
+    (Invalid_argument "Heap.peek_exn: empty") (fun () ->
+      ignore (Heap.peek_exn h));
+  Alcotest.check_raises "pop_exn empty"
+    (Invalid_argument "Heap.pop_exn: empty") (fun () ->
+      ignore (Heap.pop_exn h));
+  Heap.push h 3;
+  Heap.push h 1;
+  checki "peek_exn" 1 (Heap.peek_exn h);
+  checki "pop_exn" 1 (Heap.pop_exn h);
+  checki "pop_exn next" 3 (Heap.pop_exn h)
+
+let test_heap_filter () =
+  let h = Heap.create ~cmp:Int.compare in
+  for i = 1 to 50 do
+    Heap.push h i
+  done;
+  Heap.filter h (fun x -> x mod 2 = 0);
+  checki "kept" 25 (Heap.length h);
+  let rec drain acc =
+    match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  check (Alcotest.list Alcotest.int) "sorted evens"
+    (List.init 25 (fun i -> 2 * (i + 1)))
+    (drain [])
+
 let prop_heap_sorted =
   QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
     QCheck.(list int)
@@ -259,6 +307,24 @@ let test_sim_every_jitter () =
       checkb "within band" true (Float.abs (at -. nominal) <= 0.21))
     !times
 
+let test_sim_cancel_compacts () =
+  let sim = Sim.create () in
+  let handles =
+    Array.init 500 (fun i ->
+        Sim.schedule_at sim (Time.of_sec (i + 100)) ignore)
+  in
+  checki "pending" 500 (Sim.pending sim);
+  checki "max pending" 500 (Sim.max_pending sim);
+  Array.iter (Sim.cancel sim) handles;
+  (* Lazy deletion sweeps once tombstones dominate: cancelling everything
+     must not leave 500 dead events (and their thunks) in the queue. *)
+  checkb
+    (Printf.sprintf "compacted (pending %d)" (Sim.pending sim))
+    true
+    (Sim.pending sim < 100);
+  Sim.run_until sim (Time.of_sec 1000);
+  checki "none dispatched" 0 (Sim.events_dispatched sim)
+
 let test_sim_dispatched_counter () =
   let sim = Sim.create () in
   for i = 1 to 7 do
@@ -366,6 +432,10 @@ let () =
           Alcotest.test_case "sorted drain" `Quick test_heap_order;
           Alcotest.test_case "empty" `Quick test_heap_empty;
           Alcotest.test_case "peek" `Quick test_heap_peek_stable;
+          Alcotest.test_case "pop clears and shrinks" `Quick
+            test_heap_pop_clears_and_shrinks;
+          Alcotest.test_case "exn accessors" `Quick test_heap_exn_accessors;
+          Alcotest.test_case "filter" `Quick test_heap_filter;
         ] );
       qsuite "heap-props" [ prop_heap_sorted; prop_heap_interleaved ];
       ( "prng",
@@ -392,6 +462,7 @@ let () =
           Alcotest.test_case "every cancel" `Quick test_sim_every_cancel;
           Alcotest.test_case "every start" `Quick test_sim_every_start;
           Alcotest.test_case "every jitter" `Quick test_sim_every_jitter;
+          Alcotest.test_case "cancel compacts" `Quick test_sim_cancel_compacts;
           Alcotest.test_case "dispatch count" `Quick
             test_sim_dispatched_counter;
         ] );

@@ -115,6 +115,116 @@ let test_priority_control_packets_win () =
   | Some { Packet.payload = Probe 9; _ } -> ()
   | _ -> Alcotest.fail "control packet should remain"
 
+let test_red_idle_decay () =
+  (* Floyd/Jacobson idle decay: after the queue sits idle for [d] the
+     average is multiplied by (1-wq)^(d / service_time). A burst pushes
+     the average far above max_th; with no simulated time passing the
+     next arrival still sees the stale average and is dropped, while
+     after a long idle period the average has decayed and the arrival is
+     admitted. *)
+  let spec =
+    Qd.Red { limit = 100; min_th = 2.0; max_th = 3.0; max_p = 1.0; wq = 0.1 }
+  in
+  let now = ref 0.0 in
+  let mk () =
+    Qd.create spec
+      ~clock:(fun () -> !now)
+      ~service_time_s:0.001
+      ~rng:(Engine.Prng.create ~seed:1L)
+  in
+  let burst q =
+    for i = 1 to 100 do
+      ignore (Qd.offer q (mk_pkt i))
+    done;
+    checkb "burst forced drops" true (Qd.drops q > 0);
+    while Qd.poll q <> None do
+      ()
+    done
+  in
+  let q1 = mk () in
+  burst q1;
+  (* Queue drained but no time passed: no decay, average still high. *)
+  checkb "dropped without idle time" false (Qd.offer q1 (mk_pkt 999));
+  let q2 = mk () in
+  burst q2;
+  now := !now +. 1.0;
+  (* 1000 service times idle: (0.9)^1000 ~ 0, the average is gone. *)
+  checkb "admitted after idle decay" true (Qd.offer q2 (mk_pkt 999))
+
+(* The ring buffer must be observably identical to the seed's two-list
+   deque. The model below replays the seed semantics on a plain list;
+   random offer/poll interleavings must agree on admissions, polled
+   packets, lengths and drop counts. *)
+let prop_ring_matches_deque =
+  let imp (p : Packet.t) =
+    match p.Packet.payload with Packet.Data { layer; _ } -> layer | _ -> -1
+  in
+  QCheck.Test.make ~name:"ring buffer matches two-list deque model" ~count:300
+    QCheck.(
+      triple bool (int_range 1 8) (small_list (pair bool (int_range (-1) 6))))
+    (fun (prio, limit, ops) ->
+      let spec =
+        if prio then Qd.Priority { limit } else Qd.Drop_tail { limit }
+      in
+      let q = Qd.create spec ~rng:(Engine.Prng.create ~seed:1L) in
+      let model = ref [] and mdrops = ref 0 and next_id = ref 0 in
+      let model_offer pkt =
+        if List.length !model < limit then begin
+          model := !model @ [ pkt ];
+          true
+        end
+        else if not prio then begin
+          incr mdrops;
+          false
+        end
+        else begin
+          (* Evict the earliest queued packet of the largest importance
+             value exceeding the arrival's; else reject the arrival. *)
+          let worst_i = ref (-1) and worst = ref (imp pkt) in
+          List.iteri
+            (fun i p ->
+              if imp p > !worst then begin
+                worst := imp p;
+                worst_i := i
+              end)
+            !model;
+          incr mdrops;
+          if !worst_i < 0 then false
+          else begin
+            model := List.filteri (fun i _ -> i <> !worst_i) !model @ [ pkt ];
+            true
+          end
+        end
+      in
+      let model_poll () =
+        match !model with
+        | [] -> None
+        | p :: rest ->
+            model := rest;
+            Some p
+      in
+      List.for_all
+        (fun (is_offer, layer) ->
+          let step_ok =
+            if is_offer then begin
+              incr next_id;
+              let pkt =
+                if layer < 0 then mk_pkt !next_id
+                else mk_pkt ~payload:(media ~layer 0) !next_id
+              in
+              Qd.offer q pkt = model_offer pkt
+            end
+            else
+              match (Qd.poll q, model_poll ()) with
+              | None, None -> true
+              | Some a, Some b -> a.Packet.id = b.Packet.id
+              | _ -> false
+          in
+          step_ok
+          && Qd.length q = List.length !model
+          && Qd.drops q = !mdrops)
+        ops)
+
 let test_red_on_a_link () =
   (* A RED-queued link drops early — before its hard limit — under
      sustained moderate overload (arrivals paced just above the drain
@@ -673,8 +783,11 @@ let () =
             test_priority_rejects_least_important_arrival;
           Alcotest.test_case "priority favors control" `Quick
             test_priority_control_packets_win;
+          Alcotest.test_case "red idle decay" `Quick test_red_idle_decay;
           Alcotest.test_case "red on a link" `Quick test_red_on_a_link;
         ] );
+      ( "queue-discipline-props",
+        List.map QCheck_alcotest.to_alcotest [ prop_ring_matches_deque ] );
       ( "expedited-leave",
         [
           Alcotest.test_case "expedited prunes fast" `Quick
