@@ -415,6 +415,23 @@ let experiment_row ~name ~spec ~traffic ~sim_s () =
     peak_heap = o.Experiment.peak_heap;
   }
 
+(* Failure recovery under load: the link-flap scenario stresses the
+   incremental-routing + tree-repair path alongside normal forwarding. *)
+let fault_flap_row ~sim_s () =
+  let o, wall =
+    time_wall_best (fun () ->
+        Scenarios.Recovery.link_flap ~receivers_per_set:4
+          ~duration:(Time.of_sec_f sim_s) ())
+  in
+  {
+    bname = "fault-link-flap";
+    sim_s;
+    wall_s = wall;
+    events = o.Scenarios.Recovery.events_dispatched;
+    packets = o.Scenarios.Recovery.forwarded_packets;
+    peak_heap = o.Scenarios.Recovery.peak_heap;
+  }
+
 (* Engine-only: thousands of periodic chains, most cancelled mid-run, on
    top of a standing population of far-future one-shot events that also
    get cancelled — the worst case for event-heap tombstones. *)
@@ -516,6 +533,7 @@ let run_trajectory () =
                | d -> d)
              (fun () -> Scenarios.Builders.topology_a ~receivers_per_set:4))
         ~traffic:(Experiment.Vbr 6.0) ~sim_s ();
+      fault_flap_row ~sim_s ();
       engine_churn_row ~sim_s:(sim_s /. 5.0) ();
     ]
   in

@@ -326,6 +326,236 @@ let churn_cmd =
        ~doc:"Dynamic joins/departures on Topology A; convergence times.")
     Term.(ret (const run $ duration_term $ seed_term $ receivers $ gap))
 
+(* ---------- fault scenarios ---------- *)
+
+module Recovery = Scenarios.Recovery
+
+let fmt_opt_s ppf = function
+  | Some s -> Format.fprintf ppf "%.1f s" s
+  | None -> Format.pp_print_string ppf "never"
+
+let print_flap (o : Recovery.flap_outcome) =
+  Format.printf
+    "link-flap: down %.0f-%.0f s; %d routing recomputes, %d tree edges \
+     repaired (%d passes), %d packets lost to the dead link, tree %s@."
+    o.down_at_s o.up_at_s o.routing_recomputes o.edges_repaired o.repair_passes
+    o.link_fault_drops
+    (if o.tree_consistent then "consistent" else "INCONSISTENT");
+  List.iter
+    (fun (r : Recovery.flap_receiver) ->
+      Format.printf
+        "  n%-3d %-5s optimal %d (during failure %d) level %d->floor %d \
+         recovery %a goodput %.0f -> %.0f kbps final %d@."
+        r.node
+        (if r.fast_branch then "fast" else "slow")
+        r.optimal r.optimal_during r.pre_failure_level r.floor_level fmt_opt_s
+        r.recovery_s
+        (r.goodput_before_bps /. 1000.0)
+        (r.goodput_during_bps /. 1000.0)
+        r.final_level)
+    o.receivers
+
+let print_outage (o : Recovery.outage_outcome) =
+  Format.printf
+    "controller-outage: fail %.0f s, failover %.0f s; suggestions primary \
+     %d / standby %d; %s@."
+    o.fail_at_s o.failover_at_s o.primary_suggestions o.standby_suggestions
+    (if o.none_starved then "no receiver starved" else "A RECEIVER STARVED");
+  List.iter
+    (fun (r : Recovery.outage_receiver) ->
+      Format.printf
+        "  n%-3d optimal %d level-at-fail %d floor %d unilateral %d resync \
+         %a final %d@."
+        r.node r.optimal r.level_at_fail r.floor_level r.unilateral_actions
+        fmt_opt_s r.resync_s r.final_level)
+    o.receivers
+
+let print_lossy (o : Recovery.lossy_outcome) =
+  Format.printf
+    "lossy-control: %.0f%% drop / %.0f%% delay; %d control packets dropped, \
+     %d delayed; %d reports heard, %d suggestions sent; mean deviation %.3f@."
+    (o.drop_fraction *. 100.0)
+    (o.delay_fraction *. 100.0)
+    o.control_dropped o.control_delayed o.reports_received o.suggestions_sent
+    o.mean_deviation;
+  List.iter
+    (fun (r : Recovery.lossy_receiver) ->
+      Format.printf
+        "  n%-3d optimal %d final %d deviation %.3f suggestions %d \
+         unilateral %d@."
+        r.node r.optimal r.final_level r.deviation r.suggestions_received
+        r.unilateral_actions)
+    o.receivers
+
+let recovery_json ~flap ~outage ~lossy =
+  let buf = Buffer.create 1024 in
+  let opt_f = function Some s -> Printf.sprintf "%.1f" s | None -> "null" in
+  Buffer.add_string buf "{\n  \"recovery\": [\n";
+  let sections =
+    List.filter_map Fun.id
+      [
+        Option.map
+          (fun (o : Recovery.flap_outcome) ->
+            let recovered =
+              List.length
+                (List.filter
+                   (fun (r : Recovery.flap_receiver) -> r.recovery_s <> None)
+                   o.receivers)
+            in
+            let max_recovery =
+              List.fold_left
+                (fun acc (r : Recovery.flap_receiver) ->
+                  match r.recovery_s with Some s -> Float.max acc s | None -> acc)
+                0.0 o.receivers
+            in
+            let goodput_ratio =
+              let d, b =
+                List.fold_left
+                  (fun (d, b) (r : Recovery.flap_receiver) ->
+                    (d +. r.goodput_during_bps, b +. r.goodput_before_bps))
+                  (0.0, 0.0) o.receivers
+              in
+              if b > 0.0 then d /. b else 0.0
+            in
+            Printf.sprintf
+              "    {\"name\": \"link-flap\", \"recovered\": %d, \"total\": \
+               %d, \"max_recovery_s\": %.1f, \"goodput_ratio\": %.3f, \
+               \"routing_recomputes\": %d, \"edges_repaired\": %d, \
+               \"link_fault_drops\": %d, \"tree_consistent\": %b}"
+              recovered
+              (List.length o.receivers)
+              max_recovery goodput_ratio o.routing_recomputes o.edges_repaired
+              o.link_fault_drops o.tree_consistent)
+          flap;
+        Option.map
+          (fun (o : Recovery.outage_outcome) ->
+            let resynced =
+              List.length
+                (List.filter
+                   (fun (r : Recovery.outage_receiver) -> r.resync_s <> None)
+                   o.receivers)
+            in
+            let max_resync =
+              List.fold_left
+                (fun acc (r : Recovery.outage_receiver) ->
+                  match r.resync_s with Some s -> Float.max acc s | None -> acc)
+                0.0 o.receivers
+            in
+            Printf.sprintf
+              "    {\"name\": \"controller-outage\", \"none_starved\": %b, \
+               \"resynced\": %d, \"total\": %d, \"max_resync_s\": %s, \
+               \"primary_suggestions\": %d, \"standby_suggestions\": %d}"
+              o.none_starved resynced
+              (List.length o.receivers)
+              (opt_f (Some max_resync))
+              o.primary_suggestions o.standby_suggestions)
+          outage;
+        Option.map
+          (fun (o : Recovery.lossy_outcome) ->
+            Printf.sprintf
+              "    {\"name\": \"lossy-control\", \"drop_fraction\": %.2f, \
+               \"control_dropped\": %d, \"control_delayed\": %d, \
+               \"reports_received\": %d, \"suggestions_sent\": %d, \
+               \"mean_deviation\": %.3f}"
+              o.drop_fraction o.control_dropped o.control_delayed
+              o.reports_received o.suggestions_sent o.mean_deviation)
+          lossy;
+      ]
+  in
+  Buffer.add_string buf (String.concat ",\n" sections);
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
+let faults_cmd =
+  let experiment_conv =
+    Arg.conv
+      ( (fun s ->
+          match String.lowercase_ascii s with
+          | "flap" -> Ok `Flap
+          | "outage" -> Ok `Outage
+          | "lossy" -> Ok `Lossy
+          | "all" -> Ok `All
+          | _ -> Error (`Msg "expected flap, outage, lossy or all")),
+        fun ppf t ->
+          Format.pp_print_string ppf
+            (match t with
+            | `Flap -> "flap"
+            | `Outage -> "outage"
+            | `Lossy -> "lossy"
+            | `All -> "all") )
+  in
+  let experiment_term =
+    Arg.(
+      value & opt experiment_conv `All
+      & info [ "experiment" ] ~docv:"flap|outage|lossy|all"
+          ~doc:"Which fault scenario to run.")
+  in
+  let drop_term =
+    Arg.(
+      value & opt float 0.3
+      & info [ "drop" ] ~docv:"F"
+          ~doc:"Control-packet drop fraction for the lossy scenario.")
+  in
+  let json_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write recovery metrics as JSON.")
+  in
+  let run duration seed experiment drop json =
+    if drop < 0.0 || drop > 1.0 then `Error (true, "--drop must be in [0,1]")
+    else begin
+      let seed = Int64.of_int seed in
+      let duration_t = Time.of_sec duration in
+      let want x = experiment = `All || experiment = x in
+      (* Flap and outage need room for the scripted fault times; scale the
+         CLI duration but keep the scripted instants fixed. *)
+      let flap =
+        if want `Flap then
+          Some
+            (Recovery.link_flap ~seed
+               ~duration:(Time.max duration_t (Time.of_sec 180))
+               ())
+        else None
+      in
+      let outage =
+        if want `Outage then
+          Some
+            (Recovery.controller_outage ~seed
+               ~duration:(Time.max duration_t (Time.of_sec 200))
+               ())
+        else None
+      in
+      let lossy =
+        if want `Lossy then
+          Some
+            (Recovery.lossy_control ~seed ~drop_fraction:drop
+               ~duration:duration_t ())
+        else None
+      in
+      Option.iter print_flap flap;
+      Option.iter print_outage outage;
+      Option.iter print_lossy lossy;
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          output_string oc (recovery_json ~flap ~outage ~lossy);
+          close_out oc;
+          Format.printf "wrote %s@." path)
+        json;
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Fault-injection scenarios: link flap under load, controller outage \
+          with failover, lossy control plane.")
+    Term.(
+      ret
+        (const run $ duration_term $ seed_term $ experiment_term $ drop_term
+       $ json_term))
+
 let () =
   let info =
     Cmd.info "toposense_sim" ~version:"1.0.0"
@@ -346,4 +576,5 @@ let () =
             run_cmd;
             tiered_cmd;
             churn_cmd;
+            faults_cmd;
           ]))

@@ -112,6 +112,28 @@ let restrict t ~domain =
         Some { t with source = ingress; edges = edges_in; members }
   end
 
+let divergence t ~router ~session =
+  let module ES = Set.Make (struct
+    type t = Addr.node_id * Addr.node_id
+
+    let compare = compare
+  end) in
+  let live =
+    let layering = Traffic.Session.layering session in
+    let acc = ref ES.empty in
+    for layer = 0 to Traffic.Layering.count layering - 1 do
+      let group = Traffic.Session.group_for_layer session ~layer in
+      List.iter
+        (fun e -> acc := ES.add e !acc)
+        (Multicast.Router.tree_edges router ~group)
+    done;
+    !acc
+  in
+  let pictured =
+    List.fold_left (fun s e -> ES.add (e.parent, e.child) s) ES.empty t.edges
+  in
+  ES.cardinal (ES.diff live pictured) + ES.cardinal (ES.diff pictured live)
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>session %d @ %a (source %a)@," t.session
     Engine.Time.pp t.taken_at Addr.pp_node t.source;

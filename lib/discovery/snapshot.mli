@@ -48,4 +48,12 @@ val restrict : t -> domain:Net.Addr.node_id list -> t option
     than one ingress (the domain is not subtree-shaped for this
     session). *)
 
+val divergence :
+  t -> router:Multicast.Router.t -> session:Traffic.Session.t -> int
+(** How wrong the snapshot is right now: the symmetric difference between
+    its edge set and the session's live overlay tree in [router], in
+    edges. 0 means the image is exact (whatever its age); under failures a
+    stale image diverges — it pictures edges that no longer exist and
+    misses the repaired ones. *)
+
 val pp : Format.formatter -> t -> unit

@@ -35,6 +35,8 @@ type t = {
   members_by_group : (Addr.group_id, Iset.t) Hashtbl.t;
   edges_by_group : (Addr.group_id, Pset.t) Hashtbl.t;
   mutable next_group : Addr.group_id;
+  mutable repair_passes : int;
+  mutable edges_repaired : int;
 }
 
 let grow_groups t g =
@@ -132,28 +134,6 @@ let handle t node (pkt : Net.Packet.t) ~in_iface =
           st.oifs
       end
 
-let create ~network ?(leave_latency = Time.span_of_sec 1)
-    ?(expedited_leave = false) () =
-  let t =
-    {
-      network;
-      node_count = Network.node_count network;
-      leave_latency;
-      expedited_leave;
-      src_of = [||];
-      state_rows = [||];
-      delivered_by_group = [||];
-      members_by_group = Hashtbl.create 64;
-      edges_by_group = Hashtbl.create 64;
-      next_group = 0;
-    }
-  in
-  for n = 0 to Network.node_count network - 1 do
-    Network.set_mcast_handler network n (fun pkt ~in_iface ->
-        handle t n pkt ~in_iface)
-  done;
-  t
-
 let leave_latency t = t.leave_latency
 let expedited_leave t = t.expedited_leave
 
@@ -168,46 +148,156 @@ let hop_delay t ~node ~parent =
   let iface = Network.iface_to t.network ~node ~neighbor:parent in
   Net.Link.prop_delay (Network.link_on_iface t.network ~node ~iface)
 
+let rpf_parent t ~node ~src =
+  Net.Routing.next_hop_opt (Network.routing t.network) ~from:node ~dst:src
+
 (* Propagate a graft toward the source until an on-tree ancestor (or the
-   source) absorbs it. Each hop takes the link's propagation delay. *)
+   source) absorbs it. Each hop takes the link's propagation delay. The
+   in-flight hop revalidates against the routing tables when it lands:
+   if a failure rerouted us meanwhile, the graft restarts along the new
+   reverse path instead of installing a stale edge. *)
 let rec graft t ~node ~group =
   let src = source t ~group in
-  if node <> src then begin
-    let parent = Net.Routing.next_hop (Network.routing t.network) ~from:node ~dst:src in
-    let delay = hop_delay t ~node ~parent in
-    ignore
-      (Sim.schedule_after (Network.sim t.network) delay (fun () ->
-           let pst = state t parent group in
-           let oif = Network.iface_to t.network ~node:parent ~neighbor:node in
-           if not (Iset.mem oif pst.oifs) then begin
-             pst.oifs <- Iset.add oif pst.oifs;
-             add_edge t ~group ~parent ~child:node
-           end;
-           if not pst.on_tree then begin
-             pst.on_tree <- true;
-             graft t ~node:parent ~group
-           end))
-  end
+  if node <> src then
+    match rpf_parent t ~node ~src with
+    | None -> () (* partitioned; the repair pass after reconnection retries *)
+    | Some parent ->
+        let delay = hop_delay t ~node ~parent in
+        ignore
+          (Sim.schedule_after (Network.sim t.network) delay (fun () ->
+               if rpf_parent t ~node ~src <> Some parent then begin
+                 let st = state t node group in
+                 if st.on_tree && (st.local || not (Iset.is_empty st.oifs))
+                 then graft t ~node ~group
+               end
+               else begin
+                 detach_other_parents t ~group ~node ~keep:parent;
+                 let pst = state t parent group in
+                 let oif =
+                   Network.iface_to t.network ~node:parent ~neighbor:node
+                 in
+                 if not (Iset.mem oif pst.oifs) then begin
+                   pst.oifs <- Iset.add oif pst.oifs;
+                   add_edge t ~group ~parent ~child:node
+                 end;
+                 if not pst.on_tree then begin
+                   pst.on_tree <- true;
+                   graft t ~node:parent ~group
+                 end
+               end))
 
 (* Prune upward: a node with no local member and no downstream interest
    leaves the tree and tells its parent after one hop delay. *)
-let rec maybe_prune t ~node ~group =
+and maybe_prune t ~node ~group =
   let src = source t ~group in
   let st = state t node group in
   if st.on_tree && (not st.local) && Iset.is_empty st.oifs && node <> src then begin
     st.on_tree <- false;
-    let parent = Net.Routing.next_hop (Network.routing t.network) ~from:node ~dst:src in
-    let delay = hop_delay t ~node ~parent in
-    ignore
-      (Sim.schedule_after (Network.sim t.network) delay (fun () ->
-           let pst = state t parent group in
-           let oif = Network.iface_to t.network ~node:parent ~neighbor:node in
-           if Iset.mem oif pst.oifs then begin
-             pst.oifs <- Iset.remove oif pst.oifs;
-             remove_edge t ~group ~parent ~child:node
-           end;
-           maybe_prune t ~node:parent ~group))
+    match rpf_parent t ~node ~src with
+    | None -> () (* detached by a partition; repair already cut the edge *)
+    | Some parent ->
+        let delay = hop_delay t ~node ~parent in
+        ignore
+          (Sim.schedule_after (Network.sim t.network) delay (fun () ->
+               let pst = state t parent group in
+               let oif = Network.iface_to t.network ~node:parent ~neighbor:node in
+               if Iset.mem oif pst.oifs then begin
+                 pst.oifs <- Iset.remove oif pst.oifs;
+                 remove_edge t ~group ~parent ~child:node
+               end;
+               maybe_prune t ~node:parent ~group))
   end
+
+(* Detach [node] from any recorded parent other than [keep]: a reroute can
+   leave the old parent still forwarding to us while a graft installs the
+   new one. Never fires while routing is static. *)
+and detach_other_parents t ~group ~node ~keep =
+  match Hashtbl.find_opt t.edges_by_group group with
+  | None -> ()
+  | Some edges ->
+      Pset.iter
+        (fun (p, c) ->
+          if c = node && p <> keep then begin
+            let pst = state t p group in
+            let oif = Network.iface_to t.network ~node:p ~neighbor:node in
+            pst.oifs <- Iset.remove oif pst.oifs;
+            remove_edge t ~group ~parent:p ~child:node;
+            maybe_prune t ~node:p ~group
+          end)
+        edges
+
+(* Tree repair after a routing change. Three sweeps per group:
+   1. cut every recorded edge that no longer lies on the child's reverse
+      path toward the source (the upstream interface died or moved);
+   2. re-graft every node that still wants traffic (local membership or
+      live downstream interest) but lost its parent edge — re-attachment
+      propagates with hop delays, so recovery time is measurable;
+   3. start a prune at every on-tree node left with neither membership
+      nor downstream interest, so severed branches do not linger. *)
+let repair_group t ~group =
+  let src = t.src_of.(group) in
+  if src >= 0 then begin
+    (match Hashtbl.find_opt t.edges_by_group group with
+    | None -> ()
+    | Some edges ->
+        Pset.iter
+          (fun (p, c) ->
+            let valid = c <> src && rpf_parent t ~node:c ~src = Some p in
+            if not valid then begin
+              let pst = state t p group in
+              let oif = Network.iface_to t.network ~node:p ~neighbor:c in
+              pst.oifs <- Iset.remove oif pst.oifs;
+              remove_edge t ~group ~parent:p ~child:c;
+              t.edges_repaired <- t.edges_repaired + 1
+            end)
+          edges);
+    let row = t.state_rows.(group) in
+    let edges_now () =
+      Option.value ~default:Pset.empty (Hashtbl.find_opt t.edges_by_group group)
+    in
+    for n = 0 to Array.length row - 1 do
+      match row.(n) with
+      | None -> ()
+      | Some st ->
+          if n <> src && st.on_tree then begin
+            let interested = st.local || not (Iset.is_empty st.oifs) in
+            if not interested then maybe_prune t ~node:n ~group
+            else if not (Pset.exists (fun (_, c) -> c = n) (edges_now ()))
+            then graft t ~node:n ~group
+          end
+    done
+  end
+
+let repair t =
+  t.repair_passes <- t.repair_passes + 1;
+  for g = 0 to t.next_group - 1 do
+    repair_group t ~group:g
+  done
+
+let create ~network ?(leave_latency = Time.span_of_sec 1)
+    ?(expedited_leave = false) () =
+  let t =
+    {
+      network;
+      node_count = Network.node_count network;
+      leave_latency;
+      expedited_leave;
+      src_of = [||];
+      state_rows = [||];
+      delivered_by_group = [||];
+      members_by_group = Hashtbl.create 64;
+      edges_by_group = Hashtbl.create 64;
+      next_group = 0;
+      repair_passes = 0;
+      edges_repaired = 0;
+    }
+  in
+  for n = 0 to Network.node_count network - 1 do
+    Network.set_mcast_handler network n (fun pkt ~in_iface ->
+        handle t n pkt ~in_iface)
+  done;
+  Network.add_topology_observer network (fun () -> repair t);
+  t
 
 let join t ~node ~group =
   let src = source t ~group in
@@ -258,3 +348,5 @@ let delivered t ~group =
   else t.delivered_by_group.(group)
 
 let group_count t = t.next_group
+let repair_passes t = t.repair_passes
+let edges_repaired t = t.edges_repaired

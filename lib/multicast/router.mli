@@ -72,3 +72,16 @@ val delivered : t -> group:Net.Addr.group_id -> int
 (** Packets delivered to local members of [group] (all nodes), for tests. *)
 
 val group_count : t -> int
+
+val repair : t -> unit
+(** Repairs every group's tree against the current routing tables: edges
+    whose upstream interface died or moved off the reverse path are cut
+    immediately; nodes that still want traffic but lost their parent
+    re-graft along the new reverse path (with hop delays, so recovery
+    takes network time); severed branches with no remaining interest are
+    pruned. Runs automatically on every {!Net.Network.set_link_up} via a
+    topology observer — call it directly only in tests. *)
+
+val repair_passes : t -> int
+val edges_repaired : t -> int
+(** Tree edges cut by repair passes since creation. *)

@@ -1,0 +1,77 @@
+module Sim = Engine.Sim
+module Time = Engine.Time
+
+type t = {
+  network : Network.t;
+  rng : Engine.Prng.t;
+  mutable link_downs : int;
+  mutable link_ups : int;
+  mutable control_dropped : int;
+  mutable control_delayed : int;
+}
+
+let create ~network () =
+  {
+    network;
+    rng = Sim.rng (Network.sim network) ~label:"net-faults";
+    link_downs = 0;
+    link_ups = 0;
+    control_dropped = 0;
+    control_delayed = 0;
+  }
+
+let link_down t ~a ~b =
+  if Network.link_is_up t.network ~a ~b then begin
+    t.link_downs <- t.link_downs + 1;
+    Network.set_link_up t.network ~a ~b false
+  end
+
+let link_up t ~a ~b =
+  if not (Network.link_is_up t.network ~a ~b) then begin
+    t.link_ups <- t.link_ups + 1;
+    Network.set_link_up t.network ~a ~b true
+  end
+
+let schedule_link_down t ~at ~a ~b =
+  ignore (Sim.schedule_at (Network.sim t.network) at (fun () -> link_down t ~a ~b))
+
+let schedule_link_up t ~at ~a ~b =
+  ignore (Sim.schedule_at (Network.sim t.network) at (fun () -> link_up t ~a ~b))
+
+let schedule_flap t ~a ~b ~down_at ~up_at =
+  if Time.(up_at <= down_at) then
+    invalid_arg "Faults.schedule_flap: up_at <= down_at";
+  schedule_link_down t ~at:down_at ~a ~b;
+  schedule_link_up t ~at:up_at ~a ~b
+
+(* The control-plane tamperer draws once per classified packet, so runs
+   with [drop_fraction = 0] and no delay still consume the same stream —
+   sweeping the fraction never re-seeds anything else. *)
+let set_control_plane t ~classify ?(drop_fraction = 0.0) ?(delay_fraction = 0.0)
+    ?(delay = Time.span_of_ms 0) () =
+  if drop_fraction < 0.0 || drop_fraction > 1.0 then
+    invalid_arg "Faults.set_control_plane: drop_fraction outside [0,1]";
+  if delay_fraction < 0.0 || delay_fraction > 1.0 then
+    invalid_arg "Faults.set_control_plane: delay_fraction outside [0,1]";
+  if delay < 0 then invalid_arg "Faults.set_control_plane: negative delay";
+  Network.set_origination_filter t.network (fun pkt ->
+      if not (classify pkt) then `Deliver
+      else begin
+        let u = Engine.Prng.float t.rng in
+        if u < drop_fraction then begin
+          t.control_dropped <- t.control_dropped + 1;
+          `Drop
+        end
+        else if u < drop_fraction +. delay_fraction then begin
+          t.control_delayed <- t.control_delayed + 1;
+          `Delay delay
+        end
+        else `Deliver
+      end)
+
+let clear_control_plane t = Network.clear_origination_filter t.network
+
+let link_downs t = t.link_downs
+let link_ups t = t.link_ups
+let control_dropped t = t.control_dropped
+let control_delayed t = t.control_delayed

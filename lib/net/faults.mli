@@ -1,0 +1,67 @@
+(** Fault injection.
+
+    Drives the failure machinery of the lower layers from one place: link
+    failures and repairs (immediate or scheduled), and a lossy/laggy
+    control plane that silently drops or delays a configurable fraction
+    of the packets a caller-supplied classifier marks as control traffic
+    (reports, suggestions, discovery probes — the [net] layer cannot name
+    them itself, so the classifier inspects payloads upstack).
+
+    A link failure propagates through the stack on its own: the two
+    simplex {!Link}s lose in-flight and queued packets, {!Routing}
+    recomputes incrementally, and {!Network}'s topology observers (the
+    multicast router's tree repair among them) fire. An idle [Faults.t]
+    changes nothing — runs without injected faults are byte-identical to
+    runs without the module. *)
+
+type t
+
+val create : network:Network.t -> unit -> t
+(** Random draws for the control-plane tamperer come from the dedicated
+    ["net-faults"] stream of the simulation's root PRNG. *)
+
+val link_down : t -> a:Addr.node_id -> b:Addr.node_id -> unit
+(** Immediately fails the duplex link (no-op if already down).
+    @raise Invalid_argument if the nodes are not adjacent. *)
+
+val link_up : t -> a:Addr.node_id -> b:Addr.node_id -> unit
+(** Immediately restores the duplex link (no-op if already up). *)
+
+val schedule_link_down :
+  t -> at:Engine.Time.t -> a:Addr.node_id -> b:Addr.node_id -> unit
+
+val schedule_link_up :
+  t -> at:Engine.Time.t -> a:Addr.node_id -> b:Addr.node_id -> unit
+
+val schedule_flap :
+  t ->
+  a:Addr.node_id ->
+  b:Addr.node_id ->
+  down_at:Engine.Time.t ->
+  up_at:Engine.Time.t ->
+  unit
+(** One down/up cycle. @raise Invalid_argument if [up_at <= down_at]. *)
+
+val set_control_plane :
+  t ->
+  classify:(Packet.t -> bool) ->
+  ?drop_fraction:float ->
+  ?delay_fraction:float ->
+  ?delay:Engine.Time.span ->
+  unit ->
+  unit
+(** Installs the origination filter: each packet for which [classify] is
+    true is silently dropped with probability [drop_fraction], delayed by
+    [delay] with probability [delay_fraction], and passed through
+    otherwise. Fractions default to 0.
+    @raise Invalid_argument on fractions outside [0,1] or a negative
+    delay. *)
+
+val clear_control_plane : t -> unit
+
+(** Counters, for the recovery metrics. *)
+
+val link_downs : t -> int
+val link_ups : t -> int
+val control_dropped : t -> int
+val control_delayed : t -> int

@@ -10,8 +10,14 @@ type t = {
   queue : Queue_discipline.t;
   mutable deliver : (Packet.t -> unit) option;
   mutable busy : bool;
+  mutable up : bool;
+  (* Bumped on every failure; in-flight serialization and propagation
+     events capture the epoch at which they were scheduled and become
+     no-ops (counted as fault drops) if the link failed meanwhile. *)
+  mutable epoch : int;
   mutable tx_packets : int;
   mutable tx_bytes : int;
+  mutable fault_drops : int;
   (* Memoized serialization span for the last packet size seen: traffic is
      dominated by one data-packet size, so this skips the float division
      on almost every transmission. *)
@@ -30,8 +36,11 @@ let create ~sim ~src ~dst ~bandwidth_bps ~prop_delay ~queue =
     queue;
     deliver = None;
     busy = false;
+    up = true;
+    epoch = 0;
     tx_packets = 0;
     tx_bytes = 0;
+    fault_drops = 0;
     ser_size = -1;
     ser_span = Time.span_of_sec 0;
   }
@@ -49,23 +58,58 @@ let serialization_span t (pkt : Packet.t) =
 let rec transmit t (pkt : Packet.t) =
   t.busy <- true;
   let ser = serialization_span t pkt in
+  let epoch = t.epoch in
   ignore
     (Sim.schedule_after t.sim ser (fun () ->
-         t.tx_packets <- t.tx_packets + 1;
-         t.tx_bytes <- t.tx_bytes + pkt.size;
-         let deliver =
-           match t.deliver with
-           | Some f -> f
-           | None -> failwith "Link: deliver callback not installed"
-         in
-         ignore (Sim.schedule_after t.sim t.prop_delay (fun () -> deliver pkt));
-         match Queue_discipline.poll t.queue with
-         | Some next -> transmit t next
-         | None -> t.busy <- false))
+         if t.epoch <> epoch then
+           (* The link failed mid-serialization; the packet (already
+              counted lost by [set_up]) and this event are void. *)
+           ()
+         else begin
+           t.tx_packets <- t.tx_packets + 1;
+           t.tx_bytes <- t.tx_bytes + pkt.size;
+           let deliver =
+             match t.deliver with
+             | Some f -> f
+             | None -> failwith "Link: deliver callback not installed"
+           in
+           ignore
+             (Sim.schedule_after t.sim t.prop_delay (fun () ->
+                  if t.epoch = epoch then deliver pkt
+                  else t.fault_drops <- t.fault_drops + 1));
+           match Queue_discipline.poll t.queue with
+           | Some next -> transmit t next
+           | None -> t.busy <- false
+         end))
 
 let send t pkt =
-  if t.busy then ignore (Queue_discipline.offer t.queue pkt)
+  if not t.up then t.fault_drops <- t.fault_drops + 1
+  else if t.busy then ignore (Queue_discipline.offer t.queue pkt)
   else transmit t pkt
+
+let set_up t up =
+  if up then t.up <- true
+  else if t.up then begin
+    t.up <- false;
+    t.epoch <- t.epoch + 1;
+    (* The in-service packet and everything queued behind it are lost;
+       in-propagation packets are counted when their arrival event finds
+       the stale epoch. *)
+    if t.busy then begin
+      t.fault_drops <- t.fault_drops + 1;
+      t.busy <- false
+    end;
+    let rec drain () =
+      match Queue_discipline.poll t.queue with
+      | Some _ ->
+          t.fault_drops <- t.fault_drops + 1;
+          drain ()
+      | None -> ()
+    in
+    drain ()
+  end
+
+let is_up t = t.up
 
 let src t = t.src
 let dst t = t.dst
@@ -73,6 +117,7 @@ let bandwidth_bps t = t.bandwidth_bps
 let prop_delay t = t.prop_delay
 let tx_packets t = t.tx_packets
 let tx_bytes t = t.tx_bytes
+let fault_drops t = t.fault_drops
 let drops t = Queue_discipline.drops t.queue
 let early_drops t = Queue_discipline.early_drops t.queue
 let queue_length t = Queue_discipline.length t.queue

@@ -26,7 +26,16 @@ val set_deliver : t -> (Packet.t -> unit) -> unit
 
 val send : t -> Packet.t -> unit
 (** Offer a packet to the link. Silently dropped (and counted) when the
-    queue is full. *)
+    queue is full, or counted as a fault drop when the link is down. *)
+
+val set_up : t -> bool -> unit
+(** Fails or restores the link. Taking it down loses the in-service
+    packet, drains the queue and voids in-flight deliveries (all counted
+    in {!fault_drops}); packets offered while down are likewise lost.
+    Restoring it resumes normal service for subsequent packets.
+    Idempotent. *)
+
+val is_up : t -> bool
 
 val src : t -> Addr.node_id
 val dst : t -> Addr.node_id
@@ -40,6 +49,11 @@ val tx_packets : t -> int
 
 val tx_bytes : t -> int
 val drops : t -> int
+
+val fault_drops : t -> int
+(** Packets lost to link failure: offered while down, drained from the
+    queue, in service, or in propagation when the link went down. *)
+
 val early_drops : t -> int
 (** RED early drops on this link's queue (0 for other disciplines). *)
 

@@ -38,6 +38,12 @@ type t = {
   mutable next_packet_id : int;
   observers :
     (Packet.t -> at:Addr.node_id -> in_iface:int option -> unit) Dyn.t;
+  topology_observers : (unit -> unit) Dyn.t;
+      (** fired after every administrative link state change *)
+  mutable origination_filter :
+    (Packet.t -> [ `Deliver | `Drop | `Delay of Time.span ]) option;
+  mutable filtered_drops : int;
+  mutable unroutable_drops : int;
 }
 
 let sim t = t.sim
@@ -71,9 +77,10 @@ let rec handle t ~node ~in_iface (pkt : Packet.t) =
   done;
   match pkt.dst with
   | Addr.Unicast d when d = node -> deliver_local t node pkt
-  | Addr.Unicast d ->
-      let nh = Routing.next_hop t.routing ~from:node ~dst:d in
-      send_to_neighbor t ~node ~neighbor:nh pkt
+  | Addr.Unicast d -> (
+      match Routing.next_hop t.routing ~from:node ~dst:d with
+      | -1 -> t.unroutable_drops <- t.unroutable_drops + 1
+      | nh -> send_to_neighbor t ~node ~neighbor:nh pkt)
   | Addr.Multicast _ -> (
       match t.nodes.(node).mcast_handler with
       | Some f -> f pkt ~in_iface
@@ -89,7 +96,17 @@ let create ~sim topo =
   let routing = Routing.compute topo in
   let nodes = Array.init (Topology.node_count topo) (fun _ -> fresh_node ()) in
   let t =
-    { sim; routing; nodes; next_packet_id = 0; observers = Dyn.create () }
+    {
+      sim;
+      routing;
+      nodes;
+      next_packet_id = 0;
+      observers = Dyn.create ();
+      topology_observers = Dyn.create ();
+      origination_filter = None;
+      filtered_drops = 0;
+      unroutable_drops = 0;
+    }
   in
   let clock () = Time.to_sec_f (Sim.now sim) in
   let attach ~src ~dst (spec : Topology.link_spec) =
@@ -137,6 +154,40 @@ let iface_toward t ~node ~dst =
 
 let add_transit_observer t f = Dyn.push t.observers f
 
+let add_topology_observer t f = Dyn.push t.topology_observers f
+
+let set_link_up t ~a ~b up =
+  let iface_ab =
+    match Hashtbl.find_opt t.nodes.(a).iface_of_neighbor b with
+    | Some i -> i
+    | None -> invalid_arg "Network.set_link_up: not adjacent"
+  in
+  let iface_ba = Hashtbl.find t.nodes.(b).iface_of_neighbor a in
+  Link.set_up t.nodes.(a).out_links.(iface_ab) up;
+  Link.set_up t.nodes.(b).out_links.(iface_ba) up;
+  Routing.set_link_enabled t.routing ~a ~b up;
+  let obs = t.topology_observers in
+  for i = 0 to obs.Dyn.count - 1 do
+    obs.Dyn.items.(i) ()
+  done
+
+let link_is_up t ~a ~b =
+  match Hashtbl.find_opt t.nodes.(a).iface_of_neighbor b with
+  | Some i -> Link.is_up t.nodes.(a).out_links.(i)
+  | None -> invalid_arg "Network.link_is_up: not adjacent"
+
+let set_origination_filter t f = t.origination_filter <- Some f
+let clear_origination_filter t = t.origination_filter <- None
+let filtered_drops t = t.filtered_drops
+let unroutable_drops t = t.unroutable_drops
+
+let fault_drops t =
+  let total = ref 0 in
+  Array.iter
+    (fun n -> Array.iter (fun l -> total := !total + Link.fault_drops l) n.out_links)
+    t.nodes;
+  !total
+
 let set_local_handler t n f = Dyn.reset_to t.nodes.(n).local_handlers f
 
 let add_local_handler t n f = Dyn.push t.nodes.(n).local_handlers f
@@ -155,7 +206,16 @@ let originate t ~src ~dst ~size ~payload =
     }
   in
   t.next_packet_id <- t.next_packet_id + 1;
-  handle t ~node:src ~in_iface:None pkt
+  match t.origination_filter with
+  | None -> handle t ~node:src ~in_iface:None pkt
+  | Some f -> (
+      match f pkt with
+      | `Deliver -> handle t ~node:src ~in_iface:None pkt
+      | `Drop -> t.filtered_drops <- t.filtered_drops + 1
+      | `Delay span ->
+          ignore
+            (Sim.schedule_after t.sim span (fun () ->
+                 handle t ~node:src ~in_iface:None pkt)))
 
 let send_on_iface t ~node ~iface pkt =
   Link.send t.nodes.(node).out_links.(iface) pkt

@@ -47,6 +47,41 @@ val add_transit_observer :
     {!Packet_trace} debugging aid. Multiple observers run in
     registration order. *)
 
+val add_topology_observer : t -> (unit -> unit) -> unit
+(** Observers run (in registration order) after every administrative link
+    state change made through {!set_link_up}, once routing has been
+    recomputed. The multicast router uses this to repair its trees. *)
+
+val set_link_up : t -> a:Addr.node_id -> b:Addr.node_id -> bool -> unit
+(** Fails or restores the duplex link between [a] and [b]: both simplex
+    links lose their in-flight and queued packets (see {!Link.set_up}),
+    the routing tables are recomputed incrementally, and the topology
+    observers fire. Idempotent per direction of change.
+    @raise Invalid_argument if the nodes are not adjacent. *)
+
+val link_is_up : t -> a:Addr.node_id -> b:Addr.node_id -> bool
+(** @raise Invalid_argument if the nodes are not adjacent. *)
+
+val set_origination_filter :
+  t -> (Packet.t -> [ `Deliver | `Drop | `Delay of Engine.Time.span ]) -> unit
+(** Installs a filter consulted for every originated packet before it
+    enters the network — the fault-injection layer's hook for a lossy or
+    laggy control plane. [`Drop] silently discards the packet (counted in
+    {!filtered_drops}); [`Delay d] injects it after [d]. At most one
+    filter; installing replaces the previous one. *)
+
+val clear_origination_filter : t -> unit
+
+val filtered_drops : t -> int
+(** Packets discarded by the origination filter. *)
+
+val unroutable_drops : t -> int
+(** Unicast packets dropped because their destination was unreachable
+    (only possible while links are down). *)
+
+val fault_drops : t -> int
+(** Sum of {!Link.fault_drops} over every simplex link. *)
+
 val set_mcast_handler :
   t -> Addr.node_id -> (Packet.t -> in_iface:int option -> unit) -> unit
 (** Called for every multicast packet seen at this node; [in_iface] is

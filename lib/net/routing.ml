@@ -2,14 +2,22 @@ module Time = Engine.Time
 
 type t = {
   node_count : int;
-  (* next.(dst).(n) = neighbor of n on the shortest path toward dst *)
+  (* next.(dst).(n) = neighbor of n on the shortest path toward dst,
+     or -1 when dst is unreachable from n *)
   next : Addr.node_id array array;
   dist : Time.span array array;
+  (* Retained so tables can be recomputed when links fail or recover. *)
+  adj : (Addr.node_id * int) list array;
+  disabled : (Addr.node_id * Addr.node_id, unit) Hashtbl.t;
+  mutable recomputes : int;
 }
 
+let edge_key a b = if a < b then (a, b) else (b, a)
+
 (* One Dijkstra rooted at [dst] gives, for every node, its next hop toward
-   [dst]: the neighbor through which the node was finalized. *)
-let dijkstra ~node_count ~adj dst =
+   [dst]: the neighbor through which the node was finalized. Edges in
+   [disabled] are skipped. *)
+let dijkstra ~node_count ~adj ~disabled dst =
   let dist = Array.make node_count max_int in
   let next = Array.make node_count (-1) in
   let heap =
@@ -26,20 +34,30 @@ let dijkstra ~node_count ~adj dst =
         if d = dist.(n) then
           List.iter
             (fun (m, w) ->
-              let nd = d + w in
-              if
-                nd < dist.(m)
-                || (nd = dist.(m) && next.(m) > n && m <> dst)
-              then begin
-                dist.(m) <- nd;
-                next.(m) <- n;
-                Engine.Heap.push heap (nd, m)
+              if not (Hashtbl.mem disabled (edge_key n m)) then begin
+                let nd = d + w in
+                if
+                  nd < dist.(m)
+                  || (nd = dist.(m) && next.(m) > n && m <> dst)
+                then begin
+                  dist.(m) <- nd;
+                  next.(m) <- n;
+                  Engine.Heap.push heap (nd, m)
+                end
               end)
             adj.(n);
         loop ()
   in
   loop ();
   (next, dist)
+
+let recompute_dst t d =
+  t.recomputes <- t.recomputes + 1;
+  let n, ds =
+    dijkstra ~node_count:t.node_count ~adj:t.adj ~disabled:t.disabled d
+  in
+  t.next.(d) <- n;
+  t.dist.(d) <- ds
 
 let compute topo =
   if not (Topology.is_connected topo) then
@@ -55,29 +73,80 @@ let compute topo =
   Array.iteri
     (fun i ns -> adj.(i) <- List.sort compare ns)
     adj;
-  let next = Array.make node_count [||] in
-  let dist = Array.make node_count [||] in
+  let t =
+    {
+      node_count;
+      next = Array.make node_count [||];
+      dist = Array.make node_count [||];
+      adj;
+      disabled = Hashtbl.create 8;
+      recomputes = 0;
+    }
+  in
   for d = 0 to node_count - 1 do
-    let n, ds = dijkstra ~node_count ~adj d in
-    next.(d) <- n;
-    dist.(d) <- ds
+    recompute_dst t d
   done;
-  { node_count; next; dist }
+  t.recomputes <- 0;
+  t
 
 let check t from dst =
   if from < 0 || from >= t.node_count || dst < 0 || dst >= t.node_count then
     invalid_arg "Routing: unknown node"
+
+let link_enabled t ~a ~b = not (Hashtbl.mem t.disabled (edge_key a b))
+
+(* Taking a link down only invalidates destinations whose shortest-path
+   tree actually crossed it: next.(d) is a tree rooted at [d], so the edge
+   (a,b) is in use iff one endpoint forwards through the other. An unused
+   equal-cost edge was already rejected by the deterministic tie-break, so
+   removing it cannot change any table. Restoring a link can shorten paths
+   to any destination, so every table is rebuilt — the result is exactly
+   what [compute] would produce on the restored topology. *)
+let set_link_enabled t ~a ~b enabled =
+  check t a b;
+  if a = b then invalid_arg "Routing.set_link_enabled: a = b";
+  if not (List.mem_assoc b t.adj.(a)) then
+    invalid_arg "Routing.set_link_enabled: not adjacent";
+  let key = edge_key a b in
+  if enabled then begin
+    if Hashtbl.mem t.disabled key then begin
+      Hashtbl.remove t.disabled key;
+      for d = 0 to t.node_count - 1 do
+        recompute_dst t d
+      done
+    end
+  end
+  else if not (Hashtbl.mem t.disabled key) then begin
+    Hashtbl.add t.disabled key ();
+    for d = 0 to t.node_count - 1 do
+      if t.next.(d).(a) = b || t.next.(d).(b) = a then recompute_dst t d
+    done
+  end
+
+let recomputes t = t.recomputes
 
 let next_hop t ~from ~dst =
   check t from dst;
   if from = dst then invalid_arg "Routing.next_hop: from = dst";
   t.next.(dst).(from)
 
+let next_hop_opt t ~from ~dst =
+  check t from dst;
+  if from = dst then invalid_arg "Routing.next_hop_opt: from = dst";
+  match t.next.(dst).(from) with -1 -> None | n -> Some n
+
+let reachable t ~from ~dst =
+  check t from dst;
+  from = dst || t.next.(dst).(from) >= 0
+
 let path t ~from ~dst =
   check t from dst;
   let rec walk n acc =
     if n = dst then List.rev (dst :: acc)
-    else walk t.next.(dst).(n) (n :: acc)
+    else
+      match t.next.(dst).(n) with
+      | -1 -> invalid_arg "Routing.path: destination unreachable"
+      | nh -> walk nh (n :: acc)
   in
   walk from []
 

@@ -4,7 +4,15 @@
     tables are deterministic) over the topology and produces, for every
     node, the next-hop neighbor toward every destination. Multicast
     reverse-path forwarding reuses the same tables: the RPF interface
-    toward a source is the unicast next hop toward it. *)
+    toward a source is the unicast next hop toward it.
+
+    Links can be administratively disabled (the fault-injection layer's
+    link failures) and re-enabled. Recomputation is incremental: taking a
+    link down rebuilds only the destinations whose shortest-path tree
+    crossed it; restoring one rebuilds every table, yielding exactly the
+    tables {!compute} would produce from scratch. With links down the
+    graph may be partitioned, in which case the affected entries report
+    the destination as unreachable. *)
 
 type t
 
@@ -12,11 +20,32 @@ val compute : Topology.t -> t
 (** @raise Invalid_argument if the topology is not connected. *)
 
 val next_hop : t -> from:Addr.node_id -> dst:Addr.node_id -> Addr.node_id
-(** The neighbor to forward to. [from = dst] is an error.
+(** The neighbor to forward to, or [-1] when [dst] is currently
+    unreachable (only possible while links are disabled). [from = dst] is
+    an error. @raise Invalid_argument on [from = dst]. *)
+
+val next_hop_opt :
+  t -> from:Addr.node_id -> dst:Addr.node_id -> Addr.node_id option
+(** [None] when [dst] is unreachable from [from].
     @raise Invalid_argument on [from = dst]. *)
 
+val reachable : t -> from:Addr.node_id -> dst:Addr.node_id -> bool
+
 val path : t -> from:Addr.node_id -> dst:Addr.node_id -> Addr.node_id list
-(** The full node sequence [from; ...; dst]. *)
+(** The full node sequence [from; ...; dst].
+    @raise Invalid_argument if [dst] is unreachable. *)
 
 val distance : t -> from:Addr.node_id -> dst:Addr.node_id -> Engine.Time.span
-(** Sum of link delays along the routed path. *)
+(** Sum of link delays along the routed path; [max_int] when
+    unreachable. *)
+
+val set_link_enabled : t -> a:Addr.node_id -> b:Addr.node_id -> bool -> unit
+(** Administratively disables or re-enables the duplex link between [a]
+    and [b] and recomputes the affected tables. Idempotent.
+    @raise Invalid_argument if the nodes are not adjacent. *)
+
+val link_enabled : t -> a:Addr.node_id -> b:Addr.node_id -> bool
+
+val recomputes : t -> int
+(** Per-destination Dijkstra runs triggered by {!set_link_enabled} since
+    creation (the initial full computation is not counted). *)

@@ -1,0 +1,471 @@
+module Sim = Engine.Sim
+module Time = Engine.Time
+module Layering = Traffic.Layering
+module Session = Traffic.Session
+
+(* Shared plumbing: a fully wired Topology-A-style run (session, source,
+   controller, one receiver agent per receiver node) that the three fault
+   experiments specialise.  Unlike [Experiment.run] the pieces stay
+   accessible so faults can be injected into them mid-run. *)
+type rig = {
+  sim : Sim.t;
+  network : Net.Network.t;
+  router : Multicast.Router.t;
+  session : Session.t;
+  source : Net.Addr.node_id;
+  controller : Toposense.Controller.t;
+  agents : (Net.Addr.node_id * Toposense.Receiver_agent.t) list;
+  spec : Builders.spec;
+}
+
+let make_rig ~spec ~traffic ~params ~seed =
+  let sim = Sim.create ~seed () in
+  let network = Net.Network.create ~sim spec.Builders.topology in
+  let router = Multicast.Router.create ~network () in
+  let discovery = Discovery.Service.create ~sim ~router () in
+  let source, receivers =
+    match spec.Builders.sessions with [ s ] -> s | _ -> assert false
+  in
+  let session =
+    Session.create ~router ~source ~layering:Layering.paper_default ~id:0
+  in
+  Discovery.Service.register_session discovery session;
+  let kind =
+    match traffic with
+    | Experiment.Cbr -> Traffic.Source.Cbr
+    | Experiment.Vbr p -> Traffic.Source.Vbr { peak_to_mean = p }
+  in
+  ignore
+    (Traffic.Source.start ~network ~session ~kind
+       ~rng:(Sim.rng sim ~label:"source") ());
+  let controller =
+    Toposense.Controller.create ~network ~discovery ~params
+      ~node:spec.Builders.controller_node ()
+  in
+  Toposense.Controller.add_session controller session;
+  Toposense.Controller.start controller;
+  let agents =
+    List.map
+      (fun node ->
+        let a =
+          Toposense.Receiver_agent.create ~network ~router ~params ~node
+            ~controller:spec.Builders.controller_node ()
+        in
+        Toposense.Receiver_agent.subscribe a ~session ~initial_level:1;
+        Toposense.Receiver_agent.start a;
+        (node, a))
+      receivers
+  in
+  { sim; network; router; session; source; controller; agents; spec }
+
+let forwarded_packets_of network =
+  let total = ref 0 in
+  for n = 0 to Net.Network.node_count network - 1 do
+    for i = 0 to Net.Network.iface_count network n - 1 do
+      total :=
+        !total
+        + Net.Link.tx_packets (Net.Network.link_on_iface network ~node:n ~iface:i)
+    done
+  done;
+  !total
+
+(* Subscription level in effect at [at], given the agent's change log
+   (oldest first, initial subscribe included). *)
+let level_at ~changes ~at =
+  List.fold_left
+    (fun acc (t, l) -> if Time.(t <= at) then l else acc)
+    0 changes
+
+let min_level_in ~changes ~window:(lo, hi) =
+  List.fold_left
+    (fun acc (t, l) -> if Time.(t > lo) && Time.(t <= hi) then min acc l else acc)
+    (level_at ~changes ~at:lo)
+    changes
+
+(* ---------- link flap ---------- *)
+
+type flap_receiver = {
+  node : Net.Addr.node_id;
+  fast_branch : bool;
+  optimal : int;
+  optimal_during : int;
+  pre_failure_level : int;
+  floor_level : int;
+  recovery_s : float option;
+  goodput_before_bps : float;
+  goodput_during_bps : float;
+  final_level : int;
+}
+
+type flap_outcome = {
+  receivers : flap_receiver list;
+  down_at_s : float;
+  up_at_s : float;
+  routing_recomputes : int;
+  link_fault_drops : int;
+  unroutable_drops : int;
+  repair_passes : int;
+  edges_repaired : int;
+  tree_consistent : bool;
+  invalid_snapshots : int;
+  suggestions_sent : int;
+  events_dispatched : int;
+  forwarded_packets : int;
+  peak_heap : int;
+}
+
+let detour_bps = Net.Topology.kbps 250.0
+
+(* Topology A plus a 250 Kbps two-hop detour around the core—fast-branch
+   link, so failing that link reroutes (through a narrower pipe, ideal
+   level 3) instead of partitioning the fast set. *)
+let flap_spec ~receivers_per_set =
+  if receivers_per_set < 1 then invalid_arg "flap_spec: receivers_per_set < 1";
+  let topo = Net.Topology.create () in
+  let add a b bw =
+    Net.Topology.add_duplex topo ~a ~b ~bandwidth_bps:bw
+      ~discipline:(Builders.default_discipline ~bandwidth_bps:bw)
+      ()
+  in
+  let source = Net.Topology.add_node topo in
+  let core = Net.Topology.add_node topo in
+  let branch_fast = Net.Topology.add_node topo in
+  let branch_slow = Net.Topology.add_node topo in
+  let detour = Net.Topology.add_node topo in
+  add source core Builders.fast_bps;
+  add core branch_fast (Net.Topology.kbps 500.0);
+  add core branch_slow (Net.Topology.kbps 100.0);
+  add core detour detour_bps;
+  add detour branch_fast detour_bps;
+  let attach branch =
+    List.map
+      (fun r ->
+        add branch r Builders.fast_bps;
+        r)
+      (Net.Topology.add_nodes topo receivers_per_set)
+  in
+  let fast = attach branch_fast in
+  let slow = attach branch_slow in
+  ( {
+      Builders.topology = topo;
+      controller_node = source;
+      sessions = [ (source, fast @ slow) ];
+    },
+    core,
+    branch_fast,
+    fast )
+
+let link_flap ?(receivers_per_set = 2) ?(down_at_s = 60.0) ?(up_at_s = 90.0)
+    ?(duration = Time.of_sec 180) ?(seed = 42L) ?(traffic = Experiment.Cbr) ()
+    =
+  if up_at_s <= down_at_s then invalid_arg "link_flap: up_at_s <= down_at_s";
+  if Time.to_sec_f duration <= up_at_s then
+    invalid_arg "link_flap: duration must extend past up_at_s";
+  let spec, core, branch_fast, fast_set = flap_spec ~receivers_per_set in
+  let params = Toposense.Params.default in
+  let rig = make_rig ~spec ~traffic ~params ~seed in
+  let faults = Net.Faults.create ~network:rig.network () in
+  let down_at = Time.of_sec_f down_at_s in
+  let up_at = Time.of_sec_f up_at_s in
+  Net.Faults.schedule_flap faults ~a:core ~b:branch_fast ~down_at ~up_at;
+  (* Goodput accounting: delivered application bytes per receiver in the
+     failure window and in an equally long pre-failure window. *)
+  let window_s = up_at_s -. down_at_s in
+  let before_start = Time.of_sec_f (Float.max 0.0 (down_at_s -. window_s)) in
+  let bytes_before = Hashtbl.create 8 in
+  let bytes_during = Hashtbl.create 8 in
+  let bump tbl node size =
+    Hashtbl.replace tbl node
+      (size + Option.value ~default:0 (Hashtbl.find_opt tbl node))
+  in
+  List.iter
+    (fun (node, _) ->
+      Net.Network.add_local_handler rig.network node (fun pkt ->
+          match pkt.Net.Packet.payload with
+          | Net.Packet.Data _ ->
+              let now = Sim.now rig.sim in
+              if Time.(now >= before_start) && Time.(now < down_at) then
+                bump bytes_before node pkt.size
+              else if Time.(now >= down_at) && Time.(now < up_at) then
+                bump bytes_during node pkt.size
+          | _ -> ()))
+    rig.agents;
+  Sim.run_until rig.sim duration;
+  let routing = Net.Network.routing rig.network in
+  let layering = Session.layering rig.session in
+  let receivers =
+    List.map
+      (fun (node, agent) ->
+        let fast_branch = List.mem node fast_set in
+        let changes = Toposense.Receiver_agent.changes agent ~session:0 in
+        let optimal =
+          Baseline.Static_oracle.optimal_level ~topology:spec.Builders.topology
+            ~routing ~layering ~sessions:spec.Builders.sessions
+            ~source:rig.source ~receiver:node
+        in
+        let optimal_during =
+          if fast_branch then
+            Layering.level_for_bandwidth layering ~bps:detour_bps
+          else optimal
+        in
+        let pre = level_at ~changes ~at:down_at in
+        let recovery_s =
+          if level_at ~changes ~at:up_at >= pre then Some 0.0
+          else
+            List.fold_left
+              (fun acc (t, l) ->
+                match acc with
+                | Some _ -> acc
+                | None ->
+                    if Time.(t >= up_at) && l >= pre then
+                      Some (Time.span_to_sec_f (Time.diff t up_at))
+                    else None)
+              None changes
+        in
+        let bps tbl =
+          match Hashtbl.find_opt tbl node with
+          | None -> 0.0
+          | Some b -> float_of_int (8 * b) /. window_s
+        in
+        {
+          node;
+          fast_branch;
+          optimal;
+          optimal_during;
+          pre_failure_level = pre;
+          floor_level = min_level_in ~changes ~window:(down_at, up_at);
+          recovery_s;
+          goodput_before_bps = bps bytes_before;
+          goodput_during_bps = bps bytes_during;
+          final_level = Toposense.Receiver_agent.level agent ~session:0;
+        })
+      rig.agents
+  in
+  let tree_consistent =
+    let snap =
+      Discovery.Snapshot.capture ~router:rig.router ~session:rig.session
+        ~at:(Sim.now rig.sim)
+    in
+    Discovery.Snapshot.is_tree snap
+    && List.for_all
+         (fun (e : Discovery.Snapshot.edge) ->
+           Net.Routing.next_hop_opt routing ~from:e.child ~dst:rig.source
+           = Some e.parent)
+         snap.edges
+  in
+  {
+    receivers;
+    down_at_s;
+    up_at_s;
+    routing_recomputes = Net.Routing.recomputes routing;
+    link_fault_drops = Net.Network.fault_drops rig.network;
+    unroutable_drops = Net.Network.unroutable_drops rig.network;
+    repair_passes = Multicast.Router.repair_passes rig.router;
+    edges_repaired = Multicast.Router.edges_repaired rig.router;
+    tree_consistent;
+    invalid_snapshots = Toposense.Controller.invalid_snapshots rig.controller;
+    suggestions_sent = Toposense.Controller.suggestions_sent rig.controller;
+    events_dispatched = Sim.events_dispatched rig.sim;
+    forwarded_packets = forwarded_packets_of rig.network;
+    peak_heap = Sim.max_pending rig.sim;
+  }
+
+(* ---------- controller outage + failover ---------- *)
+
+type outage_receiver = {
+  node : Net.Addr.node_id;
+  optimal : int;
+  level_at_fail : int;
+  floor_level : int;
+  unilateral_actions : int;
+  resync_s : float option;
+  final_level : int;
+}
+
+type outage_outcome = {
+  receivers : outage_receiver list;
+  fail_at_s : float;
+  failover_at_s : float;
+  primary_suggestions : int;
+  standby_suggestions : int;
+  none_starved : bool;
+  events_dispatched : int;
+}
+
+let controller_outage ?(receivers_per_set = 2) ?(fail_at_s = 60.0)
+    ?(failover_at_s = 100.0) ?(duration = Time.of_sec 200) ?(seed = 42L)
+    ?(traffic = Experiment.Cbr) () =
+  if failover_at_s <= fail_at_s then
+    invalid_arg "controller_outage: failover_at_s <= fail_at_s";
+  if Time.to_sec_f duration <= failover_at_s then
+    invalid_arg "controller_outage: duration must extend past failover_at_s";
+  let spec = Builders.topology_a ~receivers_per_set in
+  let params = Toposense.Params.default in
+  let rig = make_rig ~spec ~traffic ~params ~seed in
+  (* Standby at the core node (node 1 in Topology A): created cold, its
+     interval task only starts at failover. *)
+  let standby_node = 1 in
+  let discovery =
+    Discovery.Service.create ~sim:rig.sim ~router:rig.router ()
+  in
+  Discovery.Service.register_session discovery rig.session;
+  let standby =
+    Toposense.Controller.create ~network:rig.network ~discovery ~params
+      ~node:standby_node ()
+  in
+  Toposense.Controller.add_session standby rig.session;
+  Toposense.Controller.stop standby;
+  let fail_at = Time.of_sec_f fail_at_s in
+  let failover_at = Time.of_sec_f failover_at_s in
+  ignore
+    (Sim.schedule_at rig.sim fail_at (fun () ->
+         Toposense.Controller.stop rig.controller));
+  let counts_at_failover = Hashtbl.create 8 in
+  ignore
+    (Sim.schedule_at rig.sim failover_at (fun () ->
+         Toposense.Controller.start standby;
+         List.iter
+           (fun (node, a) ->
+             Hashtbl.replace counts_at_failover node
+               (Toposense.Receiver_agent.suggestions_received a);
+             Toposense.Receiver_agent.set_controller a ~controller:standby_node)
+           rig.agents));
+  (* Resync probe: the first time each receiver hears a suggestion again
+     after failover, at 500 ms resolution. *)
+  let resynced_at = Hashtbl.create 8 in
+  ignore
+    (Sim.every rig.sim ~period:(Time.span_of_ms 500) (fun () ->
+         let now = Sim.now rig.sim in
+         if Time.(now >= failover_at) then
+           List.iter
+             (fun (node, a) ->
+               if not (Hashtbl.mem resynced_at node) then
+                 match Hashtbl.find_opt counts_at_failover node with
+                 | Some c0
+                   when Toposense.Receiver_agent.suggestions_received a > c0 ->
+                     Hashtbl.replace resynced_at node now
+                 | _ -> ())
+             rig.agents));
+  Sim.run_until rig.sim duration;
+  let routing = Net.Network.routing rig.network in
+  let layering = Session.layering rig.session in
+  let end_t = Sim.now rig.sim in
+  let receivers =
+    List.map
+      (fun (node, agent) ->
+        let changes = Toposense.Receiver_agent.changes agent ~session:0 in
+        {
+          node;
+          optimal =
+            Baseline.Static_oracle.optimal_level
+              ~topology:spec.Builders.topology ~routing ~layering
+              ~sessions:spec.Builders.sessions ~source:rig.source
+              ~receiver:node;
+          level_at_fail = level_at ~changes ~at:fail_at;
+          floor_level = min_level_in ~changes ~window:(fail_at, end_t);
+          unilateral_actions = Toposense.Receiver_agent.unilateral_actions agent;
+          resync_s =
+            Option.map
+              (fun t -> Time.span_to_sec_f (Time.diff t failover_at))
+              (Hashtbl.find_opt resynced_at node);
+          final_level = Toposense.Receiver_agent.level agent ~session:0;
+        })
+      rig.agents
+  in
+  {
+    receivers;
+    fail_at_s;
+    failover_at_s;
+    primary_suggestions = Toposense.Controller.suggestions_sent rig.controller;
+    standby_suggestions = Toposense.Controller.suggestions_sent standby;
+    none_starved = List.for_all (fun r -> r.floor_level >= 1) receivers;
+    events_dispatched = Sim.events_dispatched rig.sim;
+  }
+
+(* ---------- lossy control plane ---------- *)
+
+type lossy_receiver = {
+  node : Net.Addr.node_id;
+  optimal : int;
+  final_level : int;
+  deviation : float;
+  suggestions_received : int;
+  unilateral_actions : int;
+}
+
+type lossy_outcome = {
+  receivers : lossy_receiver list;
+  drop_fraction : float;
+  delay_fraction : float;
+  control_dropped : int;
+  control_delayed : int;
+  reports_received : int;
+  suggestions_sent : int;
+  mean_deviation : float;
+  events_dispatched : int;
+}
+
+(* The control plane, as the net layer cannot name it itself: receiver
+   reports, controller suggestions and discovery probe traffic. *)
+let is_control (pkt : Net.Packet.t) =
+  match pkt.Net.Packet.payload with
+  | Reports.Rtcp.Report _ -> true
+  | Toposense.Controller.Suggestion _ -> true
+  | Toposense.Probe_discovery.Probe_query _
+  | Toposense.Probe_discovery.Probe_response _ ->
+      true
+  | _ -> false
+
+let lossy_control ?(receivers_per_set = 2) ?(drop_fraction = 0.3)
+    ?(delay_fraction = 0.0) ?(delay = Time.span_of_ms 500)
+    ?(duration = Time.of_sec 300) ?(seed = 42L) ?(traffic = Experiment.Cbr) ()
+    =
+  let spec = Builders.topology_a ~receivers_per_set in
+  let params = Toposense.Params.default in
+  let rig = make_rig ~spec ~traffic ~params ~seed in
+  let faults = Net.Faults.create ~network:rig.network () in
+  Net.Faults.set_control_plane faults ~classify:is_control ~drop_fraction
+    ~delay_fraction ~delay ();
+  Sim.run_until rig.sim duration;
+  let routing = Net.Network.routing rig.network in
+  let layering = Session.layering rig.session in
+  let receivers =
+    List.map
+      (fun (node, agent) ->
+        let changes = Toposense.Receiver_agent.changes agent ~session:0 in
+        let optimal =
+          Baseline.Static_oracle.optimal_level ~topology:spec.Builders.topology
+            ~routing ~layering ~sessions:spec.Builders.sessions
+            ~source:rig.source ~receiver:node
+        in
+        {
+          node;
+          optimal;
+          final_level = Toposense.Receiver_agent.level agent ~session:0;
+          deviation =
+            Metrics.Deviation.relative_deviation ~changes ~optimal
+              ~window:(Time.zero, duration);
+          suggestions_received =
+            Toposense.Receiver_agent.suggestions_received agent;
+          unilateral_actions = Toposense.Receiver_agent.unilateral_actions agent;
+        })
+      rig.agents
+  in
+  let mean_deviation =
+    match receivers with
+    | [] -> 0.0
+    | rs ->
+        List.fold_left (fun acc r -> acc +. r.deviation) 0.0 rs
+        /. float_of_int (List.length rs)
+  in
+  {
+    receivers;
+    drop_fraction;
+    delay_fraction;
+    control_dropped = Net.Faults.control_dropped faults;
+    control_delayed = Net.Faults.control_delayed faults;
+    reports_received = Toposense.Controller.reports_received rig.controller;
+    suggestions_sent = Toposense.Controller.suggestions_sent rig.controller;
+    mean_deviation;
+    events_dispatched = Sim.events_dispatched rig.sim;
+  }

@@ -1,0 +1,152 @@
+(** Failure-recovery experiments.
+
+    Three fault scenarios over Topology-A-style networks, each reporting
+    recovery-time and goodput/accuracy metrics:
+
+    - {!link_flap} — the core→fast-branch link fails and later heals on a
+      topology with a narrower two-hop detour, exercising incremental
+      rerouting, multicast tree repair and the control loop's return to
+      the pre-failure subscription levels;
+    - {!controller_outage} — the primary controller dies mid-run and a
+      standby takes over later; receivers bridge the gap on their
+      RLM-style unilateral watchdog;
+    - {!lossy_control} — a configurable fraction of all control packets
+      (reports, suggestions, probes) is silently dropped or delayed.
+
+    All runs are deterministic per seed. Without scheduled faults these
+    rigs behave exactly like {!Experiment.run}'s. *)
+
+(** {1 Link flap} *)
+
+type flap_receiver = {
+  node : Net.Addr.node_id;
+  fast_branch : bool;  (** behind the flapped link *)
+  optimal : int;  (** steady-state optimum *)
+  optimal_during : int;  (** optimum while rerouted over the detour *)
+  pre_failure_level : int;  (** subscription just before the link died *)
+  floor_level : int;  (** lowest subscription inside the failure window *)
+  recovery_s : float option;
+      (** seconds after the link healed until the subscription was back
+          at the pre-failure level; [Some 0.] if it never fell *)
+  goodput_before_bps : float;
+  goodput_during_bps : float;
+      (** delivered application goodput in the failure window and in an
+          equally long window just before it *)
+  final_level : int;
+}
+
+type flap_outcome = {
+  receivers : flap_receiver list;
+  down_at_s : float;
+  up_at_s : float;
+  routing_recomputes : int;  (** incremental Dijkstra runs *)
+  link_fault_drops : int;  (** packets lost to the dead link *)
+  unroutable_drops : int;
+  repair_passes : int;
+  edges_repaired : int;
+  tree_consistent : bool;
+      (** final overlay is a tree and every edge agrees with unicast
+          reverse paths *)
+  invalid_snapshots : int;
+  suggestions_sent : int;
+  events_dispatched : int;
+  forwarded_packets : int;
+  peak_heap : int;
+}
+
+val detour_bps : float
+(** Bandwidth of each detour hop (250 Kbps, ideal level 3). *)
+
+val link_flap :
+  ?receivers_per_set:int ->
+  ?down_at_s:float ->
+  ?up_at_s:float ->
+  ?duration:Engine.Time.t ->
+  ?seed:int64 ->
+  ?traffic:Experiment.traffic ->
+  unit ->
+  flap_outcome
+(** One down/up cycle of the core→fast-branch link under load. Defaults:
+    2+2 receivers, down at 60 s, up at 90 s, 180 s horizon, CBR.
+    @raise Invalid_argument unless [down_at_s < up_at_s < duration]. *)
+
+(** {1 Controller outage and failover} *)
+
+type outage_receiver = {
+  node : Net.Addr.node_id;
+  optimal : int;
+  level_at_fail : int;
+  floor_level : int;  (** lowest subscription after the primary died *)
+  unilateral_actions : int;
+  resync_s : float option;
+      (** seconds after failover until this receiver heard a suggestion
+          again (500 ms resolution); [None] if it never did *)
+  final_level : int;
+}
+
+type outage_outcome = {
+  receivers : outage_receiver list;
+  fail_at_s : float;
+  failover_at_s : float;
+  primary_suggestions : int;
+  standby_suggestions : int;
+  none_starved : bool;
+      (** no receiver fell to level 0 while the controller was away *)
+  events_dispatched : int;
+}
+
+val controller_outage :
+  ?receivers_per_set:int ->
+  ?fail_at_s:float ->
+  ?failover_at_s:float ->
+  ?duration:Engine.Time.t ->
+  ?seed:int64 ->
+  ?traffic:Experiment.traffic ->
+  unit ->
+  outage_outcome
+(** Primary controller (at the source) stops at [fail_at_s]; a standby at
+    the core node starts at [failover_at_s] and the receivers re-home to
+    it. Defaults: 2+2 receivers, fail at 60 s, failover at 100 s, 200 s
+    horizon, CBR.
+    @raise Invalid_argument unless [fail_at_s < failover_at_s < duration]. *)
+
+(** {1 Lossy control plane} *)
+
+type lossy_receiver = {
+  node : Net.Addr.node_id;
+  optimal : int;
+  final_level : int;
+  deviation : float;  (** time-weighted relative deviation from optimal *)
+  suggestions_received : int;
+  unilateral_actions : int;
+}
+
+type lossy_outcome = {
+  receivers : lossy_receiver list;
+  drop_fraction : float;
+  delay_fraction : float;
+  control_dropped : int;
+  control_delayed : int;
+  reports_received : int;
+  suggestions_sent : int;
+  mean_deviation : float;
+  events_dispatched : int;
+}
+
+val is_control : Net.Packet.t -> bool
+(** The classifier handed to {!Net.Faults.set_control_plane}: receiver
+    reports, controller suggestions and discovery probe traffic. *)
+
+val lossy_control :
+  ?receivers_per_set:int ->
+  ?drop_fraction:float ->
+  ?delay_fraction:float ->
+  ?delay:Engine.Time.span ->
+  ?duration:Engine.Time.t ->
+  ?seed:int64 ->
+  ?traffic:Experiment.traffic ->
+  unit ->
+  lossy_outcome
+(** Runs Topology A with the given fractions of control packets silently
+    dropped/delayed. Defaults: 2+2 receivers, 30% drop, no delay, 300 s
+    horizon, CBR. *)

@@ -31,11 +31,17 @@ type t = {
   domain : Net.Addr.node_id list option;
   probe : Probe_discovery.t option;
   algorithm : Algorithm.t;
-  mutable sessions : Traffic.Session.t list;
+  mutable sessions_rev : Traffic.Session.t list;
+      (** newest first; O(1) registration, reversed at each use *)
   receivers : (int * Net.Addr.node_id, receiver_state) Hashtbl.t;
   mutable task : Sim.handle option;
+  mutable running : bool;
+      (** between {!start}/{!stop}; a stopped controller is deaf, so a
+          restart resumes from state no fresher than the outage *)
   mutable reports_received : int;
   mutable suggestions_sent : int;
+  mutable self_suppressed : int;
+  mutable invalid_snapshots : int;
   mutable intervals_run : int;
   mutable skipped_no_snapshot : int;
   mutable billing : Billing.t option;
@@ -95,17 +101,22 @@ let create ~network ~discovery ~params ~node ?domain ?probe () =
       domain;
       probe;
       algorithm = Algorithm.create ~params ~rng:(Sim.rng sim ~label:"toposense");
-      sessions = [];
+      sessions_rev = [];
       receivers = Hashtbl.create 64;
       task = None;
+      running = true;
       reports_received = 0;
       suggestions_sent = 0;
+      self_suppressed = 0;
+      invalid_snapshots = 0;
       intervals_run = 0;
       skipped_no_snapshot = 0;
       billing = None;
     }
   in
   Net.Network.add_local_handler network node (fun pkt ->
+      if not t.running then ()
+      else begin
       Option.iter (fun p -> Probe_discovery.handle_packet p pkt) t.probe;
       match pkt.Net.Packet.payload with
       | Reports.Rtcp.Report r ->
@@ -117,10 +128,16 @@ let create ~network ~discovery ~params ~node ?domain ?probe () =
           on_report t ~session:r.session ~receiver:r.receiver ~level:r.level
             ~loss_rate:r.loss_rate ~bytes:r.bytes ~settling:r.settling
             ~sustained:r.sustained
-      | _ -> ());
+      | _ -> ()
+      end);
   t
 
-let add_session t session = t.sessions <- t.sessions @ [ session ]
+(* PR 1 removed the same quadratic [l @ [x]] pattern from [Net.Network];
+   registration order still matters for deterministic interval runs, so
+   the reversal happens at use, not here. *)
+let add_session t session = t.sessions_rev <- session :: t.sessions_rev
+
+let sessions t = List.rev t.sessions_rev
 
 let set_billing t billing = t.billing <- Some billing
 
@@ -232,24 +249,36 @@ let run_interval t =
             | None ->
                 t.skipped_no_snapshot <- t.skipped_no_snapshot + 1;
                 None
+            | Some snap when not (Discovery.Snapshot.is_tree snap) ->
+                (* With faults injected the discovery image can be
+                   genuinely wrong, not merely stale — e.g. a child with
+                   two recorded parents mid-repair. Skip the session this
+                   interval rather than acting on a non-tree. *)
+                t.invalid_snapshots <- t.invalid_snapshots + 1;
+                None
             | Some snap ->
                 let tree = Tree.of_snapshot snap in
                 Some (session_input t session tree)))
-      t.sessions
+      (List.rev t.sessions_rev)
   in
   let prescriptions = Algorithm.step t.algorithm ~now inputs in
   if debug_enabled then debug_dump t inputs;
   List.iter
     (fun (p : Algorithm.prescription) ->
-      t.suggestions_sent <- t.suggestions_sent + 1;
-      if p.receiver = t.node then () (* no self-suggestions *)
-      else
+      if p.receiver = t.node then
+        (* No self-suggestions; count separately so [suggestions_sent]
+           reflects packets actually put on the wire. *)
+        t.self_suppressed <- t.self_suppressed + 1
+      else begin
+        t.suggestions_sent <- t.suggestions_sent + 1;
         Net.Network.originate t.network ~src:t.node
           ~dst:(Net.Addr.Unicast p.receiver) ~size:suggestion_size
-          ~payload:(Suggestion { session = p.session; level = p.level }))
+          ~payload:(Suggestion { session = p.session; level = p.level })
+      end)
     prescriptions
 
 let start t =
+  t.running <- true;
   Option.iter Probe_discovery.start t.probe;
   if t.task = None then begin
     let sim = Net.Network.sim t.network in
@@ -258,14 +287,19 @@ let start t =
   end
 
 let stop t =
+  t.running <- false;
+  Option.iter Probe_discovery.stop t.probe;
   match t.task with
   | Some h ->
       Sim.cancel (Net.Network.sim t.network) h;
       t.task <- None
   | None -> ()
 
+let running t = t.running
 let algorithm t = t.algorithm
 let reports_received t = t.reports_received
 let suggestions_sent t = t.suggestions_sent
+let self_suppressed t = t.self_suppressed
+let invalid_snapshots t = t.invalid_snapshots
 let intervals_run t = t.intervals_run
 let skipped_no_snapshot t = t.skipped_no_snapshot

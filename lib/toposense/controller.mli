@@ -45,21 +45,44 @@ val create :
 val add_session : t -> Traffic.Session.t -> unit
 (** The session must also be registered with the discovery service. *)
 
+val sessions : t -> Traffic.Session.t list
+(** Registered sessions, in registration order. *)
+
 val set_billing : t -> Billing.t -> unit
 (** Every receiver report is additionally folded into the billing
     record (the paper's controller-as-billing-agent use case). *)
 
 val start : t -> unit
 (** Begins the periodic algorithm runs (first run one interval from
-    now). *)
+    now). Also restarts a stopped controller: reports are heard again and
+    intervals resume, picking up from whatever stale state survived the
+    outage — receivers meanwhile fall back to their unilateral
+    watchdog. *)
 
 val stop : t -> unit
+(** Models a controller outage (or failover away from this instance):
+    cancels the interval task, stops the prober, and makes the controller
+    deaf to incoming reports until {!start} is called again. *)
+
+val running : t -> bool
 
 val algorithm : t -> Algorithm.t
 (** The underlying algorithm state (diagnostics, tests, benches). *)
 
 val reports_received : t -> int
+
 val suggestions_sent : t -> int
+(** Suggestion packets actually originated; prescriptions addressed to
+    the controller's own node are counted in {!self_suppressed}
+    instead. *)
+
+val self_suppressed : t -> int
+(** Prescriptions suppressed because the receiver is this node. *)
+
+val invalid_snapshots : t -> int
+(** Intervals skipped because the discovery image was not a tree (only
+    possible while faults corrupt the topology image). *)
+
 val intervals_run : t -> int
 val skipped_no_snapshot : t -> int
 (** Intervals where a session had no old-enough snapshot yet. *)

@@ -16,7 +16,7 @@ type t = {
   router : Multicast.Router.t;
   params : Params.t;
   node : Net.Addr.node_id;
-  controller : Net.Addr.node_id;
+  mutable controller : Net.Addr.node_id;  (* re-pointed on failover *)
   stats : Stats.t;
   rng : Engine.Prng.t;
   sessions : (int, session_state) Hashtbl.t;
@@ -177,6 +177,10 @@ let watchdog t =
         else if
           st.last_window_loss <= t.params.p_threshold
           && Time.(now >= st.probe_deadline)
+          (* Same deaf guard as the shed branch: a join experiment while
+             the network is still draining a drop we just made would read
+             the settling loss as the new layer's fault. *)
+          && Time.(now >= st.deaf_until)
           && current < Traffic.Layering.count (Traffic.Session.layering st.session)
         then begin
           t.unilateral_actions <- t.unilateral_actions + 1;
@@ -213,6 +217,9 @@ let last_window_loss t ~session =
   match Hashtbl.find_opt t.sessions session with
   | None -> 0.0
   | Some st -> st.last_window_loss
+
+let set_controller t ~controller = t.controller <- controller
+let controller t = t.controller
 
 let suggestions_received t = t.suggestions_received
 let unilateral_actions t = t.unilateral_actions

@@ -46,6 +46,14 @@ val last_window_loss : t -> session:int -> float
 (** Loss rate of the most recent report window (0 before the first
     report); what Fig. 9's loss trace samples. *)
 
+val set_controller : t -> controller:Net.Addr.node_id -> unit
+(** Re-points future reports at a different controller node — the
+    failover step after a controller outage. Already-sent reports are
+    unaffected; the watchdog keeps covering the gap until the new
+    controller's suggestions arrive. *)
+
+val controller : t -> Net.Addr.node_id
+
 val suggestions_received : t -> int
 val unilateral_actions : t -> int
 val node : t -> Net.Addr.node_id
