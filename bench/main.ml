@@ -363,7 +363,7 @@ let run_ablations () =
 
 (* ---------- bench trajectory (BENCH_*.json) ---------- *)
 
-(* Macro throughput numbers for the hot path, written to BENCH_pr1.json
+(* Macro throughput numbers for the hot path, written to BENCH_pr3.json
    so successive PRs can compare events/sec and packets/sec on fixed
    scenarios. Runs alone (fast) with BENCH_SMOKE=1 or --trajectory. *)
 
@@ -432,6 +432,25 @@ let fault_flap_row ~sim_s () =
     peak_heap = o.Scenarios.Recovery.peak_heap;
   }
 
+(* Reliable control plane under partition: leases, retransmission timers
+   and the receivers' RLM fallback all churn at once while the data
+   plane keeps forwarding. *)
+let fault_partition_row ~sim_s () =
+  let o, wall =
+    time_wall_best (fun () ->
+        Scenarios.Recovery.partition ~receivers_per_set:4
+          ~duration:(Time.of_sec_f (Float.max sim_s 180.0))
+          ())
+  in
+  {
+    bname = "fault-partition";
+    sim_s = Float.max sim_s 180.0;
+    wall_s = wall;
+    events = o.Scenarios.Recovery.events_dispatched;
+    packets = o.Scenarios.Recovery.forwarded_packets;
+    peak_heap = o.Scenarios.Recovery.peak_heap;
+  }
+
 (* Engine-only: thousands of periodic chains, most cancelled mid-run, on
    top of a standing population of far-future one-shot events that also
    get cancelled — the worst case for event-heap tombstones. *)
@@ -474,7 +493,7 @@ let engine_churn_row ~sim_s () =
 
 let emit_bench_json ~path rows =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n  \"bench\": \"pr1\",\n";
+  Buffer.add_string buf "{\n  \"bench\": \"pr3\",\n";
   Printf.bprintf buf "  \"mode\": \"%s\",\n"
     (if full then "full" else "quick");
   Buffer.add_string buf "  \"scenarios\": [\n";
@@ -534,6 +553,7 @@ let run_trajectory () =
              (fun () -> Scenarios.Builders.topology_a ~receivers_per_set:4))
         ~traffic:(Experiment.Vbr 6.0) ~sim_s ();
       fault_flap_row ~sim_s ();
+      fault_partition_row ~sim_s ();
       engine_churn_row ~sim_s:(sim_s /. 5.0) ();
     ]
   in
@@ -548,7 +568,7 @@ let run_trajectory () =
         r.peak_heap)
     rows;
   let path =
-    Option.value ~default:"BENCH_pr1.json" (Sys.getenv_opt "BENCH_OUT")
+    Option.value ~default:"BENCH_pr3.json" (Sys.getenv_opt "BENCH_OUT")
   in
   emit_bench_json ~path rows;
   Format.printf "wrote %s@." path

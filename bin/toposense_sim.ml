@@ -378,6 +378,18 @@ let print_lossy (o : Recovery.lossy_outcome) =
     (o.delay_fraction *. 100.0)
     o.control_dropped o.control_delayed o.reports_received o.suggestions_sent
     o.mean_deviation;
+  if o.reliable then
+    Format.printf
+      "  reliable: %d/%d prescriptions delivered (%.1f%%), %d retransmits, \
+       %d give-ups, %d acks, %d dups suppressed, %d stale dropped@."
+      o.prescriptions_delivered o.suggestions_sent
+      (if o.suggestions_sent = 0 then 100.0
+       else
+         100.0
+         *. float_of_int o.prescriptions_delivered
+         /. float_of_int o.suggestions_sent)
+      o.retransmits o.give_ups o.acks_received o.dup_suppressed
+      o.stale_suppressed;
   List.iter
     (fun (r : Recovery.lossy_receiver) ->
       Format.printf
@@ -387,7 +399,27 @@ let print_lossy (o : Recovery.lossy_outcome) =
         r.unilateral_actions)
     o.receivers
 
-let recovery_json ~flap ~outage ~lossy =
+let print_partition (o : Recovery.partition_outcome) =
+  Format.printf
+    "partition: control plane severed %.0f-%.0f s; %d evictions, %d \
+     readmissions, %d retransmits (%d give-ups), %d prescriptions withheld \
+     from evicted receivers, %d stale rejected, %d unroutable control \
+     packets; %s, %s@."
+    o.down_at_s o.up_at_s o.evictions o.readmissions o.retransmits o.give_ups
+    o.lease_suppressed o.stale_rejected o.unroutable_drops
+    (if o.none_starved then "no receiver starved" else "A RECEIVER STARVED")
+    (if o.all_reconverged then "all reconverged within 3 intervals"
+     else "SLOW RECONVERGENCE");
+  List.iter
+    (fun (r : Recovery.partition_receiver) ->
+      Format.printf
+        "  n%-3d optimal %d level %d->floor %d fallback %.1f s reconverge %a \
+         unilateral %d final %d@."
+        r.node r.optimal r.pre_failure_level r.floor_level r.fallback_s
+        fmt_opt_s r.reconverge_s r.unilateral_actions r.final_level)
+    o.receivers
+
+let recovery_json ~flap ~outage ~lossy ~partition =
   let buf = Buffer.create 1024 in
   let opt_f = function Some s -> Printf.sprintf "%.1f" s | None -> "null" in
   Buffer.add_string buf "{\n  \"recovery\": [\n";
@@ -456,10 +488,36 @@ let recovery_json ~flap ~outage ~lossy =
               "    {\"name\": \"lossy-control\", \"drop_fraction\": %.2f, \
                \"control_dropped\": %d, \"control_delayed\": %d, \
                \"reports_received\": %d, \"suggestions_sent\": %d, \
-               \"mean_deviation\": %.3f}"
+               \"mean_deviation\": %.3f, \"reliable\": %b, \
+               \"prescriptions_delivered\": %d, \"retransmits\": %d, \
+               \"dup_suppressed\": %d}"
               o.drop_fraction o.control_dropped o.control_delayed
-              o.reports_received o.suggestions_sent o.mean_deviation)
+              o.reports_received o.suggestions_sent o.mean_deviation o.reliable
+              o.prescriptions_delivered o.retransmits o.dup_suppressed)
           lossy;
+        Option.map
+          (fun (o : Recovery.partition_outcome) ->
+            let per_receiver =
+              String.concat ", "
+                (List.map
+                   (fun (r : Recovery.partition_receiver) ->
+                     Printf.sprintf
+                       "{\"node\": %d, \"floor_level\": %d, \"fallback_s\": \
+                        %.1f, \"reconverge_s\": %s, \"unilateral\": %d}"
+                       r.node r.floor_level r.fallback_s (opt_f r.reconverge_s)
+                       r.unilateral_actions)
+                   o.receivers)
+            in
+            Printf.sprintf
+              "    {\"name\": \"partition\", \"none_starved\": %b, \
+               \"all_reconverged\": %b, \"retransmits\": %d, \"give_ups\": \
+               %d, \"evictions\": %d, \"readmissions\": %d, \
+               \"lease_suppressed\": %d, \"stale_rejected\": %d, \
+               \"receivers\": [%s]}"
+              o.none_starved o.all_reconverged o.retransmits o.give_ups
+              o.evictions o.readmissions o.lease_suppressed o.stale_rejected
+              per_receiver)
+          partition;
       ]
   in
   Buffer.add_string buf (String.concat ",\n" sections);
@@ -474,20 +532,22 @@ let faults_cmd =
           | "flap" -> Ok `Flap
           | "outage" -> Ok `Outage
           | "lossy" -> Ok `Lossy
+          | "partition" -> Ok `Partition
           | "all" -> Ok `All
-          | _ -> Error (`Msg "expected flap, outage, lossy or all")),
+          | _ -> Error (`Msg "expected flap, outage, lossy, partition or all")),
         fun ppf t ->
           Format.pp_print_string ppf
             (match t with
             | `Flap -> "flap"
             | `Outage -> "outage"
             | `Lossy -> "lossy"
+            | `Partition -> "partition"
             | `All -> "all") )
   in
   let experiment_term =
     Arg.(
       value & opt experiment_conv `All
-      & info [ "experiment" ] ~docv:"flap|outage|lossy|all"
+      & info [ "experiment" ] ~docv:"flap|outage|lossy|partition|all"
           ~doc:"Which fault scenario to run.")
   in
   let drop_term =
@@ -496,13 +556,21 @@ let faults_cmd =
       & info [ "drop" ] ~docv:"F"
           ~doc:"Control-packet drop fraction for the lossy scenario.")
   in
+  let reliable_term =
+    Arg.(
+      value & flag
+      & info [ "reliable" ]
+          ~doc:
+            "Run the lossy scenario with reliable (ACKed + retransmitted) \
+             prescriptions.")
+  in
   let json_term =
     Arg.(
       value
       & opt (some string) None
       & info [ "json" ] ~docv:"FILE" ~doc:"Write recovery metrics as JSON.")
   in
-  let run duration seed experiment drop json =
+  let run duration seed experiment drop reliable json =
     if drop < 0.0 || drop > 1.0 then `Error (true, "--drop must be in [0,1]")
     else begin
       let seed = Int64.of_int seed in
@@ -530,16 +598,25 @@ let faults_cmd =
         if want `Lossy then
           Some
             (Recovery.lossy_control ~seed ~drop_fraction:drop
-               ~duration:duration_t ())
+               ~duration:duration_t ~reliable ())
+        else None
+      in
+      let partition =
+        if want `Partition then
+          Some
+            (Recovery.partition ~seed
+               ~duration:(Time.max duration_t (Time.of_sec 180))
+               ())
         else None
       in
       Option.iter print_flap flap;
       Option.iter print_outage outage;
       Option.iter print_lossy lossy;
+      Option.iter print_partition partition;
       Option.iter
         (fun path ->
           let oc = open_out path in
-          output_string oc (recovery_json ~flap ~outage ~lossy);
+          output_string oc (recovery_json ~flap ~outage ~lossy ~partition);
           close_out oc;
           Format.printf "wrote %s@." path)
         json;
@@ -550,11 +627,11 @@ let faults_cmd =
     (Cmd.info "faults"
        ~doc:
          "Fault-injection scenarios: link flap under load, controller outage \
-          with failover, lossy control plane.")
+          with failover, lossy control plane, controller partition.")
     Term.(
       ret
         (const run $ duration_term $ seed_term $ experiment_term $ drop_term
-       $ json_term))
+       $ reliable_term $ json_term))
 
 let () =
   let info =

@@ -8,12 +8,13 @@ type Net.Packet.payload +=
       window : Engine.Time.span;
       settling : bool;
       sustained : bool;
+      seq : int;
     }
 
 let report_size = 100
 
 let send_report ~network ~receiver ~controller ~session ~level ~window
-    ?(settling = false) (w : Receiver_stats.window) =
+    ?(settling = false) ~seq (w : Receiver_stats.window) =
   Net.Network.originate network ~src:receiver
     ~dst:(Net.Addr.Unicast controller) ~size:report_size
     ~payload:
@@ -27,4 +28,5 @@ let send_report ~network ~receiver ~controller ~session ~level ~window
            window;
            settling;
            sustained = w.sustained;
+           seq;
          })

@@ -21,6 +21,11 @@ type Net.Packet.payload +=
       sustained : bool;
           (** at least two consecutive report windows saw loss
               ({!Receiver_stats.window.sustained}) *)
+      seq : int;
+          (** per-(receiver, session) report sequence number, 1-based
+              and monotonic; the controller uses it to drop duplicated
+              or reordered-stale reports and to refresh the sender's
+              liveness lease *)
     }
 
 val report_size : int
@@ -34,6 +39,7 @@ val send_report :
   level:int ->
   window:Engine.Time.span ->
   ?settling:bool ->
+  seq:int ->
   Receiver_stats.window ->
   unit
 (** Emit one report packet toward the controller. It is routed like any

@@ -403,14 +403,23 @@ type lossy_outcome = {
   suggestions_sent : int;
   mean_deviation : float;
   events_dispatched : int;
+  reliable : bool;
+  prescriptions_delivered : int;
+  retransmits : int;
+  give_ups : int;
+  acks_received : int;
+  dup_suppressed : int;
+  stale_suppressed : int;
 }
 
 (* The control plane, as the net layer cannot name it itself: receiver
-   reports, controller suggestions and discovery probe traffic. *)
+   reports, controller suggestions, protocol ACKs/goodbyes and discovery
+   probe traffic. *)
 let is_control (pkt : Net.Packet.t) =
   match pkt.Net.Packet.payload with
   | Reports.Rtcp.Report _ -> true
   | Toposense.Controller.Suggestion _ -> true
+  | Toposense.Protocol.Ack _ | Toposense.Protocol.Goodbye _ -> true
   | Toposense.Probe_discovery.Probe_query _
   | Toposense.Probe_discovery.Probe_response _ ->
       true
@@ -418,10 +427,12 @@ let is_control (pkt : Net.Packet.t) =
 
 let lossy_control ?(receivers_per_set = 2) ?(drop_fraction = 0.3)
     ?(delay_fraction = 0.0) ?(delay = Time.span_of_ms 500)
-    ?(duration = Time.of_sec 300) ?(seed = 42L) ?(traffic = Experiment.Cbr) ()
-    =
+    ?(duration = Time.of_sec 300) ?(seed = 42L) ?(traffic = Experiment.Cbr)
+    ?(reliable = false) () =
   let spec = Builders.topology_a ~receivers_per_set in
-  let params = Toposense.Params.default in
+  let params =
+    { Toposense.Params.default with reliable_prescriptions = reliable }
+  in
   let rig = make_rig ~spec ~traffic ~params ~seed in
   let faults = Net.Faults.create ~network:rig.network () in
   Net.Faults.set_control_plane faults ~classify:is_control ~drop_fraction
@@ -458,6 +469,17 @@ let lossy_control ?(receivers_per_set = 2) ?(drop_fraction = 0.3)
         List.fold_left (fun acc r -> acc +. r.deviation) 0.0 rs
         /. float_of_int (List.length rs)
   in
+  (* A prescription "delivered" is one whose effect was applied: the
+     receiver admitted a fresh sequence number (retransmissions of the
+     same prescription count once, duplicates are suppressed). *)
+  let heard, dups, stales =
+    List.fold_left
+      (fun (h, d, s) (_, agent) ->
+        ( h + Toposense.Receiver_agent.suggestions_received agent,
+          d + Toposense.Receiver_agent.dup_suggestions agent,
+          s + Toposense.Receiver_agent.stale_suggestions agent ))
+      (0, 0, 0) rig.agents
+  in
   {
     receivers;
     drop_fraction;
@@ -468,4 +490,150 @@ let lossy_control ?(receivers_per_set = 2) ?(drop_fraction = 0.3)
     suggestions_sent = Toposense.Controller.suggestions_sent rig.controller;
     mean_deviation;
     events_dispatched = Sim.events_dispatched rig.sim;
+    reliable;
+    prescriptions_delivered = heard - dups - stales;
+    retransmits = Toposense.Controller.retransmits rig.controller;
+    give_ups = Toposense.Controller.give_ups rig.controller;
+    acks_received = Toposense.Controller.acks_received rig.controller;
+    dup_suppressed = dups;
+    stale_suppressed = stales;
+  }
+
+(* ---------- controller partition ---------- *)
+
+type partition_receiver = {
+  node : Net.Addr.node_id;
+  optimal : int;
+  pre_failure_level : int;
+  floor_level : int;
+  fallback_s : float;
+  reconverge_s : float option;
+  unilateral_actions : int;
+  final_level : int;
+}
+
+type partition_outcome = {
+  receivers : partition_receiver list;
+  down_at_s : float;
+  up_at_s : float;
+  retransmits : int;
+  give_ups : int;
+  evictions : int;
+  readmissions : int;
+  acks_received : int;
+  stale_rejected : int;
+  lease_suppressed : int;
+  suggestions_sent : int;
+  unroutable_drops : int;
+  none_starved : bool;
+  all_reconverged : bool;
+  events_dispatched : int;
+  forwarded_packets : int;
+  peak_heap : int;
+}
+
+(* Topology A with the controller moved to a dedicated node hanging off
+   the source on its own fast link. Failing that link severs the control
+   plane — reports and prescriptions both die unroutable — while the
+   data plane (source → branches) keeps flowing untouched, which is
+   exactly the regime the receivers' standalone fallback is for. *)
+let partition_spec ~receivers_per_set =
+  let spec = Builders.topology_a ~receivers_per_set in
+  let source = spec.Builders.controller_node in
+  let ctrl = Net.Topology.add_node spec.Builders.topology in
+  Net.Topology.add_duplex spec.Builders.topology ~a:source ~b:ctrl
+    ~bandwidth_bps:Builders.fast_bps
+    ~discipline:(Builders.default_discipline ~bandwidth_bps:Builders.fast_bps)
+    ();
+  ({ spec with Builders.controller_node = ctrl }, source, ctrl)
+
+let partition ?(receivers_per_set = 2) ?(down_at_s = 60.0) ?(up_at_s = 90.0)
+    ?(duration = Time.of_sec 180) ?(seed = 42L) ?(traffic = Experiment.Cbr) ()
+    =
+  if up_at_s <= down_at_s then invalid_arg "partition: up_at_s <= down_at_s";
+  if Time.to_sec_f duration <= up_at_s then
+    invalid_arg "partition: duration must extend past up_at_s";
+  let spec, source, ctrl = partition_spec ~receivers_per_set in
+  (* Reliable prescriptions + the full RLM fallback, and a lease short
+     enough (5 × 2 s) that the controller evicts the unreachable
+     receivers well inside the 30 s partition and re-admits them after
+     the heal. *)
+  let params =
+    {
+      Toposense.Params.default with
+      reliable_prescriptions = true;
+      rlm_fallback = true;
+      lease_intervals = 5;
+    }
+  in
+  let rig = make_rig ~spec ~traffic ~params ~seed in
+  let faults = Net.Faults.create ~network:rig.network () in
+  let down_at = Time.of_sec_f down_at_s in
+  let up_at = Time.of_sec_f up_at_s in
+  Net.Faults.schedule_flap faults ~a:source ~b:ctrl ~down_at ~up_at;
+  Sim.run_until rig.sim duration;
+  let routing = Net.Network.routing rig.network in
+  let layering = Session.layering rig.session in
+  let end_t = Sim.now rig.sim in
+  let three_intervals =
+    Time.span_to_sec_f (3 * params.Toposense.Params.interval)
+  in
+  let receivers =
+    List.map
+      (fun (node, agent) ->
+        let changes = Toposense.Receiver_agent.changes agent ~session:0 in
+        let pre = level_at ~changes ~at:down_at in
+        let reconverge_s =
+          if level_at ~changes ~at:up_at >= pre then Some 0.0
+          else
+            List.fold_left
+              (fun acc (t, l) ->
+                match acc with
+                | Some _ -> acc
+                | None ->
+                    if Time.(t >= up_at) && l >= pre then
+                      Some (Time.span_to_sec_f (Time.diff t up_at))
+                    else None)
+              None changes
+        in
+        {
+          node;
+          optimal =
+            Baseline.Static_oracle.optimal_level
+              ~topology:spec.Builders.topology ~routing ~layering
+              ~sessions:spec.Builders.sessions ~source:rig.source
+              ~receiver:node;
+          pre_failure_level = pre;
+          floor_level = min_level_in ~changes ~window:(down_at, end_t);
+          fallback_s = Toposense.Receiver_agent.fallback_seconds agent ~session:0;
+          reconverge_s;
+          unilateral_actions = Toposense.Receiver_agent.unilateral_actions agent;
+          final_level = Toposense.Receiver_agent.level agent ~session:0;
+        })
+      rig.agents
+  in
+  {
+    receivers;
+    down_at_s;
+    up_at_s;
+    retransmits = Toposense.Controller.retransmits rig.controller;
+    give_ups = Toposense.Controller.give_ups rig.controller;
+    evictions = Toposense.Controller.evictions rig.controller;
+    readmissions = Toposense.Controller.readmissions rig.controller;
+    acks_received = Toposense.Controller.acks_received rig.controller;
+    stale_rejected = Toposense.Controller.stale_rejected rig.controller;
+    lease_suppressed = Toposense.Controller.lease_suppressed rig.controller;
+    suggestions_sent = Toposense.Controller.suggestions_sent rig.controller;
+    unroutable_drops = Net.Network.unroutable_drops rig.network;
+    none_starved = List.for_all (fun r -> r.floor_level >= 1) receivers;
+    all_reconverged =
+      List.for_all
+        (fun r ->
+          match r.reconverge_s with
+          | Some s -> s <= three_intervals
+          | None -> false)
+        receivers;
+    events_dispatched = Sim.events_dispatched rig.sim;
+    forwarded_packets = forwarded_packets_of rig.network;
+    peak_heap = Sim.max_pending rig.sim;
   }

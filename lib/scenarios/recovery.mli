@@ -1,6 +1,6 @@
 (** Failure-recovery experiments.
 
-    Three fault scenarios over Topology-A-style networks, each reporting
+    Four fault scenarios over Topology-A-style networks, each reporting
     recovery-time and goodput/accuracy metrics:
 
     - {!link_flap} — the core→fast-branch link fails and later heals on a
@@ -11,7 +11,14 @@
       standby takes over later; receivers bridge the gap on their
       RLM-style unilateral watchdog;
     - {!lossy_control} — a configurable fraction of all control packets
-      (reports, suggestions, probes) is silently dropped or delayed.
+      (reports, suggestions, ACKs, probes) is silently dropped or
+      delayed, optionally with reliable (ACKed + retransmitted)
+      prescriptions;
+    - {!partition} — the controller sits on a dedicated node whose only
+      link fails: the control plane is severed while the data plane keeps
+      flowing; leases evict the unreachable receivers, the standalone
+      RLM fallback keeps them adapting, and both ends reconverge after
+      the heal.
 
     All runs are deterministic per seed. Without scheduled faults these
     rigs behave exactly like {!Experiment.run}'s. *)
@@ -129,13 +136,27 @@ type lossy_outcome = {
   control_delayed : int;
   reports_received : int;
   suggestions_sent : int;
+      (** prescriptions issued (first transmissions only) *)
   mean_deviation : float;
   events_dispatched : int;
+  reliable : bool;  (** whether reliable prescriptions were on *)
+  prescriptions_delivered : int;
+      (** prescriptions whose effect was applied at a receiver: fresh
+          sequence numbers admitted (a retransmitted prescription counts
+          once; duplicates are suppressed) *)
+  retransmits : int;
+  give_ups : int;
+  acks_received : int;
+  dup_suppressed : int;
+      (** duplicate prescription deliveries suppressed by the receivers'
+          sequence filter *)
+  stale_suppressed : int;
 }
 
 val is_control : Net.Packet.t -> bool
 (** The classifier handed to {!Net.Faults.set_control_plane}: receiver
-    reports, controller suggestions and discovery probe traffic. *)
+    reports, controller suggestions, protocol ACKs/goodbyes and
+    discovery probe traffic. *)
 
 val lossy_control :
   ?receivers_per_set:int ->
@@ -145,8 +166,68 @@ val lossy_control :
   ?duration:Engine.Time.t ->
   ?seed:int64 ->
   ?traffic:Experiment.traffic ->
+  ?reliable:bool ->
   unit ->
   lossy_outcome
 (** Runs Topology A with the given fractions of control packets silently
-    dropped/delayed. Defaults: 2+2 receivers, 30% drop, no delay, 300 s
-    horizon, CBR. *)
+    dropped/delayed. With [reliable] (default false) prescriptions are
+    ACKed and retransmitted, so most of what the lossy plane eats is
+    recovered within the backoff cap. Defaults: 2+2 receivers, 30% drop,
+    no delay, 300 s horizon, CBR. *)
+
+(** {1 Controller partition} *)
+
+type partition_receiver = {
+  node : Net.Addr.node_id;
+  optimal : int;
+  pre_failure_level : int;  (** subscription just before the partition *)
+  floor_level : int;
+      (** lowest subscription from the partition to the end of the run *)
+  fallback_s : float;  (** total time spent in RLM-fallback mode *)
+  reconverge_s : float option;
+      (** seconds after the heal until the subscription was back at the
+          pre-partition level; [Some 0.] if it never fell below it *)
+  unilateral_actions : int;
+  final_level : int;
+}
+
+type partition_outcome = {
+  receivers : partition_receiver list;
+  down_at_s : float;
+  up_at_s : float;
+  retransmits : int;
+  give_ups : int;  (** prescriptions abandoned after the backoff cap *)
+  evictions : int;  (** leases expired during the partition *)
+  readmissions : int;  (** receivers re-admitted after the heal *)
+  acks_received : int;
+  stale_rejected : int;
+  lease_suppressed : int;
+      (** prescriptions withheld from evicted receivers *)
+  suggestions_sent : int;
+  unroutable_drops : int;
+      (** control packets that died for want of a route to or from the
+          isolated controller *)
+  none_starved : bool;
+      (** every receiver held at least the base layer throughout *)
+  all_reconverged : bool;
+      (** every receiver was back at its pre-partition level within
+          three TopoSense intervals of the heal *)
+  events_dispatched : int;
+  forwarded_packets : int;
+  peak_heap : int;
+}
+
+val partition :
+  ?receivers_per_set:int ->
+  ?down_at_s:float ->
+  ?up_at_s:float ->
+  ?duration:Engine.Time.t ->
+  ?seed:int64 ->
+  ?traffic:Experiment.traffic ->
+  unit ->
+  partition_outcome
+(** Topology A with the controller on a dedicated stub node; its only
+    link fails at [down_at_s] and heals at [up_at_s]. Runs with reliable
+    prescriptions, the RLM fallback and a 5-interval lease. Defaults:
+    2+2 receivers, down at 60 s, up at 90 s, 180 s horizon, CBR.
+    @raise Invalid_argument unless [down_at_s < up_at_s < duration]. *)

@@ -118,6 +118,13 @@ let step t ~now inputs =
     verdicts_of
   |> List.sort compare
 
+let remove_session t ~session =
+  Backoff.clear_session t.backoff ~session;
+  Subscription.remove_session t.subscription ~session;
+  Hashtbl.filter_map_inplace
+    (fun (s, _) verdict -> if s = session then None else Some verdict)
+    t.last_verdicts
+
 let capacity_estimate t ~edge = Capacity.estimate_bps t.capacity ~edge
 
 let last_verdict t ~session ~node =

@@ -42,6 +42,11 @@ val step : t -> now:Engine.Time.t -> session_input list -> prescription list
 (** Runs stages 1–5 once. Prescriptions are sorted by (session,
     receiver). *)
 
+val remove_session : t -> session:int -> unit
+(** Session teardown: prunes the back-off timers, stage-5 per-node
+    histories and cached verdicts of one session. Capacity estimates are
+    per physical edge, shared across sessions, and are kept. *)
+
 val capacity_estimate :
   t -> edge:(Net.Addr.node_id * Net.Addr.node_id) -> float
 (** Current stage-2 estimate (diagnostics; [infinity] = unknown). *)

@@ -28,3 +28,8 @@ let blocked_on_path t ~session ~tree ~leaf ~layer ~now =
        (Tree.ancestors tree leaf)
 
 let clear t = Hashtbl.reset t.deadlines
+
+let clear_session t ~session =
+  Hashtbl.filter_map_inplace
+    (fun (s, _, _) deadline -> if s = session then None else Some deadline)
+    t.deadlines

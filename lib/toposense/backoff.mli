@@ -32,3 +32,8 @@ val blocked_on_path :
 
 val clear : t -> unit
 (** Drops all timers (tests). *)
+
+val clear_session : t -> session:int -> unit
+(** Drops every timer of one session. Long-running controllers call this
+    on session teardown so timers for departed sessions do not accumulate
+    forever. *)

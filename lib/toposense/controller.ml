@@ -2,7 +2,7 @@ module Sim = Engine.Sim
 module Time = Engine.Time
 
 type Net.Packet.payload +=
-  | Suggestion of { session : int; level : int }
+  | Suggestion of { session : int; level : int; seq : int }
 
 let suggestion_size = 60
 
@@ -16,11 +16,20 @@ type acc = {
   mutable any_sustained : bool;
 }
 
+type status = Active | Evicted | Departed
+
+(* An unACKed prescription awaiting retransmission (only with
+   [reliable_prescriptions]). *)
+type pending = { seq : int; level : int; attempt : int; handle : Sim.handle }
+
 type receiver_state = {
   mutable fresh : acc option;  (* reports since the last run *)
   mutable last_loss : float;  (* carried forward when reports are lost *)
   mutable last_level : int;
   mutable level_changed_at : Time.t;  (* when a report last showed a new level *)
+  mutable last_report_at : Time.t;  (* lease refresh *)
+  mutable status : status;
+  mutable pending : pending option;
 }
 
 type t = {
@@ -34,6 +43,11 @@ type t = {
   mutable sessions_rev : Traffic.Session.t list;
       (** newest first; O(1) registration, reversed at each use *)
   receivers : (int * Net.Addr.node_id, receiver_state) Hashtbl.t;
+  proto_tx : Protocol.tx;  (* prescription seq, per (session, receiver) *)
+  proto_rx : Protocol.rx;  (* report/goodbye seq, per (session, receiver) *)
+  proto_rng : Engine.Prng.t;
+      (* dedicated stream: retransmission jitter must not perturb the
+         algorithm's or the receivers' randomness *)
   mutable task : Sim.handle option;
   mutable running : bool;
       (** between {!start}/{!stop}; a stopped controller is deaf, so a
@@ -41,9 +55,17 @@ type t = {
   mutable reports_received : int;
   mutable suggestions_sent : int;
   mutable self_suppressed : int;
+  mutable lease_suppressed : int;
   mutable invalid_snapshots : int;
   mutable intervals_run : int;
   mutable skipped_no_snapshot : int;
+  mutable evictions : int;
+  mutable readmissions : int;
+  mutable retransmits : int;
+  mutable give_ups : int;
+  mutable stale_rejected : int;
+  mutable acks_received : int;
+  mutable goodbyes_received : int;
   mutable billing : Billing.t option;
 }
 
@@ -51,21 +73,50 @@ let receiver_state t ~session ~node =
   match Hashtbl.find_opt t.receivers (session, node) with
   | Some s -> s
   | None ->
+      let now = Sim.now (Net.Network.sim t.network) in
       let s =
         {
           fresh = None;
           last_loss = 0.0;
           last_level = 0;
-          level_changed_at = Sim.now (Net.Network.sim t.network);
+          level_changed_at = now;
+          last_report_at = now;
+          status = Active;
+          pending = None;
         }
       in
       Hashtbl.add t.receivers (session, node) s;
       s
 
+let cancel_pending t st =
+  match st.pending with
+  | None -> ()
+  | Some p ->
+      Sim.cancel (Net.Network.sim t.network) p.handle;
+      st.pending <- None
+
 let on_report t ~session ~receiver ~level ~loss_rate ~bytes ~settling
     ~sustained =
   t.reports_received <- t.reports_received + 1;
   let st = receiver_state t ~session ~node:receiver in
+  let now = Sim.now (Net.Network.sim t.network) in
+  (match st.status with
+  | Active -> ()
+  | Evicted | Departed ->
+      (* Soft-state re-admission: the lease expired (or the receiver said
+         goodbye) and this is a genuinely new report — start clean.
+         Rebase the level-change clock on the reported level rather than
+         resetting it: the receiver has been holding that level on its
+         own, and charging it the full post-change settling hold here
+         would delay reconvergence by two extra intervals. If the
+         snapshot disagrees (a real change), [session_input] still
+         resets the clock. *)
+      t.readmissions <- t.readmissions + 1;
+      st.status <- Active;
+      st.fresh <- None;
+      st.last_loss <- 0.0;
+      st.last_level <- level);
+  st.last_report_at <- now;
   (match st.fresh with
   | Some a ->
       a.loss_sum <- a.loss_sum +. loss_rate;
@@ -87,8 +138,26 @@ let on_report t ~session ~receiver ~level ~loss_rate ~bytes ~settling
           });
   (* [level] rides along in the report but the controller's view of
      subscription levels comes from the topology image (possibly stale),
-     as in the paper — that is exactly the lever Fig. 10 studies. *)
-  ignore level
+     as in the paper — that is exactly the lever Fig. 10 studies. The
+     reported level is only consulted at re-admission, above. *)
+  ()
+
+let on_goodbye t ~session ~receiver =
+  t.goodbyes_received <- t.goodbyes_received + 1;
+  let st = receiver_state t ~session ~node:receiver in
+  st.status <- Departed;
+  st.fresh <- None;
+  st.last_loss <- 0.0;
+  cancel_pending t st
+
+let on_ack t ~session ~receiver ~seq =
+  t.acks_received <- t.acks_received + 1;
+  match Hashtbl.find_opt t.receivers (session, receiver) with
+  | None -> ()
+  | Some st -> (
+      match st.pending with
+      | Some p when p.seq = seq -> cancel_pending t st
+      | _ -> () (* ACK for a superseded prescription; the newer one stands *))
 
 let create ~network ~discovery ~params ~node ?domain ?probe () =
   let sim = Net.Network.sim network in
@@ -103,14 +172,25 @@ let create ~network ~discovery ~params ~node ?domain ?probe () =
       algorithm = Algorithm.create ~params ~rng:(Sim.rng sim ~label:"toposense");
       sessions_rev = [];
       receivers = Hashtbl.create 64;
+      proto_tx = Protocol.create_tx ();
+      proto_rx = Protocol.create_rx ();
+      proto_rng = Sim.rng sim ~label:"toposense-protocol";
       task = None;
       running = true;
       reports_received = 0;
       suggestions_sent = 0;
       self_suppressed = 0;
+      lease_suppressed = 0;
       invalid_snapshots = 0;
       intervals_run = 0;
       skipped_no_snapshot = 0;
+      evictions = 0;
+      readmissions = 0;
+      retransmits = 0;
+      give_ups = 0;
+      stale_rejected = 0;
+      acks_received = 0;
+      goodbyes_received = 0;
       billing = None;
     }
   in
@@ -119,15 +199,32 @@ let create ~network ~discovery ~params ~node ?domain ?probe () =
       else begin
       Option.iter (fun p -> Probe_discovery.handle_packet p pkt) t.probe;
       match pkt.Net.Packet.payload with
-      | Reports.Rtcp.Report r ->
-          Option.iter
-            (fun b ->
-              Billing.record b ~session:r.session ~receiver:r.receiver
-                ~bytes:r.bytes ~level:r.level ~window:r.window)
-            t.billing;
-          on_report t ~session:r.session ~receiver:r.receiver ~level:r.level
-            ~loss_rate:r.loss_rate ~bytes:r.bytes ~settling:r.settling
-            ~sustained:r.sustained
+      | Reports.Rtcp.Report r -> (
+          match
+            Protocol.admit t.proto_rx ~session:r.session ~node:r.receiver
+              ~seq:r.seq
+          with
+          | Protocol.Duplicate | Protocol.Stale ->
+              t.stale_rejected <- t.stale_rejected + 1
+          | Protocol.Fresh ->
+              Option.iter
+                (fun b ->
+                  Billing.record b ~session:r.session ~receiver:r.receiver
+                    ~bytes:r.bytes ~level:r.level ~window:r.window)
+                t.billing;
+              on_report t ~session:r.session ~receiver:r.receiver
+                ~level:r.level ~loss_rate:r.loss_rate ~bytes:r.bytes
+                ~settling:r.settling ~sustained:r.sustained)
+      | Protocol.Goodbye { session; receiver; seq } -> (
+          (* Goodbyes ride the receiver's report sequence space, so a
+             straggling report reordered behind the goodbye is Stale and
+             cannot resurrect the membership. *)
+          match Protocol.admit t.proto_rx ~session ~node:receiver ~seq with
+          | Protocol.Duplicate | Protocol.Stale ->
+              t.stale_rejected <- t.stale_rejected + 1
+          | Protocol.Fresh -> on_goodbye t ~session ~receiver)
+      | Protocol.Ack { session; receiver; seq } ->
+          on_ack t ~session ~receiver ~seq
       | _ -> ()
       end);
   t
@@ -139,14 +236,35 @@ let add_session t session = t.sessions_rev <- session :: t.sessions_rev
 
 let sessions t = List.rev t.sessions_rev
 
+let remove_session t ~session =
+  t.sessions_rev <-
+    List.filter
+      (fun s -> Traffic.Session.id s <> session)
+      t.sessions_rev;
+  Hashtbl.iter
+    (fun (s, _) st -> if s = session then cancel_pending t st)
+    t.receivers;
+  Hashtbl.filter_map_inplace
+    (fun (s, _) st -> if s = session then None else Some st)
+    t.receivers;
+  Protocol.clear_tx_session t.proto_tx ~session;
+  Protocol.clear_rx_session t.proto_rx ~session;
+  Algorithm.remove_session t.algorithm ~session
+
 let set_billing t billing = t.billing <- Some billing
 
 (* Fold the accumulated reports into per-member measures for one session
    tree; receivers whose reports were all lost keep their last loss and
-   contribute zero fresh bytes. *)
+   contribute zero fresh bytes. Evicted and departed members are left
+   out entirely: their share of the session's demand and capacity
+   evidence flows back to the survivors. *)
 let session_input t session tree =
   let id = Traffic.Session.id session in
-  let members = Tree.members tree in
+  let members =
+    List.filter
+      (fun (node, _) -> (receiver_state t ~session:id ~node).status = Active)
+      (Tree.members tree)
+  in
   let settling_tbl = Hashtbl.create 8 in
   let now = Sim.now (Net.Network.sim t.network) in
   let measures, levels =
@@ -217,10 +335,59 @@ let debug_dump t inputs =
       Format.eprintf "@]@.")
     inputs
 
+(* Expired leases: a receiver silent for [lease_intervals] TopoSense
+   intervals is soft-state-evicted. No event or randomness is involved,
+   so the sweep is free in runs where every lease is refreshed on
+   time. *)
+let sweep_leases t ~now =
+  let lease = t.params.lease_intervals * t.params.interval in
+  Hashtbl.iter
+    (fun _ st ->
+      if st.status = Active && Time.diff now st.last_report_at > lease then begin
+        t.evictions <- t.evictions + 1;
+        st.status <- Evicted;
+        st.fresh <- None;
+        st.last_loss <- 0.0;
+        cancel_pending t st
+      end)
+    t.receivers
+
+let send_suggestion t ~session ~receiver ~level ~seq =
+  Net.Network.originate t.network ~src:t.node
+    ~dst:(Net.Addr.Unicast receiver) ~size:suggestion_size
+    ~payload:(Suggestion { session; level; seq })
+
+(* Retransmission chain for one unACKed prescription. [attempt] is the
+   number of retransmissions already made when the timer fires. *)
+let rec arm_retransmit t st ~session ~receiver ~seq ~level ~attempt =
+  let sim = Net.Network.sim t.network in
+  let span =
+    Protocol.backoff_span ~params:t.params ~rng:t.proto_rng ~attempt
+  in
+  let handle =
+    Sim.schedule_after sim span (fun () ->
+        match st.pending with
+        | Some p when p.seq = seq ->
+            st.pending <- None;
+            if t.running && st.status = Active then begin
+              if attempt >= t.params.retransmit_attempts then
+                t.give_ups <- t.give_ups + 1
+              else begin
+                t.retransmits <- t.retransmits + 1;
+                send_suggestion t ~session ~receiver ~level ~seq;
+                arm_retransmit t st ~session ~receiver ~seq ~level
+                  ~attempt:(attempt + 1)
+              end
+            end
+        | _ -> ())
+  in
+  st.pending <- Some { seq; level; attempt; handle }
+
 let run_interval t =
   t.intervals_run <- t.intervals_run + 1;
   let sim = Net.Network.sim t.network in
   let now = Sim.now sim in
+  sweep_leases t ~now;
   let inputs =
     List.filter_map
       (fun session ->
@@ -265,15 +432,29 @@ let run_interval t =
   if debug_enabled then debug_dump t inputs;
   List.iter
     (fun (p : Algorithm.prescription) ->
-      if p.receiver = t.node then
+      let st = receiver_state t ~session:p.session ~node:p.receiver in
+      if st.status <> Active then
+        (* The snapshot (possibly stale) still lists a member the lease
+           or a goodbye already removed; prescribing to it would undo the
+           removal. *)
+        t.lease_suppressed <- t.lease_suppressed + 1
+      else if p.receiver = t.node then
         (* No self-suggestions; count separately so [suggestions_sent]
            reflects packets actually put on the wire. *)
         t.self_suppressed <- t.self_suppressed + 1
       else begin
         t.suggestions_sent <- t.suggestions_sent + 1;
-        Net.Network.originate t.network ~src:t.node
-          ~dst:(Net.Addr.Unicast p.receiver) ~size:suggestion_size
-          ~payload:(Suggestion { session = p.session; level = p.level })
+        let seq =
+          Protocol.next_seq t.proto_tx ~session:p.session ~node:p.receiver
+        in
+        (* A newer prescription supersedes whatever was still awaiting an
+           ACK. *)
+        cancel_pending t st;
+        send_suggestion t ~session:p.session ~receiver:p.receiver
+          ~level:p.level ~seq;
+        if t.params.reliable_prescriptions then
+          arm_retransmit t st ~session:p.session ~receiver:p.receiver ~seq
+            ~level:p.level ~attempt:0
       end)
     prescriptions
 
@@ -289,6 +470,7 @@ let start t =
 let stop t =
   t.running <- false;
   Option.iter Probe_discovery.stop t.probe;
+  Hashtbl.iter (fun _ st -> cancel_pending t st) t.receivers;
   match t.task with
   | Some h ->
       Sim.cancel (Net.Network.sim t.network) h;
@@ -300,6 +482,19 @@ let algorithm t = t.algorithm
 let reports_received t = t.reports_received
 let suggestions_sent t = t.suggestions_sent
 let self_suppressed t = t.self_suppressed
+let lease_suppressed t = t.lease_suppressed
 let invalid_snapshots t = t.invalid_snapshots
 let intervals_run t = t.intervals_run
 let skipped_no_snapshot t = t.skipped_no_snapshot
+let evictions t = t.evictions
+let readmissions t = t.readmissions
+let retransmits t = t.retransmits
+let give_ups t = t.give_ups
+let stale_rejected t = t.stale_rejected
+let acks_received t = t.acks_received
+let goodbyes_received t = t.goodbyes_received
+
+let receiver_active t ~session ~node =
+  match Hashtbl.find_opt t.receivers (session, node) with
+  | None -> false
+  | Some st -> st.status = Active

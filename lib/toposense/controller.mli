@@ -7,10 +7,21 @@
     reports that arrived since the previous interval, runs
     {!Algorithm.step}, and unicasts a suggestion packet to every member
     receiver. Suggestions are real packets: they can be dropped, which is
-    what the receivers' unilateral-fallback timer is for. *)
+    what the receivers' unilateral-fallback timer is for.
+
+    Control-plane reliability ({!Protocol}): every prescription carries a
+    per-(session, receiver) sequence number; incoming reports and
+    goodbyes are admitted through the matching dup/stale filter. Receiver
+    membership is a soft-state lease — a receiver silent for
+    [params.lease_intervals] intervals is evicted (left out of the
+    algorithm input and never prescribed to) and re-admitted cleanly by
+    its next report. With [params.reliable_prescriptions], unACKed
+    prescriptions are retransmitted with exponential backoff and jitter
+    from a dedicated PRNG stream until ACKed, superseded by a newer
+    prescription, or given up after [params.retransmit_attempts]. *)
 
 type Net.Packet.payload +=
-  | Suggestion of { session : int; level : int }
+  | Suggestion of { session : int; level : int; seq : int }
 
 val suggestion_size : int
 (** Bytes on the wire for a suggestion packet (60). *)
@@ -48,6 +59,12 @@ val add_session : t -> Traffic.Session.t -> unit
 val sessions : t -> Traffic.Session.t list
 (** Registered sessions, in registration order. *)
 
+val remove_session : t -> session:int -> unit
+(** Session teardown: unregisters the session, drops its receiver
+    states (cancelling pending retransmissions), clears its
+    {!Protocol} sequence spaces and calls {!Algorithm.remove_session}
+    (which prunes the session's back-off timers and histories). *)
+
 val set_billing : t -> Billing.t -> unit
 (** Every receiver report is additionally folded into the billing
     record (the paper's controller-as-billing-agent use case). *)
@@ -79,6 +96,10 @@ val suggestions_sent : t -> int
 val self_suppressed : t -> int
 (** Prescriptions suppressed because the receiver is this node. *)
 
+val lease_suppressed : t -> int
+(** Prescriptions suppressed because the (stale) snapshot still listed a
+    member whose lease expired or who said goodbye. *)
+
 val invalid_snapshots : t -> int
 (** Intervals skipped because the discovery image was not a tree (only
     possible while faults corrupt the topology image). *)
@@ -86,3 +107,29 @@ val invalid_snapshots : t -> int
 val intervals_run : t -> int
 val skipped_no_snapshot : t -> int
 (** Intervals where a session had no old-enough snapshot yet. *)
+
+(** {1 Reliable-control-plane counters} *)
+
+val evictions : t -> int
+(** Receivers whose liveness lease expired. *)
+
+val readmissions : t -> int
+(** Evicted or departed receivers re-admitted by a fresh report. *)
+
+val retransmits : t -> int
+(** Prescription retransmissions (0 unless
+    [params.reliable_prescriptions]). *)
+
+val give_ups : t -> int
+(** Prescriptions abandoned after [params.retransmit_attempts]
+    retransmissions without an ACK. *)
+
+val stale_rejected : t -> int
+(** Reports and goodbyes dropped as duplicates or stale reorderings. *)
+
+val acks_received : t -> int
+val goodbyes_received : t -> int
+
+val receiver_active : t -> session:int -> node:Net.Addr.node_id -> bool
+(** Whether the receiver currently holds an active lease for the session
+    (false if unknown, evicted or departed). *)

@@ -17,6 +17,12 @@ type t = {
   staleness : Time.span;
   deaf_period : Time.span;
   require_sustained_loss : bool;
+  lease_intervals : int;
+  reliable_prescriptions : bool;
+  retransmit_initial : Time.span;
+  retransmit_max : Time.span;
+  retransmit_attempts : int;
+  rlm_fallback : bool;
 }
 
 let default =
@@ -37,6 +43,12 @@ let default =
     staleness = 0;
     deaf_period = Time.span_of_ms 2_500;
     require_sustained_loss = false;
+    lease_intervals = 10;
+    reliable_prescriptions = false;
+    retransmit_initial = Time.span_of_ms 250;
+    retransmit_max = Time.span_of_sec 8;
+    retransmit_attempts = 6;
+    rlm_fallback = false;
   }
 
 let validate t =
@@ -60,4 +72,9 @@ let validate t =
     err "suggestion_timeout_intervals must be positive"
   else if t.staleness < 0 then err "staleness must be >= 0"
   else if t.deaf_period < 0 then err "deaf_period must be >= 0"
+  else if t.lease_intervals <= 0 then err "lease_intervals must be positive"
+  else if t.retransmit_initial <= 0 || t.retransmit_max < t.retransmit_initial
+  then err "retransmit bounds must satisfy 0 < initial <= max"
+  else if t.retransmit_attempts < 0 then
+    err "retransmit_attempts must be >= 0"
   else Ok ()

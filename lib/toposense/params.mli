@@ -40,6 +40,28 @@ type t = {
           evidence if the receiver flagged it sustained (two consecutive
           lossy windows) — the bursty-vs-sustained differentiation the
           paper's Section V calls for; default false *)
+  lease_intervals : int;
+      (** a receiver whose last report is older than this many TopoSense
+          intervals is evicted from the controller (soft-state lease);
+          its bandwidth share flows back to the survivors and it is
+          re-admitted cleanly on its next report *)
+  reliable_prescriptions : bool;
+      (** when true, prescriptions are ACKed by receivers and the
+          controller retransmits unACKed ones with exponential backoff
+          ({!Protocol}); off by default so no-fault runs put exactly the
+          paper's packets on the wire *)
+  retransmit_initial : Engine.Time.span;
+      (** first retransmission delay (doubles per attempt) *)
+  retransmit_max : Engine.Time.span;
+      (** cap on the retransmission delay *)
+  retransmit_attempts : int;
+      (** give up on a prescription after this many retransmissions *)
+  rlm_fallback : bool;
+      (** when true, a receiver that has heard no valid prescription for
+          [suggestion_timeout_intervals] switches to a standalone
+          RLM-style join-experiment machine (instead of the simpler
+          legacy probe/shed watchdog) and resyncs when prescriptions
+          resume; off by default to keep no-fault runs byte-identical *)
 }
 
 val default : t
@@ -47,7 +69,9 @@ val default : t
     p_very_high 0.30, eta_similar 0.7, similar_band 0.25, tolerance 0.1,
     growth 0.02, reset every 15 intervals, back-off 10–30 s, suggestion
     timeout 3 intervals, staleness 0, deaf period 2.5 s, no sustained-loss
-    filter. *)
+    filter, lease 10 intervals, unreliable prescriptions (retransmit
+    250 ms → 8 s cap, 6 attempts when enabled), legacy watchdog
+    fallback. *)
 
 val validate : t -> (unit, string) result
 (** Checks ranges (positive spans, thresholds in (0,1), ordered

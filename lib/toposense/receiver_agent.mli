@@ -2,12 +2,26 @@
 
     Runs at a receiver node. It keeps the reception accounting
     ({!Reports.Receiver_stats}), sends periodic RTCP-like reports to the
-    controller, and obeys the controller's suggestion packets. When no
-    suggestion has arrived for [suggestion_timeout_intervals] TopoSense
-    intervals (suggestions are droppable packets), the receiver makes
-    unilateral decisions, as the paper's architecture prescribes: drop a
-    layer on sustained high loss, and probe one layer upward at a
-    randomized period when reception is clean.
+    controller — each stamped with a {!Protocol} sequence number — and
+    obeys the controller's suggestion packets, admitting them through the
+    matching dup/stale filter so a duplicated or reordered prescription
+    is applied at most once. With [params.reliable_prescriptions] every
+    admitted prescription is ACKed back to its sender.
+
+    When no valid in-sequence suggestion has arrived for
+    [suggestion_timeout_intervals] TopoSense intervals (suggestions are
+    droppable packets), the receiver makes unilateral decisions, as the
+    paper's architecture prescribes. Two fallback machines exist:
+
+    - the legacy watchdog (default): drop a layer on sustained high
+      loss, probe one layer upward at a randomized period;
+    - with [params.rlm_fallback], a full standalone RLM-style machine
+      (mirroring {!Baseline.Rlm}'s join experiments): probes are timed
+      join experiments with multiplicative per-layer timers and ±50%
+      jitter, failed experiments back out and arm a {!Backoff} timer on
+      the dropped layer, and the first fresh prescription to arrive
+      resyncs the receiver — the controller's level is adopted outright
+      and any running experiment is cancelled.
 
     One agent per node; it may subscribe to several sessions. *)
 
@@ -24,7 +38,17 @@ val create :
 (** Installs the packet handler on [node]. *)
 
 val subscribe : t -> session:Traffic.Session.t -> initial_level:int -> unit
-(** Joins the session at [initial_level] and starts reporting on it. *)
+(** Joins the session at [initial_level] and starts reporting on it.
+    Re-subscribing after {!unsubscribe} is allowed and resumes cleanly
+    (the report sequence space keeps counting up, so the controller's
+    dup/stale filter re-admits the receiver at once). *)
+
+val unsubscribe : t -> session:int -> unit
+(** Leaves all of the session's layer groups, stops reporting on it, and
+    sends a goodbye so the controller removes this receiver from the
+    session instead of keeping it on the books forever. Suggestions that
+    still arrive for the session (computed from stale topology images)
+    are ignored rather than re-joining the groups. *)
 
 val start : t -> unit
 (** Starts the periodic report and watchdog tasks. *)
@@ -55,6 +79,34 @@ val set_controller : t -> controller:Net.Addr.node_id -> unit
 val controller : t -> Net.Addr.node_id
 
 val suggestions_received : t -> int
+(** Suggestion packets heard for subscribed sessions (fresh, duplicate
+    and stale alike; strays for unsubscribed sessions are counted in
+    {!stray_suggestions} instead). *)
+
 val unilateral_actions : t -> int
+
+val acks_sent : t -> int
+(** Prescription ACKs sent (0 unless [params.reliable_prescriptions]). *)
+
+val dup_suggestions : t -> int
+(** Duplicate prescriptions suppressed (re-ACKed, never re-applied). *)
+
+val stale_suggestions : t -> int
+(** Reordered-stale prescriptions dropped. *)
+
+val stray_suggestions : t -> int
+(** Suggestions ignored because the session was unsubscribed. *)
+
+val fallback_entries : t -> int
+(** Times any session entered RLM-fallback mode. *)
+
+val fallback_active : t -> session:int -> bool
+
+val fallback_seconds : t -> session:int -> float
+(** Total time the session has spent in fallback mode, including the
+    current episode if one is open. *)
+
 val node : t -> Net.Addr.node_id
+
 val sessions : t -> Traffic.Session.t list
+(** Currently subscribed sessions (unsubscribed ones excluded). *)

@@ -273,6 +273,11 @@ let step t ~now input =
       end)
     (List.sort compare (Tree.members tree))
 
+let remove_session t ~session =
+  Hashtbl.filter_map_inplace
+    (fun (s, _) st -> if s = session then None else Some st)
+    t.states
+
 let demand_bps t ~session ~node =
   Option.map
     (fun st -> st.demand)

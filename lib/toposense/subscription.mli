@@ -46,6 +46,9 @@ val step :
 (** Prescribed subscription levels for the session's member leaves,
     sorted by node id. Also advances all per-node histories. *)
 
+val remove_session : t -> session:int -> unit
+(** Drops all per-node state of one session (session teardown). *)
+
 val demand_bps : t -> session:int -> node:Net.Addr.node_id -> float option
 (** Last computed demand at a node (diagnostics and tests). *)
 

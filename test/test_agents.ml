@@ -42,10 +42,15 @@ let mk_agent ?(node = 2) (sim, nw, router, session) =
   Agent.start a;
   a
 
+(* Hand-rolled suggestions need a monotonic seq per test so the agent's
+   dup/stale filter admits each one. *)
+let suggest_seq = ref 0
+
 let suggest nw ~receiver ~level =
+  incr suggest_seq;
   Network.originate nw ~src:0 ~dst:(Addr.Unicast receiver)
     ~size:Controller.suggestion_size
-    ~payload:(Controller.Suggestion { session = 0; level })
+    ~payload:(Controller.Suggestion { session = 0; level; seq = !suggest_seq })
 
 (* ---------- receiver agent ---------- *)
 
@@ -69,7 +74,7 @@ let test_agent_ignores_unknown_session () =
   let a = mk_agent w in
   Network.originate nw ~src:0 ~dst:(Addr.Unicast 2)
     ~size:Controller.suggestion_size
-    ~payload:(Controller.Suggestion { session = 9; level = 5 });
+    ~payload:(Controller.Suggestion { session = 9; level = 5; seq = 1 });
   Sim.run_until sim (Time.of_sec 1);
   checki "unchanged" 1 (Agent.level a ~session:0);
   checki "not counted" 0 (Agent.suggestions_received a)
@@ -147,6 +152,30 @@ let test_agent_stop_silences () =
   Sim.run_until sim (Time.of_sec 15);
   checkb "no reports after stop" true (!reports - before <= 1)
 
+(* The lingering-receiver regression: before PR 3, an unsubscribed
+   receiver that was still listed in a stale topology snapshot would
+   obey the controller's next prescription and silently re-join the
+   layer groups forever. Now strays are counted and ignored. *)
+let test_agent_unsubscribe_no_resurrection () =
+  let ((sim, nw, _, session) as w) = world () in
+  let a = mk_agent w in
+  Sim.run_until sim (Time.of_sec 2);
+  Agent.set_level a ~session:0 ~level:3;
+  Agent.unsubscribe a ~session:0;
+  checki "membership torn down" 0 (Agent.level a ~session:0);
+  checkb "session no longer listed" true (Agent.sessions a = []);
+  (* A prescription computed from a stale snapshot arrives late. *)
+  suggest nw ~receiver:2 ~level:4;
+  Sim.run_until sim (Time.of_sec 4);
+  checki "not resurrected" 0 (Agent.level a ~session:0);
+  checki "counted as a stray" 1 (Agent.stray_suggestions a);
+  checki "not counted as a live suggestion" 0 (Agent.suggestions_received a);
+  (* Re-subscribing afterwards is allowed and resumes cleanly. *)
+  Agent.subscribe a ~session ~initial_level:1;
+  checki "re-subscribed at 1" 1 (Agent.level a ~session:0);
+  checkb "listed again" true (Agent.sessions a <> [])
+
+
 (* ---------- controller ---------- *)
 
 let controller_world () =
@@ -158,6 +187,51 @@ let controller_world () =
   in
   Controller.add_session c session;
   (w, discovery, c)
+
+(* Controller side of the lingering-receiver fix: the goodbye removes
+   the receiver from the controller's books, so prescriptions computed
+   from stale snapshots are withheld rather than sent to the departed
+   node. Staleness keeps the snapshot listing the member well past the
+   departure. *)
+let test_unsubscribe_removes_from_controller () =
+  let ((sim, nw, router, session) as w) = world () in
+  let discovery = Discovery.Service.create ~sim ~router () in
+  Discovery.Service.register_session discovery session;
+  let stale_params =
+    { params with Toposense.Params.staleness = Time.span_of_sec 6 }
+  in
+  let c =
+    Controller.create ~network:nw ~discovery ~params:stale_params ~node:0 ()
+  in
+  Controller.add_session c session;
+  ignore
+    (Traffic.Source.start ~network:nw ~session ~kind:Traffic.Source.Cbr
+       ~rng:(Sim.rng sim ~label:"src") ());
+  let a = mk_agent w in
+  Controller.start c;
+  Sim.run_until sim (Time.of_sec 30);
+  checkb "managed while subscribed" true (Agent.suggestions_received a > 0);
+  checkb "active on the controller's books" true
+    (Controller.receiver_active c ~session:0 ~node:2);
+  Agent.unsubscribe a ~session:0;
+  Sim.run_until sim (Time.of_sec 31);
+  checki "goodbye heard" 1 (Controller.goodbyes_received c);
+  checkb "departed on the controller's books" false
+    (Controller.receiver_active c ~session:0 ~node:2);
+  let suppressed_at_departure = Controller.lease_suppressed c in
+  (* A prescription already in flight at the unsubscribe instant may
+     still land (and be counted as a stray); nothing NEW may be sent
+     once the goodbye is processed. *)
+  let strays_at_departure = Agent.stray_suggestions a in
+  Sim.run_until sim (Time.of_sec 60);
+  (* The stale snapshot kept listing the member for a while; every
+     prescription it produced was withheld, and the receiver stayed
+     down. *)
+  checkb "stale-snapshot prescriptions withheld" true
+    (Controller.lease_suppressed c > suppressed_at_departure);
+  checki "never resurrected" 0 (Agent.level a ~session:0);
+  checki "no strays after goodbye processed" strays_at_departure
+    (Agent.stray_suggestions a)
 
 let test_controller_interval_cadence () =
   let (sim, _, _, _), _, c = controller_world () in
@@ -452,6 +526,8 @@ let () =
           Alcotest.test_case "settling flag" `Quick
             test_agent_settling_flag_after_drop;
           Alcotest.test_case "stop silences" `Quick test_agent_stop_silences;
+          Alcotest.test_case "unsubscribe no resurrection" `Quick
+            test_agent_unsubscribe_no_resurrection;
         ] );
       ( "controller",
         [
@@ -470,6 +546,8 @@ let () =
             test_colocated_controller_and_receiver;
           Alcotest.test_case "two tcp flows one host" `Slow
             test_two_tcp_flows_share_a_host;
+          Alcotest.test_case "unsubscribe removes from controller" `Slow
+            test_unsubscribe_removes_from_controller;
         ] );
       ( "convergence",
         [

@@ -393,6 +393,220 @@ let test_watchdog_deaf_gate () =
   checkb "probing resumes once the deaf period has passed" true
     (Toposense.Receiver_agent.level a ~session:0 >= 3)
 
+(* ---------- reliable control plane (PR 3) ---------- *)
+
+(* Controller partition end-to-end: the ISSUE's acceptance scenario. The
+   control plane is severed for 30 sim-seconds; leases must evict the
+   unreachable receivers, the RLM fallback must keep every receiver at
+   or above the base layer, and after the heal everyone must be back at
+   the pre-partition level within three TopoSense intervals. *)
+let test_partition_end_to_end () =
+  let o = Recovery.partition () in
+  checkb "no receiver starved during the partition" true o.none_starved;
+  checkb "all reconverged within 3 intervals of the heal" true
+    o.all_reconverged;
+  checkb "evictions happened" true (o.evictions > 0);
+  checki "every evicted receiver was readmitted" o.evictions o.readmissions;
+  checkb "retransmissions were exercised" true (o.retransmits > 0);
+  checkb "prescriptions were withheld from evicted receivers" true
+    (o.lease_suppressed > 0);
+  checkb "control packets died unroutable during the cut" true
+    (o.unroutable_drops > 0);
+  List.iter
+    (fun (r : Recovery.partition_receiver) ->
+      checkb
+        (Printf.sprintf "n%d spent time in fallback mode" r.node)
+        true (r.fallback_s > 0.0);
+      checkb
+        (Printf.sprintf "n%d held the base layer" r.node)
+        true (r.floor_level >= 1))
+    o.receivers
+
+(* The ≥99% recovery criterion, isolated from data-plane congestion: a
+   star of fat links where the ONLY control-plane loss is the injected
+   20% drop. Every prescription gets its original transmission plus up
+   to three backoff retransmissions before the next interval's
+   prescription supersedes it, so the miss probability per prescription
+   is at most 0.2^3. *)
+let test_reliable_recovers_99pct_under_20pct_drop () =
+  let sim = Sim.create ~seed:5L () in
+  let topo = Topology.create () in
+  ignore (Topology.add_nodes topo 4);
+  List.iter
+    (fun r ->
+      Topology.add_duplex topo ~a:0 ~b:r ~bandwidth_bps:5e7
+        ~delay:(Time.span_of_ms 5) ())
+    [ 1; 2; 3 ];
+  let nw = Network.create ~sim topo in
+  let router = Router.create ~network:nw () in
+  let discovery = Discovery.Service.create ~sim ~router () in
+  let session =
+    Traffic.Session.create ~router ~source:0
+      ~layering:Traffic.Layering.paper_default ~id:0
+  in
+  Discovery.Service.register_session discovery session;
+  ignore
+    (Traffic.Source.start ~network:nw ~session ~kind:Traffic.Source.Cbr
+       ~rng:(Sim.rng sim ~label:"source") ());
+  let params =
+    { Toposense.Params.default with reliable_prescriptions = true }
+  in
+  let c =
+    Toposense.Controller.create ~network:nw ~discovery ~params ~node:0 ()
+  in
+  Toposense.Controller.add_session c session;
+  Toposense.Controller.start c;
+  let agents =
+    List.map
+      (fun node ->
+        let a =
+          Toposense.Receiver_agent.create ~network:nw ~router ~params ~node
+            ~controller:0 ()
+        in
+        Toposense.Receiver_agent.subscribe a ~session ~initial_level:1;
+        Toposense.Receiver_agent.start a;
+        a)
+      [ 1; 2; 3 ]
+  in
+  let faults = Faults.create ~network:nw () in
+  Faults.set_control_plane faults ~classify:Recovery.is_control
+    ~drop_fraction:0.2 ();
+  Sim.run_until sim (Time.of_sec 300);
+  let sent = Toposense.Controller.suggestions_sent c in
+  let delivered, dups, stales =
+    List.fold_left
+      (fun (d, dup, stale) a ->
+        let dup_a = Toposense.Receiver_agent.dup_suggestions a in
+        let stale_a = Toposense.Receiver_agent.stale_suggestions a in
+        ( d
+          + Toposense.Receiver_agent.suggestions_received a
+          - dup_a - stale_a,
+          dup + dup_a,
+          stale + stale_a ))
+      (0, 0, 0) agents
+  in
+  checkb "a real drop rate was applied" true (Faults.control_dropped faults > 0);
+  checkb "retransmissions happened" true (Toposense.Controller.retransmits c > 0);
+  checkb "acks flowed back" true (Toposense.Controller.acks_received c > 0);
+  (* Duplicate deliveries occur (a lost ACK makes the controller resend
+     an already-applied prescription) and every one is suppressed: the
+     fresh count never exceeds the number of distinct prescriptions. *)
+  checkb "duplicate deliveries were suppressed" true (dups > 0);
+  checkb "no delivery applied twice" true (delivered <= sent);
+  ignore stales;
+  checkb
+    (Printf.sprintf "recovered >= 99%% of prescriptions (%d/%d)" delivered
+       sent)
+    true
+    (float_of_int delivered >= 0.99 *. float_of_int sent)
+
+(* Lease lifecycle, in isolation: a receiver that stops reporting is
+   evicted after [lease_intervals] and prescriptions to it are withheld;
+   when it resumes, the next report readmits it at once. *)
+let test_lease_eviction_and_readmission () =
+  let sim = Sim.create ~seed:9L () in
+  let nw = Network.create ~sim (line ~bandwidth_bps:1e7 2) in
+  let router = Router.create ~network:nw () in
+  let discovery = Discovery.Service.create ~sim ~router () in
+  let session =
+    Traffic.Session.create ~router ~source:0
+      ~layering:Traffic.Layering.paper_default ~id:0
+  in
+  Discovery.Service.register_session discovery session;
+  ignore
+    (Traffic.Source.start ~network:nw ~session ~kind:Traffic.Source.Cbr
+       ~rng:(Sim.rng sim ~label:"source") ());
+  let params = { Toposense.Params.default with lease_intervals = 3 } in
+  let c =
+    Toposense.Controller.create ~network:nw ~discovery ~params ~node:0 ()
+  in
+  Toposense.Controller.add_session c session;
+  Toposense.Controller.start c;
+  let a =
+    Toposense.Receiver_agent.create ~network:nw ~router ~params ~node:1
+      ~controller:0 ()
+  in
+  Toposense.Receiver_agent.subscribe a ~session ~initial_level:2;
+  Toposense.Receiver_agent.start a;
+  Sim.run_until sim (Time.of_sec 20);
+  checkb "active while reporting" true
+    (Toposense.Controller.receiver_active c ~session:0 ~node:1);
+  checki "no eviction while leases refresh" 0 (Toposense.Controller.evictions c);
+  (* Fall silent (stop cancels the report task but keeps the layer
+     subscriptions, so the stale snapshot still lists the member). *)
+  Toposense.Receiver_agent.stop a;
+  Sim.run_until sim (Time.of_sec 40);
+  checki "exactly one eviction" 1 (Toposense.Controller.evictions c);
+  checkb "evicted" false
+    (Toposense.Controller.receiver_active c ~session:0 ~node:1);
+  checkb "prescriptions withheld while evicted" true
+    (Toposense.Controller.lease_suppressed c > 0);
+  (* Resume reporting: the next report readmits without ceremony. *)
+  Toposense.Receiver_agent.start a;
+  Sim.run_until sim (Time.of_sec 50);
+  checki "one readmission" 1 (Toposense.Controller.readmissions c);
+  checkb "active again" true
+    (Toposense.Controller.receiver_active c ~session:0 ~node:1)
+
+(* remove_session tears down every per-session structure: registration,
+   receiver state, pending retransmissions, protocol streams. *)
+let test_controller_remove_session () =
+  let sim = Sim.create ~seed:13L () in
+  let nw = Network.create ~sim (line ~bandwidth_bps:1e7 2) in
+  let router = Router.create ~network:nw () in
+  let discovery = Discovery.Service.create ~sim ~router () in
+  let params = Toposense.Params.default in
+  let c =
+    Toposense.Controller.create ~network:nw ~discovery ~params ~node:0 ()
+  in
+  let sessions =
+    List.init 2 (fun id ->
+        let s =
+          Traffic.Session.create ~router ~source:0
+            ~layering:Traffic.Layering.paper_default ~id
+        in
+        Discovery.Service.register_session discovery s;
+        ignore
+          (Traffic.Source.start ~network:nw ~session:s
+             ~kind:Traffic.Source.Cbr
+             ~rng:(Sim.rng sim ~label:(Printf.sprintf "source-%d" id))
+             ());
+        Toposense.Controller.add_session c s;
+        s)
+  in
+  Toposense.Controller.start c;
+  let a =
+    Toposense.Receiver_agent.create ~network:nw ~router ~params ~node:1
+      ~controller:0 ()
+  in
+  List.iter
+    (fun s ->
+      Toposense.Receiver_agent.subscribe a ~session:s ~initial_level:1)
+    sessions;
+  Toposense.Receiver_agent.start a;
+  Sim.run_until sim (Time.of_sec 30);
+  checkb "both sessions tracked" true
+    (List.length (Toposense.Controller.sessions c) = 2);
+  checkb "receiver known in session 0" true
+    (Toposense.Controller.receiver_active c ~session:0 ~node:1);
+  Toposense.Controller.remove_session c ~session:0;
+  check
+    (Alcotest.list Alcotest.int)
+    "only session 1 remains" [ 1 ]
+    (List.map Traffic.Session.id (Toposense.Controller.sessions c));
+  checkb "receiver state dropped with the session" false
+    (Toposense.Controller.receiver_active c ~session:0 ~node:1);
+  let heard_before = Toposense.Receiver_agent.suggestions_received a in
+  let stray_before = Toposense.Receiver_agent.stray_suggestions a in
+  Sim.run_until sim (Time.of_sec 60);
+  (* The kept session keeps prescribing; the removed one is silent. *)
+  checkb "suggestions still flow for the kept session" true
+    (Toposense.Receiver_agent.suggestions_received a > heard_before);
+  checki "no strays for the removed session" stray_before
+    (Toposense.Receiver_agent.stray_suggestions a);
+  checkb "receiver still active in the kept session" true
+    (Toposense.Controller.receiver_active c ~session:1 ~node:1)
+
 let test_add_session_order () =
   let sim = Sim.create () in
   let nw = Network.create ~sim (line 2) in
@@ -443,6 +657,17 @@ let () =
             test_lossy_control_still_converges;
           Alcotest.test_case "controller restart" `Slow
             test_receivers_recover_after_controller_restart;
+        ] );
+      ( "reliable-control",
+        [
+          Alcotest.test_case "partition end-to-end" `Slow
+            test_partition_end_to_end;
+          Alcotest.test_case "20% drop recovered" `Slow
+            test_reliable_recovers_99pct_under_20pct_drop;
+          Alcotest.test_case "lease eviction/readmission" `Quick
+            test_lease_eviction_and_readmission;
+          Alcotest.test_case "remove session" `Quick
+            test_controller_remove_session;
         ] );
       ( "accounting",
         [

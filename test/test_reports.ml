@@ -188,7 +188,7 @@ let test_report_travels () =
   feed stats ~session:3 ~layer:0 [ 0; 1; 2; 3 ];
   let w = Stats.take_window stats ~session:3 in
   Rtcp.send_report ~network:nw ~receiver:1 ~controller:0 ~session:3 ~level:2
-    ~window:(Time.span_of_sec 1) w;
+    ~window:(Time.span_of_sec 1) ~seq:1 w;
   Sim.run_until sim (Time.of_sec 1);
   checkb "arrived intact" true (!got = Some (1, 3, 2, 0.0))
 

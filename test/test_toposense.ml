@@ -300,6 +300,67 @@ let test_backoff_blocks_path () =
   checkb "cleared" false
     (Backoff.blocked_on_path b ~session:0 ~tree ~leaf:4 ~layer:4 ~now)
 
+(* A deeper chain: 0 -> 1 -> 2 -> 3 -> {8 -> 4, 9 -> 5}. Arming at each
+   depth must block exactly the leaves whose root-path crosses the armed
+   node, and only for the armed layer. *)
+let test_backoff_multi_level_tree () =
+  let rng = Engine.Prng.create ~seed:7L in
+  let b = Backoff.create ~params ~rng in
+  let tree =
+    Tree.of_snapshot
+      (snapshot
+         ~edges:
+           [
+             (0, 1, [ 0 ]);
+             (1, 2, [ 0 ]);
+             (2, 3, [ 0 ]);
+             (3, 8, [ 0 ]);
+             (3, 9, [ 0 ]);
+             (8, 4, [ 0 ]);
+             (9, 5, [ 0 ]);
+           ]
+         ~members:[ (4, 3); (5, 3) ] ())
+  in
+  let now = Time.zero in
+  let blocked leaf layer =
+    Backoff.blocked_on_path b ~session:0 ~tree ~leaf ~layer ~now
+  in
+  (* Root-armed: every leaf is behind it. *)
+  Backoff.arm b ~session:0 ~node:0 ~layer:2 ~now;
+  checkb "root blocks leaf 4" true (blocked 4 2);
+  checkb "root blocks leaf 5" true (blocked 5 2);
+  checkb "but only the armed layer" false (blocked 4 3);
+  Backoff.clear b;
+  (* Armed three levels down, above the split: still blocks both. *)
+  Backoff.arm b ~session:0 ~node:3 ~layer:2 ~now;
+  checkb "mid-chain blocks leaf 4" true (blocked 4 2);
+  checkb "mid-chain blocks leaf 5" true (blocked 5 2);
+  Backoff.clear b;
+  (* Armed below the split: blocks only the leaf behind it. *)
+  Backoff.arm b ~session:0 ~node:8 ~layer:2 ~now;
+  checkb "deep parent blocks its leaf" true (blocked 4 2);
+  checkb "sibling subtree stays clear" false (blocked 5 2);
+  Backoff.clear b;
+  (* Armed at the leaf itself. *)
+  Backoff.arm b ~session:0 ~node:5 ~layer:2 ~now;
+  checkb "leaf blocks itself" true (blocked 5 2);
+  checkb "cousin leaf clear" false (blocked 4 2)
+
+let test_backoff_clear_session () =
+  let rng = Engine.Prng.create ~seed:1L in
+  let b = Backoff.create ~params ~rng in
+  let now = Time.zero in
+  Backoff.arm b ~session:0 ~node:4 ~layer:2 ~now;
+  Backoff.arm b ~session:0 ~node:5 ~layer:1 ~now;
+  Backoff.arm b ~session:7 ~node:4 ~layer:2 ~now;
+  Backoff.clear_session b ~session:0;
+  checkb "session 0 node 4 gone" false
+    (Backoff.active b ~session:0 ~node:4 ~layer:2 ~now);
+  checkb "session 0 node 5 gone" false
+    (Backoff.active b ~session:0 ~node:5 ~layer:1 ~now);
+  checkb "session 7 untouched" true
+    (Backoff.active b ~session:7 ~node:4 ~layer:2 ~now)
+
 (* ---------- Congestion ---------- *)
 
 let verdicts_of ~measures snap =
@@ -719,6 +780,9 @@ let () =
         [
           Alcotest.test_case "lifecycle" `Quick test_backoff_lifecycle;
           Alcotest.test_case "path blocking" `Quick test_backoff_blocks_path;
+          Alcotest.test_case "multi-level tree" `Quick
+            test_backoff_multi_level_tree;
+          Alcotest.test_case "clear session" `Quick test_backoff_clear_session;
         ] );
       ( "congestion",
         [
