@@ -19,6 +19,40 @@ module Figures = Scenarios.Figures
 let full = Sys.getenv_opt "BENCH_FULL" <> None
 let duration = Time.of_sec (if full then 1200 else 600)
 
+(* --scheduler heap|calendar selects the event-queue backend for every
+   simulator the harness creates (TOPOSENSE_SCHEDULER works too; the
+   flag wins). --jobs N / BENCH_JOBS fans the figure sweeps and the
+   trajectory rows across domains, clamped to the machine's cores. *)
+let argv_value name =
+  let rec find i =
+    if i >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = name && i + 1 < Array.length Sys.argv then
+      Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
+let () =
+  match argv_value "--scheduler" with
+  | None -> ()
+  | Some s -> (
+      match Engine.Event_queue.backend_of_string s with
+      | Some b -> Engine.Event_queue.set_default b
+      | None ->
+          Format.eprintf "unknown --scheduler %S (heap|calendar)@." s;
+          exit 2)
+
+let jobs =
+  let requested =
+    match argv_value "--jobs" with
+    | Some s -> ( try int_of_string s with _ -> 1)
+    | None -> (
+        match Sys.getenv_opt "BENCH_JOBS" with
+        | Some s -> ( try int_of_string s with _ -> 1)
+        | None -> 1)
+  in
+  max 1 (min requested (Scenarios.Sweep.cores ()))
+
 let header fmt = Format.printf "@.=== %s ===@." fmt
 
 (* ---------- figure regeneration ---------- *)
@@ -37,7 +71,7 @@ let run_fig6 () =
        (Time.to_sec_f duration));
   List.iter
     (fun r -> Format.printf "%a@." Figures.pp_stability_row r)
-    (Figures.fig6 ~duration ~set_sizes:[ 1; 2; 4; 8; 16 ] ())
+    (Figures.fig6 ~duration ~set_sizes:[ 1; 2; 4; 8; 16 ] ~jobs ())
 
 let run_fig7 () =
   header
@@ -45,7 +79,7 @@ let run_fig7 () =
        (Time.to_sec_f duration));
   List.iter
     (fun r -> Format.printf "%a@." Figures.pp_stability_row r)
-    (Figures.fig7 ~duration ~session_counts:[ 1; 2; 4; 8; 16 ] ())
+    (Figures.fig7 ~duration ~session_counts:[ 1; 2; 4; 8; 16 ] ~jobs ())
 
 let run_fig8 () =
   header
@@ -55,7 +89,7 @@ let run_fig8 () =
        (Time.to_sec_f duration));
   List.iter
     (fun r -> Format.printf "%a@." Figures.pp_fairness_row r)
-    (Figures.fig8 ~duration ~session_counts:[ 1; 2; 4; 8; 16 ] ())
+    (Figures.fig8 ~duration ~session_counts:[ 1; 2; 4; 8; 16 ] ~jobs ())
 
 let run_fig9 () =
   header
@@ -80,7 +114,7 @@ let run_fig10 () =
   List.iter
     (fun r -> Format.printf "%a@." Figures.pp_staleness_row r)
     (Figures.fig10 ~duration ~staleness_seconds:[ 2; 6; 10; 14; 18 ]
-       ~set_sizes:[ 1; 2; 4 ] ())
+       ~set_sizes:[ 1; 2; 4 ] ~jobs ())
 
 let summarize (o : Experiment.outcome) =
   let receivers =
@@ -363,7 +397,7 @@ let run_ablations () =
 
 (* ---------- bench trajectory (BENCH_*.json) ---------- *)
 
-(* Macro throughput numbers for the hot path, written to BENCH_pr3.json
+(* Macro throughput numbers for the hot path, written to BENCH_pr4.json
    so successive PRs can compare events/sec and packets/sec on fixed
    scenarios. Runs alone (fast) with BENCH_SMOKE=1 or --trajectory. *)
 
@@ -373,8 +407,18 @@ type bench_row = {
   wall_s : float;
   events : int;
   packets : int;
-  peak_heap : int;
+  peak_heap : int;  (* backing-store high-water mark, tombstones included *)
+  peak_live : int;  (* high-water mark of genuinely outstanding events *)
+  minor_words : float;
+  major_words : float;
+  major_cols : int;
 }
+
+(* Allocation pressure of one run, from [Gc.quick_stat] deltas. Minor
+   words are domain-local in OCaml 5, so a row measured on a worker
+   domain still reports its own run; major-heap numbers are shared and
+   get noisy under --jobs > 1. *)
+type gc_delta = { minor_w : float; major_w : float; major_cols : int }
 
 (* Best wall time of [repeat] identical runs: the scenarios are
    deterministic, so the minimum is the least-noisy estimate of the
@@ -385,24 +429,33 @@ let bench_repeat =
   | None -> 3
 
 let time_wall f =
+  let g0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  let w = Unix.gettimeofday () -. t0 in
+  let g1 = Gc.quick_stat () in
+  ( r,
+    w,
+    {
+      minor_w = g1.Gc.minor_words -. g0.Gc.minor_words;
+      major_w = g1.Gc.major_words -. g0.Gc.major_words;
+      major_cols = g1.Gc.major_collections - g0.Gc.major_collections;
+    } )
 
+(* GC numbers are reported from the same (best-wall) run, so the row is
+   one coherent measurement rather than a min over mixed runs. *)
 let time_wall_best f =
-  let rec loop best_r best_w n =
-    if n = 0 then (best_r, best_w)
-    else begin
-      let r, w = time_wall f in
-      if w < best_w then loop r w (n - 1) else loop best_r best_w (n - 1)
-    end
+  let rec loop ((_, best_w, _) as best) n =
+    if n = 0 then best
+    else
+      let (_, w, _) as run = time_wall f in
+      loop (if w < best_w then run else best) (n - 1)
   in
-  let r, w = time_wall f in
-  loop r w (bench_repeat - 1)
+  loop (time_wall f) (bench_repeat - 1)
 
 let experiment_row ~name ~spec ~traffic ~sim_s () =
   let duration = Time.of_sec_f sim_s in
-  let o, wall =
+  let o, wall, gc =
     time_wall_best (fun () ->
         Experiment.run ~spec ~traffic ~scheme:Experiment.Toposense ~duration ())
   in
@@ -413,12 +466,16 @@ let experiment_row ~name ~spec ~traffic ~sim_s () =
     events = o.Experiment.events_dispatched;
     packets = o.Experiment.forwarded_packets;
     peak_heap = o.Experiment.peak_heap;
+    peak_live = o.Experiment.peak_live;
+    minor_words = gc.minor_w;
+    major_words = gc.major_w;
+    major_cols = gc.major_cols;
   }
 
 (* Failure recovery under load: the link-flap scenario stresses the
    incremental-routing + tree-repair path alongside normal forwarding. *)
 let fault_flap_row ~sim_s () =
-  let o, wall =
+  let o, wall, gc =
     time_wall_best (fun () ->
         Scenarios.Recovery.link_flap ~receivers_per_set:4
           ~duration:(Time.of_sec_f sim_s) ())
@@ -430,13 +487,17 @@ let fault_flap_row ~sim_s () =
     events = o.Scenarios.Recovery.events_dispatched;
     packets = o.Scenarios.Recovery.forwarded_packets;
     peak_heap = o.Scenarios.Recovery.peak_heap;
+    peak_live = o.Scenarios.Recovery.peak_live;
+    minor_words = gc.minor_w;
+    major_words = gc.major_w;
+    major_cols = gc.major_cols;
   }
 
 (* Reliable control plane under partition: leases, retransmission timers
    and the receivers' RLM fallback all churn at once while the data
    plane keeps forwarding. *)
 let fault_partition_row ~sim_s () =
-  let o, wall =
+  let o, wall, gc =
     time_wall_best (fun () ->
         Scenarios.Recovery.partition ~receivers_per_set:4
           ~duration:(Time.of_sec_f (Float.max sim_s 180.0))
@@ -449,14 +510,18 @@ let fault_partition_row ~sim_s () =
     events = o.Scenarios.Recovery.events_dispatched;
     packets = o.Scenarios.Recovery.forwarded_packets;
     peak_heap = o.Scenarios.Recovery.peak_heap;
+    peak_live = o.Scenarios.Recovery.peak_live;
+    minor_words = gc.minor_w;
+    major_words = gc.major_w;
+    major_cols = gc.major_cols;
   }
 
 (* Engine-only: thousands of periodic chains, most cancelled mid-run, on
    top of a standing population of far-future one-shot events that also
    get cancelled — the worst case for event-heap tombstones. *)
-let engine_churn_row ~sim_s () =
+let engine_churn_row ?backend ~name ~sim_s () =
   let run () =
-    let sim = Engine.Sim.create () in
+    let sim = Engine.Sim.create ?backend () in
     let horizon = Time.of_sec_f sim_s in
     let timers =
       Array.init 2_000 (fun i ->
@@ -481,21 +546,28 @@ let engine_churn_row ~sim_s () =
     Engine.Sim.run_until sim horizon;
     sim
   in
-  let sim, wall = time_wall_best run in
+  let sim, wall, gc = time_wall_best run in
   {
-    bname = "engine-cancel-churn";
+    bname = name;
     sim_s;
     wall_s = wall;
     events = Engine.Sim.events_dispatched sim;
     packets = 0;
     peak_heap = Engine.Sim.max_pending sim;
+    peak_live = Engine.Sim.max_live_pending sim;
+    minor_words = gc.minor_w;
+    major_words = gc.major_w;
+    major_cols = gc.major_cols;
   }
 
 let emit_bench_json ~path rows =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n  \"bench\": \"pr3\",\n";
+  Buffer.add_string buf "{\n  \"bench\": \"pr4\",\n";
   Printf.bprintf buf "  \"mode\": \"%s\",\n"
     (if full then "full" else "quick");
+  Printf.bprintf buf "  \"scheduler\": \"%s\",\n"
+    (Engine.Event_queue.backend_to_string (Engine.Event_queue.default ()));
+  Printf.bprintf buf "  \"jobs\": %d,\n" jobs;
   Buffer.add_string buf "  \"scenarios\": [\n";
   let n = List.length rows in
   List.iteri
@@ -504,12 +576,13 @@ let emit_bench_json ~path rows =
         "    {\"name\": \"%s\", \"sim_seconds\": %.1f, \"wall_seconds\": \
          %.3f, \"events\": %d, \"events_per_sec\": %.0f, \
          \"packets_forwarded\": %d, \"packets_per_sec\": %.0f, \
-         \"peak_heap\": %d}%s\n"
+         \"peak_heap\": %d, \"peak_live\": %d, \"minor_words\": %.0f, \
+         \"major_words\": %.0f, \"major_collections\": %d}%s\n"
         r.bname r.sim_s r.wall_s r.events
         (float_of_int r.events /. r.wall_s)
         r.packets
         (float_of_int r.packets /. r.wall_s)
-        r.peak_heap
+        r.peak_heap r.peak_live r.minor_words r.major_words r.major_cols
         (if i = n - 1 then "" else ","))
     rows;
   Buffer.add_string buf "  ]\n}\n";
@@ -520,55 +593,70 @@ let emit_bench_json ~path rows =
 let run_trajectory () =
   header "Bench trajectory (events/sec, packets/sec per scenario)";
   let sim_s = if full then 600.0 else 300.0 in
-  let rows =
+  (* Topology specs read Builders.with_discipline's process-wide
+     discipline, so every spec is built here in the main domain; the
+     sweep then only runs self-contained simulations. *)
+  let spec_topo_b = Scenarios.Builders.topology_b ~session_count:32 in
+  let spec_topo_a16 = Scenarios.Builders.topology_a ~receivers_per_set:16 in
+  let spec_priority =
+    Scenarios.Builders.with_discipline
+      (fun ~bandwidth_bps ->
+        match Scenarios.Builders.default_discipline ~bandwidth_bps with
+        | Net.Queue_discipline.Drop_tail { limit } ->
+            Net.Queue_discipline.Priority { limit }
+        | d -> d)
+      (fun () -> Scenarios.Builders.topology_a ~receivers_per_set:4)
+  in
+  let spec_red =
+    Scenarios.Builders.with_discipline
+      (fun ~bandwidth_bps ->
+        match Scenarios.Builders.default_discipline ~bandwidth_bps with
+        | Net.Queue_discipline.Drop_tail { limit } ->
+            Net.Queue_discipline.default_red ~limit
+        | d -> d)
+      (fun () -> Scenarios.Builders.topology_a ~receivers_per_set:4)
+  in
+  let row_thunks =
     [
-      experiment_row ~name:"topoB-32-sessions-vbr"
-        ~spec:(Scenarios.Builders.topology_b ~session_count:32)
-        ~traffic:(Experiment.Vbr 3.0) ~sim_s ();
-      experiment_row ~name:"topoA-16-receivers-cbr"
-        ~spec:(Scenarios.Builders.topology_a ~receivers_per_set:16)
-        ~traffic:Experiment.Cbr ~sim_s ();
-      experiment_row ~name:"priority-overload"
-        ~spec:
-          (Scenarios.Builders.with_discipline
-             (fun ~bandwidth_bps ->
-               match
-                 Scenarios.Builders.default_discipline ~bandwidth_bps
-               with
-               | Net.Queue_discipline.Drop_tail { limit } ->
-                   Net.Queue_discipline.Priority { limit }
-               | d -> d)
-             (fun () -> Scenarios.Builders.topology_a ~receivers_per_set:4))
-        ~traffic:(Experiment.Vbr 6.0) ~sim_s ();
-      experiment_row ~name:"red-burst"
-        ~spec:
-          (Scenarios.Builders.with_discipline
-             (fun ~bandwidth_bps ->
-               match
-                 Scenarios.Builders.default_discipline ~bandwidth_bps
-               with
-               | Net.Queue_discipline.Drop_tail { limit } ->
-                   Net.Queue_discipline.default_red ~limit
-               | d -> d)
-             (fun () -> Scenarios.Builders.topology_a ~receivers_per_set:4))
-        ~traffic:(Experiment.Vbr 6.0) ~sim_s ();
-      fault_flap_row ~sim_s ();
-      fault_partition_row ~sim_s ();
-      engine_churn_row ~sim_s:(sim_s /. 5.0) ();
+      (fun () ->
+        experiment_row ~name:"topoB-32-sessions-vbr" ~spec:spec_topo_b
+          ~traffic:(Experiment.Vbr 3.0) ~sim_s ());
+      (fun () ->
+        experiment_row ~name:"topoA-16-receivers-cbr" ~spec:spec_topo_a16
+          ~traffic:Experiment.Cbr ~sim_s ());
+      (fun () ->
+        experiment_row ~name:"priority-overload" ~spec:spec_priority
+          ~traffic:(Experiment.Vbr 6.0) ~sim_s ());
+      (fun () ->
+        experiment_row ~name:"red-burst" ~spec:spec_red
+          ~traffic:(Experiment.Vbr 6.0) ~sim_s ());
+      (fun () -> fault_flap_row ~sim_s ());
+      (fun () -> fault_partition_row ~sim_s ());
+      (fun () ->
+        engine_churn_row ~name:"engine-cancel-churn" ~sim_s:(sim_s /. 5.0) ());
+      (* Same workload, calendar backend pinned: the heap/calendar pair in
+         one JSON is the speedup record for this scenario. *)
+      (fun () ->
+        engine_churn_row ~name:"engine-cancel-churn-calendar"
+          ~backend:Engine.Event_queue.Calendar ~sim_s:(sim_s /. 5.0) ());
     ]
   in
+  let rows = Scenarios.Sweep.run ~jobs (fun thunk -> thunk ()) row_thunks in
   List.iter
     (fun r ->
       Format.printf
-        "%-24s %6.1f sim-s in %6.2f s — %9.0f events/s, %8.0f packets/s, \
-         peak heap %d@."
+        "%-28s %6.1f sim-s in %6.2f s — %9.0f events/s, %8.0f packets/s, \
+         peak heap %d, live %d, GC %.1f/%.1f Mw, %d major@."
         r.bname r.sim_s r.wall_s
         (float_of_int r.events /. r.wall_s)
         (float_of_int r.packets /. r.wall_s)
-        r.peak_heap)
+        r.peak_heap r.peak_live
+        (r.minor_words /. 1e6)
+        (r.major_words /. 1e6)
+        r.major_cols)
     rows;
   let path =
-    Option.value ~default:"BENCH_pr3.json" (Sys.getenv_opt "BENCH_OUT")
+    Option.value ~default:"BENCH_pr4.json" (Sys.getenv_opt "BENCH_OUT")
   in
   emit_bench_json ~path rows;
   Format.printf "wrote %s@." path

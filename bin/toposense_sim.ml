@@ -64,6 +64,42 @@ let scheme_term =
 let sizes_term ~default ~name ~doc =
   Arg.(value & opt (list int) default & info [ name ] ~docv:"N,N,..." ~doc)
 
+(* Every subcommand accepts --scheduler: the backends dispatch in the
+   same order, so results are identical and the flag only trades wall
+   time. It overrides the TOPOSENSE_SCHEDULER environment variable. *)
+let scheduler_term =
+  let backend_conv =
+    Arg.conv
+      ( (fun s ->
+          match Engine.Event_queue.backend_of_string s with
+          | Some b -> Ok b
+          | None -> Error (`Msg "expected heap or calendar")),
+        fun ppf b ->
+          Format.pp_print_string ppf (Engine.Event_queue.backend_to_string b)
+      )
+  in
+  let doc =
+    "Event-queue backend: heap (default) or calendar. Results are \
+     bit-identical either way; only wall time changes."
+  in
+  Arg.(
+    value
+    & opt (some backend_conv) None
+    & info [ "scheduler" ] ~docv:"heap|calendar" ~doc)
+
+let set_scheduler = Option.iter Engine.Event_queue.set_default
+
+(* Figure sweeps fan their independent cells across domains; the count
+   is clamped to what the machine can actually run in parallel. *)
+let jobs_term =
+  let doc =
+    "Run up to $(docv) sweep cells in parallel domains (clamped to the \
+     machine's cores). Results are identical for any value."
+  in
+  Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N" ~doc)
+
+let clamp_jobs n = max 1 (min n (Scenarios.Sweep.cores ()))
+
 let print_rows pp rows =
   List.iter (fun r -> Format.printf "%a@." pp r) rows;
   `Ok ()
@@ -71,30 +107,32 @@ let print_rows pp rows =
 (* ---------- figure commands ---------- *)
 
 let fig6_cmd =
-  let run duration seed set_sizes =
+  let run duration seed scheduler jobs set_sizes =
+    set_scheduler scheduler;
     Figures.fig6 ~duration:(Time.of_sec duration) ~set_sizes
-      ~seed:(Int64.of_int seed) ()
+      ~seed:(Int64.of_int seed) ~jobs:(clamp_jobs jobs) ()
     |> print_rows Figures.pp_stability_row
   in
   Cmd.v
     (Cmd.info "fig6" ~doc:"Stability in Topology A (paper Fig. 6).")
     Term.(
       ret
-        (const run $ duration_term $ seed_term
+        (const run $ duration_term $ seed_term $ scheduler_term $ jobs_term
         $ sizes_term ~default:[ 1; 2; 4; 8; 16 ] ~name:"sizes"
             ~doc:"Receivers per set."))
 
 let fig7_cmd =
-  let run duration seed session_counts =
+  let run duration seed scheduler jobs session_counts =
+    set_scheduler scheduler;
     Figures.fig7 ~duration:(Time.of_sec duration) ~session_counts
-      ~seed:(Int64.of_int seed) ()
+      ~seed:(Int64.of_int seed) ~jobs:(clamp_jobs jobs) ()
     |> print_rows Figures.pp_stability_row
   in
   Cmd.v
     (Cmd.info "fig7" ~doc:"Stability in Topology B (paper Fig. 7).")
     Term.(
       ret
-        (const run $ duration_term $ seed_term
+        (const run $ duration_term $ seed_term $ scheduler_term $ jobs_term
         $ sizes_term ~default:[ 1; 2; 4; 8; 16 ] ~name:"sessions"
             ~doc:"Competing session counts."))
 
@@ -106,21 +144,24 @@ let seeds_of ~seed ~runs =
   List.init (max 1 runs) (fun i -> Int64.of_int (seed + i))
 
 let fig8_cmd =
-  let run duration seed runs session_counts =
+  let run duration seed scheduler jobs runs session_counts =
+    set_scheduler scheduler;
     Figures.fig8 ~duration:(Time.of_sec duration) ~session_counts
-      ~seeds:(seeds_of ~seed ~runs) ()
+      ~seeds:(seeds_of ~seed ~runs) ~jobs:(clamp_jobs jobs) ()
     |> print_rows Figures.pp_fairness_row
   in
   Cmd.v
     (Cmd.info "fig8" ~doc:"Inter-session fairness in Topology B (paper Fig. 8).")
     Term.(
       ret
-        (const run $ duration_term $ seed_term $ runs_term
+        (const run $ duration_term $ seed_term $ scheduler_term $ jobs_term
+        $ runs_term
         $ sizes_term ~default:[ 1; 2; 4; 8; 16 ] ~name:"sessions"
             ~doc:"Competing session counts."))
 
 let fig9_cmd =
-  let run duration seed lo hi =
+  let run duration seed scheduler lo hi =
+    set_scheduler scheduler;
     let series =
       Figures.fig9 ~duration:(Time.of_sec duration)
         ~window:(float_of_int lo, float_of_int hi)
@@ -147,13 +188,14 @@ let fig9_cmd =
        ~doc:
          "Layer subscription and loss history for 4 competing VBR sessions \
           (paper Fig. 9). Gnuplot-friendly: time level loss.")
-    Term.(ret (const run $ duration_term $ seed_term $ lo $ hi))
+    Term.(ret (const run $ duration_term $ seed_term $ scheduler_term $ lo $ hi))
 
 let fig10_cmd =
-  let run duration seed runs staleness set_sizes =
+  let run duration seed scheduler jobs runs staleness set_sizes =
+    set_scheduler scheduler;
     Figures.fig10 ~duration:(Time.of_sec duration)
       ~staleness_seconds:staleness ~set_sizes
-      ~seeds:(seeds_of ~seed ~runs) ()
+      ~seeds:(seeds_of ~seed ~runs) ~jobs:(clamp_jobs jobs) ()
     |> print_rows Figures.pp_staleness_row
   in
   Cmd.v
@@ -161,7 +203,8 @@ let fig10_cmd =
        ~doc:"Impact of stale topology information (paper Fig. 10).")
     Term.(
       ret
-        (const run $ duration_term $ seed_term $ runs_term
+        (const run $ duration_term $ seed_term $ scheduler_term $ jobs_term
+        $ runs_term
         $ sizes_term ~default:[ 2; 6; 10; 14; 18 ] ~name:"staleness"
             ~doc:"Staleness values in seconds."
         $ sizes_term ~default:[ 1; 2; 4 ] ~name:"sizes"
@@ -204,7 +247,8 @@ let run_cmd =
       value & opt int 0
       & info [ "staleness" ] ~docv:"S" ~doc:"Topology staleness in seconds.")
   in
-  let run duration seed traffic scheme topology receivers staleness =
+  let run duration seed scheduler traffic scheme topology receivers staleness =
+    set_scheduler scheduler;
     let spec =
       match topology with
       | `A -> Scenarios.Builders.topology_a ~receivers_per_set:receivers
@@ -248,11 +292,12 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one simulation and summarize every receiver.")
     Term.(
       ret
-        (const run $ duration_term $ seed_term $ traffic_term $ scheme_term
-       $ topology_term $ receivers_term $ staleness_term))
+        (const run $ duration_term $ seed_term $ scheduler_term $ traffic_term
+       $ scheme_term $ topology_term $ receivers_term $ staleness_term))
 
 let tiered_cmd =
-  let run duration seed regions =
+  let run duration seed scheduler regions =
+    set_scheduler scheduler;
     let config =
       { Scenarios.Tiered.default_config with regions }
     in
@@ -286,10 +331,12 @@ let tiered_cmd =
        ~doc:
          "Tiered Internet (paper Figs. 2-3): per-domain vs global control on \
           a generated hierarchy.")
-    Term.(ret (const run $ duration_term $ seed_term $ regions))
+    Term.(
+      ret (const run $ duration_term $ seed_term $ scheduler_term $ regions))
 
 let churn_cmd =
-  let run duration seed receivers gap =
+  let run duration seed scheduler receivers gap =
+    set_scheduler scheduler;
     let o =
       Scenarios.Churn.run ~receivers_per_set:receivers
         ~join_gap_s:(float_of_int gap) ~duration:(Time.of_sec duration)
@@ -324,7 +371,10 @@ let churn_cmd =
   Cmd.v
     (Cmd.info "churn"
        ~doc:"Dynamic joins/departures on Topology A; convergence times.")
-    Term.(ret (const run $ duration_term $ seed_term $ receivers $ gap))
+    Term.(
+      ret
+        (const run $ duration_term $ seed_term $ scheduler_term $ receivers
+       $ gap))
 
 (* ---------- fault scenarios ---------- *)
 
@@ -570,9 +620,10 @@ let faults_cmd =
       & opt (some string) None
       & info [ "json" ] ~docv:"FILE" ~doc:"Write recovery metrics as JSON.")
   in
-  let run duration seed experiment drop reliable json =
+  let run duration seed scheduler experiment drop reliable json =
     if drop < 0.0 || drop > 1.0 then `Error (true, "--drop must be in [0,1]")
     else begin
+      set_scheduler scheduler;
       let seed = Int64.of_int seed in
       let duration_t = Time.of_sec duration in
       let want x = experiment = `All || experiment = x in
@@ -630,8 +681,8 @@ let faults_cmd =
           with failover, lossy control plane, controller partition.")
     Term.(
       ret
-        (const run $ duration_term $ seed_term $ experiment_term $ drop_term
-       $ reliable_term $ json_term))
+        (const run $ duration_term $ seed_term $ scheduler_term
+       $ experiment_term $ drop_term $ reliable_term $ json_term))
 
 let () =
   let info =

@@ -1,0 +1,347 @@
+(* A calendar queue (R. Brown, CACM 1988), the event-list structure used
+   by the ns simulator's default scheduler.
+
+   Elements hash into an array of "day" buckets by priority key: an
+   element with key [k] lands in virtual bucket [k / width], physical
+   bucket [(k / width) land (nbuckets - 1)]. Each physical bucket keeps
+   its elements sorted by the caller's total order, so a bucket holds the
+   events of one "day" of every "year" (year = nbuckets * width).
+   Dequeueing scans days forward from the last-popped key and takes the
+   head of the first bucket whose head falls inside the day being
+   visited; when a whole year passes without a hit (every pending event
+   is more than a year away) a direct search over the bucket heads finds
+   the minimum instead.
+
+   With the width matched to the typical gap between adjacent events,
+   buckets hold O(1) elements and both enqueue and dequeue are O(1)
+   amortized, independent of the pending-event count — which is where it
+   beats a binary heap's O(log n) once queues grow to the ~100k events
+   our churn scenarios reach. The bucket count tracks the population
+   (doubling/halving thresholds with hysteresis), and each resize
+   re-estimates the width from the gaps among the *distinct* keys nearest
+   the head, as ns does, so neither far-future outliers nor runs of
+   simultaneous events smear the estimate.
+
+   Buckets are sorted array-vectors rather than sorted linked lists (the
+   ns choice): discrete-event workloads produce long runs of equal or
+   near-equal keys (timer grids), for which a vector's append-at-tail and
+   pop-at-front are O(1) with zero comparisons, while a list insertion
+   walks the whole run. Out-of-order inserts binary-search the position
+   (O(log len) comparisons) and shift with [Array.blit] — a word memmove,
+   far cheaper than the same number of comparator calls. *)
+
+
+
+(* ---------- sorted vector buckets ---------- *)
+
+type 'a vec = {
+  mutable data : 'a array;
+  mutable start : int;  (* index of the first live element *)
+  mutable len : int;
+}
+
+let vec_make () = { data = [||]; start = 0; len = 0 }
+
+(* Slots outside [start, start+len) must not retain dead elements (event
+   thunks capture packets); alias them to a live element, or drop the
+   array entirely when the bucket empties — the same policy as Heap. *)
+let vec_clear_dead dummy v =
+  if v.len = 0 then begin
+    v.data <- [||];
+    v.start <- 0
+  end
+  else begin
+    for i = 0 to v.start - 1 do
+      v.data.(i) <- dummy
+    done;
+    for i = v.start + v.len to Array.length v.data - 1 do
+      v.data.(i) <- dummy
+    done
+  end
+
+(* Make room for one more element at the tail: slide back to the array
+   base once the live span hits the end, growing only when the live span
+   itself fills the capacity. *)
+(* The new slots are filled with [dummy], never with a freshly allocated
+   element: [Array.make] with a young boxed initializer and a length
+   beyond [Max_young_wosize] forces a whole minor collection (the runtime
+   must not write young pointers into the shared heap unbarriered), which
+   promotes every live young block — at bucket-growth frequency that
+   swamps the major GC. The sentinel is old after the first collection,
+   so growth is a plain shared-heap allocation plus memcpy. *)
+let vec_room dummy v =
+  let cap = Array.length v.data in
+  if v.start + v.len = cap then begin
+    if cap > 0 && 2 * v.len <= cap then begin
+      Array.blit v.data v.start v.data 0 v.len;
+      v.start <- 0;
+      vec_clear_dead dummy v
+    end
+    else begin
+      let ncap = if cap = 0 then 4 else 2 * cap in
+      let ndata = Array.make ncap dummy in
+      Array.blit v.data v.start ndata 0 v.len;
+      v.data <- ndata;
+      v.start <- 0
+    end
+  end
+
+(* Leftmost position p (relative, in [0, len]) with data[start+p] > x:
+   inserting there keeps equal elements in arrival order. *)
+let vec_search cmp v x =
+  let lo = ref 0 and hi = ref v.len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cmp v.data.(v.start + mid) x <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let vec_insert dummy cmp v x =
+  if v.len = 0 then begin
+    vec_room dummy v;
+    v.data.(v.start) <- x;
+    v.len <- 1
+  end
+  else if cmp v.data.(v.start + v.len - 1) x <= 0 then begin
+    (* Tail append — the overwhelmingly common case (monotone pushes). *)
+    vec_room dummy v;
+    v.data.(v.start + v.len) <- x;
+    v.len <- v.len + 1
+  end
+  else begin
+    let p = vec_search cmp v x in
+    if p = 0 && v.start > 0 then begin
+      (* Head insert into the slack left by earlier pops: O(1). *)
+      v.start <- v.start - 1;
+      v.data.(v.start) <- x;
+      v.len <- v.len + 1
+    end
+    else begin
+      vec_room dummy v;
+      Array.blit v.data (v.start + p) v.data (v.start + p + 1) (v.len - p);
+      v.data.(v.start + p) <- x;
+      v.len <- v.len + 1
+    end
+  end
+
+let vec_head v = v.data.(v.start)
+
+let vec_pop_front dummy v =
+  let x = v.data.(v.start) in
+  v.start <- v.start + 1;
+  v.len <- v.len - 1;
+  if v.len = 0 then begin
+    v.data <- [||];
+    v.start <- 0
+  end
+  else v.data.(v.start - 1) <- dummy;
+  x
+
+let vec_filter dummy keep v =
+  let j = ref 0 in
+  for i = 0 to v.len - 1 do
+    let x = v.data.(v.start + i) in
+    if keep x then begin
+      v.data.(v.start + !j) <- x;
+      incr j
+    end
+  done;
+  v.len <- !j;
+  vec_clear_dead dummy v
+
+let vec_iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(v.start + i)
+  done
+
+(* ---------- the calendar ---------- *)
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  key : 'a -> int;
+  dummy : 'a;  (* old-generation filler for dead array slots; never popped *)
+  mutable buckets : 'a vec array;
+  mutable width : int;  (* day length in key units, >= 1 *)
+  mutable size : int;
+  mutable lastkey : int;  (* lower bound on every pending key *)
+  mutable head : 'a option;  (* cached minimum, so peek-then-pop scans once *)
+}
+
+let create ~cmp ~key ~dummy =
+  {
+    cmp;
+    key;
+    dummy;
+    buckets = Array.init 2 (fun _ -> vec_make ());
+    width = 1;
+    size = 0;
+    lastkey = 0;
+    head = None;
+  }
+
+let length t = t.size
+let is_empty t = t.size = 0
+let capacity t = Array.length t.buckets
+
+let bucket_of t k = k / t.width land (Array.length t.buckets - 1)
+
+let rec next_pow2 n = if n <= 2 then 2 else 2 * next_pow2 ((n + 1) / 2)
+
+(* Width from the typical gap among the ~25 distinct keys nearest the
+   head, per Brown's two-pass rule: average the sampled gaps, then
+   re-average keeping only gaps within twice that mean. The first pass
+   alone is fragile both ways — runs of equal keys (which share a bucket
+   at any width) would collapse the span to zero, so gaps are taken
+   between *distinct* keys, and a sample that straddles the edge of a
+   dense band picks up a huge jump to the sparse tail, which the second
+   pass discards. Keeps the current width when the sample is degenerate. *)
+let max_gap_sample = 25
+
+let width_for t sorted =
+  let n = Array.length sorted in
+  if n < 2 then t.width
+  else begin
+    let gaps = Array.make max_gap_sample 0 in
+    let ngaps = ref 0 and last = ref (t.key sorted.(0)) and i = ref 1 in
+    while !i < n && !ngaps < max_gap_sample do
+      let k = t.key sorted.(!i) in
+      if k <> !last then begin
+        gaps.(!ngaps) <- k - !last;
+        incr ngaps;
+        last := k
+      end;
+      incr i
+    done;
+    if !ngaps = 0 then t.width
+    else begin
+      let sum = ref 0 in
+      for j = 0 to !ngaps - 1 do
+        sum := !sum + gaps.(j)
+      done;
+      let avg = !sum / !ngaps in
+      let sum2 = ref 0 and cnt2 = ref 0 in
+      for j = 0 to !ngaps - 1 do
+        if gaps.(j) <= 2 * avg then begin
+          sum2 := !sum2 + gaps.(j);
+          incr cnt2
+        end
+      done;
+      if !cnt2 = 0 then max 1 avg else max 1 (!sum2 / !cnt2)
+    end
+  end
+
+let resize t =
+  let sorted = Array.make t.size t.dummy in
+  let i = ref 0 in
+  Array.iter
+    (vec_iter (fun x ->
+         sorted.(!i) <- x;
+         incr i))
+    t.buckets;
+  Array.sort t.cmp sorted;
+  t.width <- width_for t sorted;
+  let nbuckets = next_pow2 (max 2 (2 * t.size)) in
+  t.buckets <- Array.init nbuckets (fun _ -> vec_make ());
+  (* Ascending order makes every insert a tail append: O(n) rebuild. *)
+  Array.iter
+    (fun x -> vec_insert t.dummy t.cmp t.buckets.(bucket_of t (t.key x)) x)
+    sorted;
+  t.head <- (if t.size = 0 then None else Some sorted.(0))
+
+let maybe_grow t = if t.size > 2 * Array.length t.buckets then resize t
+
+let maybe_shrink t =
+  if Array.length t.buckets > 4 && 4 * t.size < Array.length t.buckets then
+    resize t
+
+let push t x =
+  let k = t.key x in
+  if k < 0 then invalid_arg "Calendar.push: negative key";
+  if k < t.lastkey then t.lastkey <- k;
+  (match t.head with
+  | Some h when t.cmp x h < 0 -> t.head <- Some x
+  | Some _ | None -> ());
+  vec_insert t.dummy t.cmp t.buckets.(bucket_of t k) x;
+  t.size <- t.size + 1;
+  maybe_grow t
+
+(* Every pending event is at least a year away: the minimum is the
+   [cmp]-least bucket head. *)
+let direct_min t =
+  let best = ref None in
+  Array.iter
+    (fun v ->
+      if v.len > 0 then
+        match !best with
+        | Some b when t.cmp (vec_head v) b >= 0 -> ()
+        | _ -> best := Some (vec_head v))
+    t.buckets;
+  match !best with Some x -> x | None -> assert false
+
+(* The cmp-least pending element: scan days forward from [lastkey]. A
+   bucket head qualifies only inside the day under visit, which is
+   exactly what keeps an element of a later year (same physical bucket,
+   larger virtual bucket) from overtaking. *)
+let find_min t =
+  let nbuckets = Array.length t.buckets in
+  let vb0 = t.lastkey / t.width in
+  let rec scan i =
+    if i = nbuckets then direct_min t
+    else begin
+      let vb = vb0 + i in
+      let v = t.buckets.(vb land (nbuckets - 1)) in
+      if v.len > 0 && t.key (vec_head v) < (vb + 1) * t.width then vec_head v
+      else scan (i + 1)
+    end
+
+  in
+  scan 0
+
+let peek_min_exn t =
+  if t.size = 0 then invalid_arg "Calendar.peek_min_exn: empty";
+  match t.head with
+  | Some x -> x
+  | None ->
+      let x = find_min t in
+      t.head <- Some x;
+      x
+
+let peek_min t = if t.size = 0 then None else Some (peek_min_exn t)
+
+let pop_min_exn t =
+  let x = peek_min_exn t in
+  let v = t.buckets.(bucket_of t (t.key x)) in
+  assert (t.cmp (vec_head v) x = 0);
+  ignore (vec_pop_front t.dummy v);
+  t.head <- None;
+  t.size <- t.size - 1;
+  t.lastkey <- t.key x;
+  maybe_shrink t;
+  x
+
+let pop_min t = if t.size = 0 then None else Some (pop_min_exn t)
+
+let filter t keep =
+  let kept = ref 0 in
+  Array.iter
+    (fun v ->
+      vec_filter t.dummy keep v;
+      kept := !kept + v.len)
+    t.buckets;
+  t.size <- !kept;
+  (* The cached minimum may just have been dropped. [lastkey] stays a
+     valid lower bound: removals never introduce smaller keys. *)
+  t.head <- None;
+  maybe_shrink t
+
+let clear t =
+  t.buckets <- Array.init 2 (fun _ -> vec_make ());
+  t.width <- 1;
+  t.size <- 0;
+  t.lastkey <- 0;
+  t.head <- None
+
+let to_list t =
+  let acc = ref [] in
+  Array.iter (vec_iter (fun x -> acc := x :: !acc)) t.buckets;
+  !acc

@@ -1,0 +1,55 @@
+(** A calendar queue (Brown 1988) — the event-list structure behind the
+    ns simulator's default scheduler.
+
+    Elements land in "day" buckets by an integer priority key; with the
+    day width tracking the typical gap between adjacent events, enqueue
+    and dequeue-min are O(1) amortized independent of the pending count,
+    where a binary heap pays O(log n). The bucket array doubles/halves
+    with the population, re-estimating the width from the events nearest
+    the head on each resize.
+
+    Ordering: [pop_min]/[peek_min] return the least element under the
+    caller's total order [cmp]; [key] must be non-negative and monotone
+    w.r.t. [cmp] (i.e. [cmp a b < 0] implies [key a <= key b]), which the
+    event queue's [(time, seq)] order satisfies with [key = time]. Under
+    that contract the dequeue sequence is exactly the heap's, element for
+    element. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> key:('a -> int) -> dummy:'a -> 'a t
+(** An empty queue ordered by the total order [cmp], bucketed by the
+    non-negative priority [key]. [dummy] is a sentinel used to fill dead
+    bucket-array slots — it is never returned, but it is retained for the
+    queue's lifetime and large internal arrays are created from it, so it
+    should be a cheap long-lived value (a large [Array.make] with a
+    freshly allocated initializer forces a minor collection in OCaml 5,
+    which an old sentinel avoids). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** @raise Invalid_argument if the element's key is negative. *)
+
+val peek_min : 'a t -> 'a option
+val pop_min : 'a t -> 'a option
+
+val peek_min_exn : 'a t -> 'a
+val pop_min_exn : 'a t -> 'a
+(** As [peek_min]/[pop_min] without the option wrapper.
+    @raise Invalid_argument when empty. *)
+
+val filter : 'a t -> ('a -> bool) -> unit
+(** Keeps only the elements satisfying the predicate, in O(n); used for
+    lazy-deletion compaction of cancelled events. May shrink the bucket
+    array. *)
+
+val capacity : 'a t -> int
+(** Number of buckets in the backing array; for tests of the resize
+    policy. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Elements in unspecified order; for tests and diagnostics. *)

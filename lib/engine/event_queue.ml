@@ -1,0 +1,72 @@
+module type S = sig
+  type 'a t
+
+  val create : cmp:('a -> 'a -> int) -> key:('a -> int) -> dummy:'a -> 'a t
+  val length : 'a t -> int
+  val is_empty : 'a t -> bool
+  val push : 'a t -> 'a -> unit
+  val peek_min : 'a t -> 'a option
+  val pop_min : 'a t -> 'a option
+  val peek_min_exn : 'a t -> 'a
+  val pop_min_exn : 'a t -> 'a
+  val filter : 'a t -> ('a -> bool) -> unit
+  val capacity : 'a t -> int
+  val to_list : 'a t -> 'a list
+end
+
+module Heap_backend : S with type 'a t = 'a Heap.t = struct
+  type 'a t = 'a Heap.t
+
+  (* The heap orders by [cmp] alone; the bucketing key and dead-slot
+     sentinel are calendar-only. *)
+  let create ~cmp ~key:_ ~dummy:_ = Heap.create ~cmp
+  let length = Heap.length
+  let is_empty = Heap.is_empty
+  let push = Heap.push
+  let peek_min = Heap.peek
+  let pop_min = Heap.pop
+  let peek_min_exn = Heap.peek_exn
+  let pop_min_exn = Heap.pop_exn
+  let filter = Heap.filter
+  let capacity = Heap.capacity
+  let to_list = Heap.to_list
+end
+
+module Calendar_backend : S with type 'a t = 'a Calendar.t = struct
+  type 'a t = 'a Calendar.t
+
+  let create = Calendar.create
+  let length = Calendar.length
+  let is_empty = Calendar.is_empty
+  let push = Calendar.push
+  let peek_min = Calendar.peek_min
+  let pop_min = Calendar.pop_min
+  let peek_min_exn = Calendar.peek_min_exn
+  let pop_min_exn = Calendar.pop_min_exn
+  let filter = Calendar.filter
+  let capacity = Calendar.capacity
+  let to_list = Calendar.to_list
+end
+
+type backend = Heap | Calendar
+
+let backend_to_string = function Heap -> "heap" | Calendar -> "calendar"
+
+let backend_of_string s =
+  match String.lowercase_ascii s with
+  | "heap" -> Some Heap
+  | "calendar" -> Some Calendar
+  | _ -> None
+
+(* The process-wide default consulted by [Sim.create] when no explicit
+   backend is given. An [Atomic] so parallel sweep domains spawned after
+   a CLI override read a coherent value; scenario code never mutates it
+   mid-run. *)
+let default_backend =
+  Atomic.make
+    (match Sys.getenv_opt "TOPOSENSE_SCHEDULER" with
+    | Some s -> Option.value ~default:Heap (backend_of_string s)
+    | None -> Heap)
+
+let default () = Atomic.get default_backend
+let set_default b = Atomic.set default_backend b

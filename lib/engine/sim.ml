@@ -11,13 +11,21 @@ type event = {
 
 type handle = H : event -> handle [@@unboxed]
 
+(* The pending-event store, behind the Event_queue.S contract. A direct
+   variant (rather than a packed first-class module) keeps the default
+   heap's hot path free of indirect calls. *)
+type queue =
+  | Q_heap of event Heap.t
+  | Q_calendar of event Calendar.t
+
 type t = {
   mutable clock : Time.t;
-  queue : event Heap.t;
+  queue : queue;
   root_rng : Prng.t;
   mutable next_seq : int;
   mutable dispatched : int;
   mutable max_pending : int;
+  mutable max_live_pending : int;
   mutable cancelled_pending : int;
 }
 
@@ -25,16 +33,65 @@ let cmp_event a b =
   let c = Time.compare a.at b.at in
   if c <> 0 then c else Int.compare a.seq b.seq
 
-let create ?(seed = 42L) () =
+let key_event e = Time.to_ns e.at
+
+let create ?(seed = 42L) ?backend () =
+  let backend =
+    match backend with Some b -> b | None -> Event_queue.default ()
+  in
+  let queue =
+    match backend with
+    | Event_queue.Heap -> Q_heap (Heap.create ~cmp:cmp_event)
+    | Event_queue.Calendar ->
+        (* The sentinel never fires; the calendar only uses it to fill
+           dead bucket slots without retaining real events. *)
+        let dummy =
+          { at = Time.zero; seq = -1; thunk = ignore; cancelled = true;
+            successor = None }
+        in
+        Q_calendar (Calendar.create ~cmp:cmp_event ~key:key_event ~dummy)
+  in
   {
     clock = Time.zero;
-    queue = Heap.create ~cmp:cmp_event;
+    queue;
     root_rng = Prng.create ~seed;
     next_seq = 0;
     dispatched = 0;
     max_pending = 0;
+    max_live_pending = 0;
     cancelled_pending = 0;
   }
+
+let backend t =
+  match t.queue with
+  | Q_heap _ -> Event_queue.Heap
+  | Q_calendar _ -> Event_queue.Calendar
+
+let q_length t =
+  match t.queue with Q_heap q -> Heap.length q | Q_calendar q -> Calendar.length q
+
+let q_is_empty t =
+  match t.queue with
+  | Q_heap q -> Heap.is_empty q
+  | Q_calendar q -> Calendar.is_empty q
+
+let q_push t ev =
+  match t.queue with Q_heap q -> Heap.push q ev | Q_calendar q -> Calendar.push q ev
+
+let q_peek_exn t =
+  match t.queue with
+  | Q_heap q -> Heap.peek_exn q
+  | Q_calendar q -> Calendar.peek_min_exn q
+
+let q_pop_exn t =
+  match t.queue with
+  | Q_heap q -> Heap.pop_exn q
+  | Q_calendar q -> Calendar.pop_min_exn q
+
+let q_filter t keep =
+  match t.queue with
+  | Q_heap q -> Heap.filter q keep
+  | Q_calendar q -> Calendar.filter q keep
 
 let now t = t.clock
 
@@ -47,35 +104,43 @@ let schedule_event t at thunk =
          Time.pp t.clock);
   let ev = { at; seq = t.next_seq; thunk; cancelled = false; successor = None } in
   t.next_seq <- t.next_seq + 1;
-  Heap.push t.queue ev;
-  if Heap.length t.queue > t.max_pending then
-    t.max_pending <- Heap.length t.queue;
+  q_push t ev;
+  let len = q_length t in
+  if len > t.max_pending then t.max_pending <- len;
+  let live = len - t.cancelled_pending in
+  if live > t.max_live_pending then t.max_live_pending <- live;
   ev
 
 let schedule_at t at thunk = H (schedule_event t at thunk)
 
 let schedule_after t span thunk = schedule_at t (Time.add t.clock span) thunk
 
-(* Lazy deletion: cancelled events stay in the heap as tombstones until
+(* Lazy deletion: cancelled events stay in the queue as tombstones until
    they either surface at the root or outnumber the live events, at which
    point one O(n) sweep drops them all — long runs that cancel many
-   [every] chains neither grow the heap nor retain the dead closures. *)
+   [every] chains neither grow the queue nor retain the dead closures. *)
 let compact_threshold = 64
 
-let rec mark_cancelled t ev =
+(* Tombstone a queued event once. Handle cells of [every] chains carry
+   [seq = -1] and never enter the queue, so they must not count toward
+   the tombstone population. *)
+let tombstone t ev =
   if not ev.cancelled then begin
     ev.cancelled <- true;
-    t.cancelled_pending <- t.cancelled_pending + 1
-  end;
+    if ev.seq >= 0 then t.cancelled_pending <- t.cancelled_pending + 1
+  end
+
+let rec mark_cancelled t ev =
+  tombstone t ev;
   match ev.successor with None -> () | Some s -> mark_cancelled t s
 
 let cancel t (H ev) =
   mark_cancelled t ev;
   if
     t.cancelled_pending > compact_threshold
-    && 2 * t.cancelled_pending > Heap.length t.queue
+    && 2 * t.cancelled_pending > q_length t
   then begin
-    Heap.filter t.queue (fun e -> not e.cancelled);
+    q_filter t (fun e -> not e.cancelled);
     t.cancelled_pending <- 0
   end
 
@@ -94,7 +159,9 @@ let every t ?start ?jitter ~period f =
     | Some (g, j) ->
         let half = j *. Time.span_to_sec_f period in
         let d = Prng.uniform g ~lo:(-.half) ~hi:half in
-        let ns = Time.to_ns base + int_of_float (d *. 1e9) in
+        (* Round to nearest: truncation toward zero would bias the drawn
+           displacement toward 0 ns. *)
+        let ns = Time.to_ns base + int_of_float (Float.round (d *. 1e9)) in
         Time.of_ns (Stdlib.max (Time.to_ns t.clock) ns)
   in
   let rec arm at =
@@ -105,7 +172,7 @@ let every t ?start ?jitter ~period f =
     in
     cell.successor <- Some ev;
     (* Forward a cancellation that raced the re-arm. *)
-    if cell.cancelled then ev.cancelled <- true
+    if cell.cancelled then tombstone t ev
   in
   arm first;
   H cell
@@ -119,27 +186,28 @@ let dispatch t ev =
   end
 
 let step t =
-  if Heap.is_empty t.queue then false
+  if q_is_empty t then false
   else begin
-    dispatch t (Heap.pop_exn t.queue);
+    dispatch t (q_pop_exn t);
     true
   end
 
 let run_until t horizon =
   let rec loop () =
-    if
-      (not (Heap.is_empty t.queue))
-      && Time.((Heap.peek_exn t.queue).at <= horizon)
-    then begin
-      dispatch t (Heap.pop_exn t.queue);
+    if (not (q_is_empty t)) && Time.((q_peek_exn t).at <= horizon) then begin
+      dispatch t (q_pop_exn t);
       loop ()
     end
   in
   loop ();
   t.clock <- Time.max t.clock horizon
 
-let pending t = Heap.length t.queue
+let pending t = q_length t
+
+let live_pending t = q_length t - t.cancelled_pending
 
 let max_pending t = t.max_pending
+
+let max_live_pending t = t.max_live_pending
 
 let events_dispatched t = t.dispatched

@@ -5,17 +5,31 @@
     instant fire in scheduling order (FIFO), which makes runs fully
     deterministic for a given seed.
 
+    The pending-event store is pluggable behind {!Event_queue.S}: the
+    default binary heap ({!Heap}), or the ns-style calendar queue
+    ({!Calendar}) for workloads whose pending set grows large. Both
+    backends dispatch in exactly the same [(time, seq)] order, so a
+    run's trace — and therefore every figure and metric — is independent
+    of the backend chosen; only wall time changes.
+
     The simulator is single-threaded by design: the workloads in this
     project are bound by event dispatch, not by per-event computation, and
-    determinism is a hard requirement for the experiments. *)
+    determinism is a hard requirement for the experiments. Parallelism
+    lives one level up, in {!Scenarios.Sweep}, which fans whole
+    independent simulations across domains. *)
 
 type t
 
 type handle
 (** Identifies a scheduled event so it can be cancelled. *)
 
-val create : ?seed:int64 -> unit -> t
-(** A fresh simulator at time {!Time.zero}. Default seed is [42L]. *)
+val create : ?seed:int64 -> ?backend:Event_queue.backend -> unit -> t
+(** A fresh simulator at time {!Time.zero}. Default seed is [42L];
+    default backend is {!Event_queue.default} (the heap, unless
+    overridden by [TOPOSENSE_SCHEDULER] or {!Event_queue.set_default}). *)
+
+val backend : t -> Event_queue.backend
+(** Which event-queue backend this simulator runs on. *)
 
 val now : t -> Time.t
 
@@ -40,7 +54,8 @@ val every :
 (** [every sim ~period f] runs [f] at [start] (default: [now + period]) and
     then every [period], until the returned handle is cancelled. With
     [~jitter:(rng, j)] each firing is displaced by a uniform draw in
-    [±j·period]. Cancelling the handle stops all future firings. *)
+    [±j·period], rounded to the nearest nanosecond. Cancelling the handle
+    stops all future firings. *)
 
 val run_until : t -> Time.t -> unit
 (** Dispatch events in order until the queue is empty or the next event is
@@ -51,11 +66,22 @@ val step : t -> bool
     empty. *)
 
 val pending : t -> int
-(** Number of events still queued (including cancelled tombstones). *)
+(** Number of events still queued, {e including} cancelled tombstones
+    awaiting their lazy-deletion sweep. *)
+
+val live_pending : t -> int
+(** Number of queued events that will actually fire: {!pending} minus the
+    cancelled tombstones. *)
 
 val max_pending : t -> int
-(** High-water mark of {!pending} over the run — the peak event-heap
-    size, for capacity planning and the bench trajectory. *)
+(** High-water mark of {!pending} over the run. This is the
+    backing-store high-water mark — it counts tombstones, so it bounds
+    queue memory, not outstanding work; see {!max_live_pending} for the
+    latter. *)
+
+val max_live_pending : t -> int
+(** High-water mark of {!live_pending} over the run — the peak number of
+    events that were genuinely outstanding at once. *)
 
 val events_dispatched : t -> int
 (** Total events fired since creation; for tests and reporting. *)

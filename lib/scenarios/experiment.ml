@@ -34,6 +34,7 @@ type outcome = {
   events_dispatched : int;
   forwarded_packets : int;
   peak_heap : int;
+  peak_live : int;
   duration : Time.t;
 }
 
@@ -221,6 +222,7 @@ let run ~spec ~traffic ~scheme ?(params = Toposense.Params.default)
     events_dispatched = Sim.events_dispatched sim;
     forwarded_packets = forwarded_packets_of network;
     peak_heap = Sim.max_pending sim;
+    peak_live = Sim.max_live_pending sim;
     duration;
   }
 

@@ -38,7 +38,12 @@ type outcome = {
   events_dispatched : int;
   forwarded_packets : int;
       (** total per-hop link transmissions across the run *)
-  peak_heap : int;  (** high-water mark of the simulator's event heap *)
+  peak_heap : int;
+      (** high-water mark of the event queue's backing store, cancelled
+          tombstones included (bounds queue memory) *)
+  peak_live : int;
+      (** high-water mark of genuinely outstanding (non-cancelled)
+          events — bounds scheduled work *)
   duration : Engine.Time.t;
 }
 

@@ -17,35 +17,50 @@ let stability_of_outcome ~x ~traffic (o : Experiment.outcome) =
   let s = Metrics.Stability.worst ~logs ~window:(Time.zero, o.duration) in
   { x; traffic; max_changes = s.changes; mean_gap_s = s.mean_gap_s }
 
+(* The sweeps below build every topology spec eagerly, in the calling
+   domain, before handing the runs to {!Sweep}: spec construction reads
+   [Builders.discipline_ref], which is process-global state that worker
+   domains must not depend on. The flattened cell list preserves the
+   row-major (traffic-outer) order of the original nested maps, so
+   results are identical for any [jobs]. *)
+
 let fig6 ?(duration = Time.of_sec 1200) ?(set_sizes = [ 1; 2; 4; 8; 16 ])
-    ?(traffics = default_traffics) ?(seed = 42L) () =
-  List.concat_map
-    (fun traffic ->
-      List.map
-        (fun size ->
-          let spec = Builders.topology_a ~receivers_per_set:size in
-          let o =
-            Experiment.run ~spec ~traffic ~scheme:Experiment.Toposense ~seed
-              ~duration ()
-          in
-          stability_of_outcome ~x:size ~traffic o)
-        set_sizes)
-    traffics
+    ?(traffics = default_traffics) ?(seed = 42L) ?(jobs = 1) () =
+  let cells =
+    List.concat_map
+      (fun traffic ->
+        List.map
+          (fun size -> (traffic, size, Builders.topology_a ~receivers_per_set:size))
+          set_sizes)
+      traffics
+  in
+  Sweep.run ~jobs
+    (fun (traffic, size, spec) ->
+      let o =
+        Experiment.run ~spec ~traffic ~scheme:Experiment.Toposense ~seed
+          ~duration ()
+      in
+      stability_of_outcome ~x:size ~traffic o)
+    cells
 
 let fig7 ?(duration = Time.of_sec 1200) ?(session_counts = [ 1; 2; 4; 8; 16 ])
-    ?(traffics = default_traffics) ?(seed = 42L) () =
-  List.concat_map
-    (fun traffic ->
-      List.map
-        (fun count ->
-          let spec = Builders.topology_b ~session_count:count in
-          let o =
-            Experiment.run ~spec ~traffic ~scheme:Experiment.Toposense ~seed
-              ~duration ()
-          in
-          stability_of_outcome ~x:count ~traffic o)
-        session_counts)
-    traffics
+    ?(traffics = default_traffics) ?(seed = 42L) ?(jobs = 1) () =
+  let cells =
+    List.concat_map
+      (fun traffic ->
+        List.map
+          (fun count -> (traffic, count, Builders.topology_b ~session_count:count))
+          session_counts)
+      traffics
+  in
+  Sweep.run ~jobs
+    (fun (traffic, count, spec) ->
+      let o =
+        Experiment.run ~spec ~traffic ~scheme:Experiment.Toposense ~seed
+          ~duration ()
+      in
+      stability_of_outcome ~x:count ~traffic o)
+    cells
 
 type fairness_row = {
   sessions : int;
@@ -55,16 +70,21 @@ type fairness_row = {
 }
 
 let fig8 ?(duration = Time.of_sec 1200) ?(session_counts = [ 1; 2; 4; 8; 16 ])
-    ?(traffics = default_traffics) ?(seed = 42L) ?seeds () =
+    ?(traffics = default_traffics) ?(seed = 42L) ?seeds ?(jobs = 1) () =
   let seeds = Option.value ~default:[ seed ] seeds in
-  List.concat_map
-    (fun traffic ->
-      List.map
-        (fun count ->
+  let cells =
+    List.concat_map
+      (fun traffic ->
+        List.map
+          (fun count -> (traffic, count, Builders.topology_b ~session_count:count))
+          session_counts)
+      traffics
+  in
+  Sweep.run ~jobs
+    (fun (traffic, count, spec) ->
           let halves =
             List.map
               (fun seed ->
-                let spec = Builders.topology_b ~session_count:count in
                 let o =
                   Experiment.run ~spec ~traffic ~scheme:Experiment.Toposense
                     ~seed ~duration ()
@@ -91,8 +111,7 @@ let fig8 ?(duration = Time.of_sec 1200) ?(session_counts = [ 1; 2; 4; 8; 16 ])
             dev_second_half =
               List.fold_left (fun acc (_, b) -> acc +. b) 0.0 halves /. n;
           })
-        session_counts)
-    traffics
+    cells
 
 type series_point = {
   at_s : float;
@@ -129,12 +148,19 @@ type staleness_row = {
 
 let fig10 ?(duration = Time.of_sec 1200)
     ?(staleness_seconds = [ 2; 6; 10; 14; 18 ]) ?(set_sizes = [ 1; 2; 4 ])
-    ?(seed = 42L) ?seeds () =
+    ?(seed = 42L) ?seeds ?(jobs = 1) () =
   let seeds = Option.value ~default:[ seed ] seeds in
-  List.concat_map
-    (fun staleness_s ->
-      List.map
-        (fun size ->
+  let cells =
+    List.concat_map
+      (fun staleness_s ->
+        List.map
+          (fun size ->
+            (staleness_s, size, Builders.topology_a ~receivers_per_set:size))
+          set_sizes)
+      staleness_seconds
+  in
+  Sweep.run ~jobs
+    (fun (staleness_s, size, spec) ->
           let devs =
             List.map
               (fun seed ->
@@ -144,7 +170,6 @@ let fig10 ?(duration = Time.of_sec 1200)
                     staleness = Time.span_of_sec staleness_s;
                   }
                 in
-                let spec = Builders.topology_a ~receivers_per_set:size in
                 let o =
                   Experiment.run ~spec ~traffic:(Experiment.Vbr 3.0)
                     ~scheme:Experiment.Toposense ~params ~seed ~duration ()
@@ -166,8 +191,7 @@ let fig10 ?(duration = Time.of_sec 1200)
               List.fold_left ( +. ) 0.0 devs
               /. float_of_int (List.length devs);
           })
-        set_sizes)
-    staleness_seconds
+    cells
 
 type table1_row = {
   kind : Toposense.Decision.node_kind;

@@ -4,7 +4,11 @@
     Each returns the rows the paper plots, ready for printing by the
     bench harness or the CLI; see EXPERIMENTS.md for paper-vs-measured
     commentary. Durations default to the paper's 1200 s and can be scaled
-    down for quick runs. *)
+    down for quick runs.
+
+    The grid sweeps (Figs. 6, 7, 8, 10) accept [?jobs] and fan their
+    independent cells across that many domains via {!Sweep}; results are
+    identical to the sequential run for any [jobs] (default 1). *)
 
 type stability_row = {
   x : int;  (** receivers per set (Fig. 6) or sessions (Fig. 7) *)
@@ -18,6 +22,7 @@ val fig6 :
   ?set_sizes:int list ->
   ?traffics:Experiment.traffic list ->
   ?seed:int64 ->
+  ?jobs:int ->
   unit ->
   stability_row list
 (** Stability on Topology A. Defaults: 1200 s; set sizes 1, 2, 4, 8, 16;
@@ -28,6 +33,7 @@ val fig7 :
   ?session_counts:int list ->
   ?traffics:Experiment.traffic list ->
   ?seed:int64 ->
+  ?jobs:int ->
   unit ->
   stability_row list
 (** Stability on Topology B. Defaults: 1200 s; 1, 2, 4, 8, 16 sessions. *)
@@ -45,6 +51,7 @@ val fig8 :
   ?traffics:Experiment.traffic list ->
   ?seed:int64 ->
   ?seeds:int64 list ->
+  ?jobs:int ->
   unit ->
   fairness_row list
 (** Inter-session fairness on Topology B (deviation halves scale with
@@ -79,6 +86,7 @@ val fig10 :
   ?set_sizes:int list ->
   ?seed:int64 ->
   ?seeds:int64 list ->
+  ?jobs:int ->
   unit ->
   staleness_row list
 (** Impact of stale topology information on Topology A with VBR P=3.

@@ -112,6 +112,7 @@ type flap_outcome = {
   events_dispatched : int;
   forwarded_packets : int;
   peak_heap : int;
+  peak_live : int;
 }
 
 let detour_bps = Net.Topology.kbps 250.0
@@ -268,6 +269,7 @@ let link_flap ?(receivers_per_set = 2) ?(down_at_s = 60.0) ?(up_at_s = 90.0)
     events_dispatched = Sim.events_dispatched rig.sim;
     forwarded_packets = forwarded_packets_of rig.network;
     peak_heap = Sim.max_pending rig.sim;
+    peak_live = Sim.max_live_pending rig.sim;
   }
 
 (* ---------- controller outage + failover ---------- *)
@@ -530,6 +532,7 @@ type partition_outcome = {
   events_dispatched : int;
   forwarded_packets : int;
   peak_heap : int;
+  peak_live : int;
 }
 
 (* Topology A with the controller moved to a dedicated node hanging off
@@ -636,4 +639,5 @@ let partition ?(receivers_per_set = 2) ?(down_at_s = 60.0) ?(up_at_s = 90.0)
     events_dispatched = Sim.events_dispatched rig.sim;
     forwarded_packets = forwarded_packets_of rig.network;
     peak_heap = Sim.max_pending rig.sim;
+    peak_live = Sim.max_live_pending rig.sim;
   }

@@ -58,7 +58,8 @@ type flap_outcome = {
   suggestions_sent : int;
   events_dispatched : int;
   forwarded_packets : int;
-  peak_heap : int;
+  peak_heap : int;  (** backing-store high-water mark, tombstones included *)
+  peak_live : int;  (** high-water mark of non-cancelled pending events *)
 }
 
 val detour_bps : float
@@ -214,7 +215,8 @@ type partition_outcome = {
           three TopoSense intervals of the heal *)
   events_dispatched : int;
   forwarded_packets : int;
-  peak_heap : int;
+  peak_heap : int;  (** backing-store high-water mark, tombstones included *)
+  peak_live : int;  (** high-water mark of non-cancelled pending events *)
 }
 
 val partition :

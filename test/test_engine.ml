@@ -4,6 +4,8 @@
 module Time = Engine.Time
 module Sim = Engine.Sim
 module Heap = Engine.Heap
+module Calendar = Engine.Calendar
+module Event_queue = Engine.Event_queue
 module Prng = Engine.Prng
 module Stats = Engine.Stats
 module Trace = Engine.Trace
@@ -144,6 +146,189 @@ let prop_heap_interleaved =
                 v = m
             | _ -> false)
         ops)
+
+(* ---------- Calendar ---------- *)
+
+(* Elements are (key, seq) pairs ordered like Sim's events: by key, then
+   by arrival sequence. *)
+let cal_cmp (k1, s1) (k2, s2) =
+  let c = Int.compare k1 k2 in
+  if c <> 0 then c else Int.compare s1 s2
+
+let cal_create () =
+  Calendar.create ~cmp:cal_cmp ~key:fst ~dummy:(0, -1)
+
+let cal_drain q =
+  let rec go acc =
+    match Calendar.pop_min q with None -> List.rev acc | Some x -> go (x :: acc)
+  in
+  go []
+
+let test_calendar_sorted_drain () =
+  let q = cal_create () in
+  let keys = [ 512; 3; 77; 3; 9_000_000; 0; 77; 41; 5 ] in
+  List.iteri (fun s k -> Calendar.push q (k, s)) keys;
+  checki "length" (List.length keys) (Calendar.length q);
+  let expect = List.sort cal_cmp (List.mapi (fun s k -> (k, s)) keys) in
+  checkb "sorted with FIFO ties" true (cal_drain q = expect);
+  checkb "empty after drain" true (Calendar.is_empty q)
+
+let test_calendar_empty () =
+  let q = cal_create () in
+  checkb "empty" true (Calendar.is_empty q);
+  checkb "pop none" true (Calendar.pop_min q = None);
+  checkb "peek none" true (Calendar.peek_min q = None);
+  Alcotest.check_raises "peek_min_exn empty"
+    (Invalid_argument "Calendar.peek_min_exn: empty") (fun () ->
+      ignore (Calendar.peek_min_exn q));
+  Alcotest.check_raises "negative key"
+    (Invalid_argument "Calendar.push: negative key") (fun () ->
+      Calendar.push q (-1, 0))
+
+let test_calendar_year_wrap () =
+  (* All pending events more than a year beyond the last pop: the scan
+     must fall through to the direct search rather than spin or return a
+     later-year element early. *)
+  let q = cal_create () in
+  Calendar.push q (1, 0);
+  ignore (Calendar.pop_min_exn q);
+  List.iter (Calendar.push q) [ (50_000_000, 1); (40_000_000, 2) ];
+  checkb "direct search min" true (Calendar.peek_min_exn q = (40_000_000, 2));
+  checkb "order across years" true
+    (cal_drain q = [ (40_000_000, 2); (50_000_000, 1) ])
+
+let test_calendar_filter () =
+  let q = cal_create () in
+  for s = 0 to 199 do
+    Calendar.push q (s * 10, s)
+  done;
+  Calendar.filter q (fun (_, s) -> s mod 2 = 0);
+  checki "kept" 100 (Calendar.length q);
+  checkb "survivors sorted" true
+    (cal_drain q = List.init 100 (fun i -> (20 * i, 2 * i)));
+  (* Filtering everything away leaves a working queue. *)
+  for s = 0 to 9 do
+    Calendar.push q (s, s)
+  done;
+  Calendar.filter q (fun _ -> false);
+  checkb "all dropped" true (Calendar.is_empty q);
+  Calendar.push q (7, 0);
+  checkb "usable after empty filter" true (Calendar.pop_min q = Some (7, 0))
+
+let test_calendar_resize () =
+  let q = cal_create () in
+  for s = 0 to 999 do
+    Calendar.push q (s * 1000, s)
+  done;
+  checkb "grew" true (Calendar.capacity q >= 512);
+  for _ = 1 to 950 do
+    ignore (Calendar.pop_min_exn q)
+  done;
+  checkb "shrank" true (Calendar.capacity q < 512);
+  checki "length" 50 (Calendar.length q);
+  checkb "remaining in order" true
+    (cal_drain q = List.init 50 (fun i -> ((950 + i) * 1000, 950 + i)))
+
+let test_calendar_interleaved_lower_key () =
+  (* Pushing below the last-popped key must lower the dequeue cursor. *)
+  let q = cal_create () in
+  List.iter (Calendar.push q) [ (100, 0); (200, 1) ];
+  checkb "first" true (Calendar.pop_min_exn q = (100, 0));
+  Calendar.push q (50, 2);
+  checkb "lower key surfaces" true (Calendar.pop_min_exn q = (50, 2));
+  checkb "then the rest" true (Calendar.pop_min_exn q = (200, 1))
+
+let prop_calendar_matches_heap =
+  QCheck.Test.make ~name:"calendar drains exactly like a heap" ~count:200
+    QCheck.(list (int_bound 100_000))
+    (fun keys ->
+      let q = cal_create () in
+      let h = Heap.create ~cmp:cal_cmp in
+      List.iteri
+        (fun s k ->
+          Calendar.push q (k, s);
+          Heap.push h (k, s))
+        keys;
+      let rec hdrain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> hdrain (x :: acc)
+      in
+      cal_drain q = hdrain [])
+
+(* ---------- heap / calendar dispatch equivalence ---------- *)
+
+(* Random interleavings of the whole Sim API, replayed on both backends:
+   the dispatch traces (instant, op id) must match event for event.
+   Driver events apply one op each; Burst + Bulk push the tombstone
+   population past the compaction threshold so the lazy-deletion sweep
+   runs under both backends. *)
+type sim_op =
+  | Sched of int  (* one-shot, ms after the driver fires *)
+  | Every of int  (* periodic, period in ms *)
+  | Cancel of int  (* cancel the (i mod n)-th handle issued so far *)
+  | Burst  (* 80 one-shots spread ahead, all handles retained *)
+  | Bulk  (* cancel every handle issued so far *)
+
+let sim_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map (fun ms -> Sched ms) (int_bound 1000));
+        (2, map (fun p -> Every (1 + p)) (int_bound 50));
+        (3, map (fun i -> Cancel i) (int_bound 1000));
+        (1, return Burst);
+        (1, return Bulk);
+      ])
+
+let pp_sim_op ppf = function
+  | Sched ms -> Format.fprintf ppf "Sched %d" ms
+  | Every p -> Format.fprintf ppf "Every %d" p
+  | Cancel i -> Format.fprintf ppf "Cancel %d" i
+  | Burst -> Format.fprintf ppf "Burst"
+  | Bulk -> Format.fprintf ppf "Bulk"
+
+let sim_op_arb =
+  QCheck.make
+    ~print:(Format.asprintf "%a" (Format.pp_print_list pp_sim_op))
+    QCheck.Gen.(list_size (1 -- 30) sim_op_gen)
+
+let run_ops backend ops =
+  let sim = Sim.create ~backend () in
+  let trace = ref [] in
+  let mark id () = trace := (Time.to_ns (Sim.now sim), id) :: !trace in
+  let handles = ref [] in
+  let keep h = handles := h :: !handles in
+  List.iteri
+    (fun i op ->
+      ignore
+        (Sim.schedule_at sim (Time.of_ms i) (fun () ->
+             match op with
+             | Sched ms ->
+                 keep (Sim.schedule_after sim (Time.span_of_ms ms) (mark i))
+             | Every p -> keep (Sim.every sim ~period:(Time.span_of_ms p) (mark i))
+             | Cancel k -> (
+                 match !handles with
+                 | [] -> ()
+                 | hs -> Sim.cancel sim (List.nth hs (k mod List.length hs)))
+             | Burst ->
+                 for j = 0 to 79 do
+                   keep
+                     (Sim.schedule_after sim
+                        (Time.span_of_ms (500 + j))
+                        (mark (1000 + (100 * i) + j)))
+                 done
+             | Bulk -> List.iter (Sim.cancel sim) !handles)))
+    ops;
+  Sim.run_until sim (Time.of_ms (List.length ops + 1500));
+  ( List.rev !trace,
+    Sim.events_dispatched sim,
+    Sim.live_pending sim,
+    Sim.max_live_pending sim )
+
+let prop_backends_equivalent =
+  QCheck.Test.make ~name:"heap and calendar dispatch identical traces"
+    ~count:100 sim_op_arb
+    (fun ops ->
+      run_ops Event_queue.Heap ops = run_ops Event_queue.Calendar ops)
 
 (* ---------- Prng ---------- *)
 
@@ -333,6 +518,39 @@ let test_sim_dispatched_counter () =
   Sim.run_until sim (Time.of_sec 100);
   checki "count" 7 (Sim.events_dispatched sim)
 
+let test_sim_live_pending () =
+  let sim = Sim.create () in
+  let hs = List.init 5 (fun i -> Sim.schedule_at sim (Time.of_sec (i + 1)) ignore) in
+  checki "pending" 5 (Sim.pending sim);
+  checki "live" 5 (Sim.live_pending sim);
+  checki "max live" 5 (Sim.max_live_pending sim);
+  Sim.cancel sim (List.hd hs);
+  Sim.cancel sim (List.nth hs 1);
+  (* Tombstones stay in the backing store but leave the live count. *)
+  checki "pending keeps tombstones" 5 (Sim.pending sim);
+  checki "live drops" 3 (Sim.live_pending sim);
+  checki "max live unchanged" 5 (Sim.max_live_pending sim);
+  Sim.run_until sim (Time.of_sec 10);
+  checki "fired" 3 (Sim.events_dispatched sim);
+  checki "live empty" 0 (Sim.live_pending sim)
+
+(* Pins the exact firing instants of a jittered timer for the default
+   seed: a regression guard on the displacement rounding (round to
+   nearest, not truncate toward zero) and on the PRNG stream layout. *)
+let test_sim_jitter_instants_pinned () =
+  let sim = Sim.create () in
+  let rng = Sim.rng sim ~label:"pin" in
+  let times = ref [] in
+  ignore
+    (Sim.every sim ~jitter:(rng, 0.25) ~period:(Time.span_of_sec 1) (fun () ->
+         times := Time.to_ns (Sim.now sim) :: !times));
+  Sim.run_until sim (Time.of_sec 5);
+  let actual =
+    String.concat "," (List.rev_map (Printf.sprintf "%d") !times)
+  in
+  check Alcotest.string "instants"
+    "796049439,1789207514,2874443051,3891631633,4812392220" actual
+
 let prop_sim_events_in_time_order =
   QCheck.Test.make ~name:"events dispatch in nondecreasing time order"
     ~count:100
@@ -427,6 +645,17 @@ let () =
           Alcotest.test_case "invalid" `Quick test_time_invalid;
           Alcotest.test_case "compare" `Quick test_time_compare;
         ] );
+      ( "calendar",
+        [
+          Alcotest.test_case "sorted drain" `Quick test_calendar_sorted_drain;
+          Alcotest.test_case "empty and errors" `Quick test_calendar_empty;
+          Alcotest.test_case "year wrap" `Quick test_calendar_year_wrap;
+          Alcotest.test_case "filter" `Quick test_calendar_filter;
+          Alcotest.test_case "resize" `Quick test_calendar_resize;
+          Alcotest.test_case "lower key after pop" `Quick
+            test_calendar_interleaved_lower_key;
+        ] );
+      qsuite "calendar-props" [ prop_calendar_matches_heap ];
       ( "heap",
         [
           Alcotest.test_case "sorted drain" `Quick test_heap_order;
@@ -463,10 +692,14 @@ let () =
           Alcotest.test_case "every start" `Quick test_sim_every_start;
           Alcotest.test_case "every jitter" `Quick test_sim_every_jitter;
           Alcotest.test_case "cancel compacts" `Quick test_sim_cancel_compacts;
+          Alcotest.test_case "live pending" `Quick test_sim_live_pending;
+          Alcotest.test_case "jitter instants pinned" `Quick
+            test_sim_jitter_instants_pinned;
           Alcotest.test_case "dispatch count" `Quick
             test_sim_dispatched_counter;
         ] );
-      qsuite "sim-props" [ prop_sim_events_in_time_order ];
+      qsuite "sim-props"
+        [ prop_sim_events_in_time_order; prop_backends_equivalent ];
       ( "stats",
         [
           Alcotest.test_case "basic" `Quick test_stats_basic;

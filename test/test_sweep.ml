@@ -1,0 +1,96 @@
+(* Tests for the parallel sweep runner: results must be identical to the
+   sequential run — same values, same order — for any job count, and
+   real scenario sweeps must not depend on how many domains ran them. *)
+
+module Time = Engine.Time
+module Sweep = Scenarios.Sweep
+module Figures = Scenarios.Figures
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+
+let test_cores () = checkb "at least one core" true (Sweep.cores () >= 1)
+
+let test_empty_and_singleton () =
+  checkb "empty" true (Sweep.run ~jobs:4 (fun x -> x * 2) [] = []);
+  checkb "singleton" true (Sweep.run ~jobs:4 (fun x -> x * 2) [ 21 ] = [ 42 ])
+
+let test_invalid_jobs () =
+  Alcotest.check_raises "jobs < 1" (Invalid_argument "Sweep.map: jobs < 1")
+    (fun () -> ignore (Sweep.map ~jobs:0 (fun _ x -> x) [ 1; 2 ]))
+
+(* A little CPU-bound work per item, so parallel runs genuinely
+   interleave rather than finishing before the spawns are up. *)
+let crunch x =
+  let acc = ref x in
+  for i = 1 to 50_000 do
+    acc := (!acc * 31) + i
+  done;
+  !acc
+
+let test_jobs_deterministic () =
+  let items = List.init 64 (fun i -> i) in
+  let sequential = List.map crunch items in
+  List.iter
+    (fun jobs ->
+      checkb
+        (Printf.sprintf "jobs %d matches sequential" jobs)
+        true
+        (Sweep.run ~jobs crunch items = sequential))
+    [ 1; 2; 8 ]
+
+let test_map_passes_index () =
+  let got = Sweep.map ~jobs:4 (fun i x -> (i, x)) [ "a"; "b"; "c"; "d" ] in
+  checkb "indices in order" true
+    (got = [ (0, "a"); (1, "b"); (2, "c"); (3, "d") ])
+
+exception Boom of int
+
+let test_exception_propagates () =
+  let done_flags = Array.make 8 false in
+  let f i x =
+    if i = 3 then raise (Boom x);
+    done_flags.(i) <- true;
+    x
+  in
+  (try
+     ignore (Sweep.map ~jobs:2 f (List.init 8 (fun i -> 10 * i)));
+     Alcotest.fail "expected Boom"
+   with Boom v -> checki "failing item's payload" 30 v);
+  (* The sweep finishes the remaining items before re-raising. *)
+  List.iter
+    (fun i -> checkb (Printf.sprintf "item %d completed" i) true done_flags.(i))
+    [ 0; 1; 2; 4; 5; 6; 7 ]
+
+(* An actual scenario sweep: Fig. 7's rows computed with 1, 2 and 8
+   domains must be byte-for-byte the rows of the sequential run. Short
+   duration — this is about scheduling, not about the figures. *)
+let test_fig7_jobs_invariant () =
+  let fig jobs =
+    Figures.fig7 ~duration:(Time.of_sec 60) ~session_counts:[ 1; 2; 4 ] ~jobs
+      ()
+    |> List.map (Format.asprintf "%a" Figures.pp_stability_row)
+  in
+  let sequential = fig 1 in
+  checkb "jobs 2" true (fig 2 = sequential);
+  checkb "jobs 8" true (fig 8 = sequential)
+
+let () =
+  Alcotest.run "sweep"
+    [
+      ( "sweep",
+        [
+          Alcotest.test_case "cores" `Quick test_cores;
+          Alcotest.test_case "empty and singleton" `Quick
+            test_empty_and_singleton;
+          Alcotest.test_case "invalid jobs" `Quick test_invalid_jobs;
+          Alcotest.test_case "jobs deterministic" `Quick
+            test_jobs_deterministic;
+          Alcotest.test_case "map passes index" `Quick test_map_passes_index;
+          Alcotest.test_case "exceptions propagate" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "fig7 invariant under jobs" `Quick
+            test_fig7_jobs_invariant;
+        ] );
+    ]
