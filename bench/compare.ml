@@ -1,0 +1,186 @@
+(* Compare two bench-trajectory files (BENCH_*.json) row by row, so a
+   regression is visible without manually diffing JSON:
+
+     dune exec bench/compare.exe -- BENCH_pr4.json BENCH_pr5.json
+
+   prints, for every scenario present in both files, the wall-time
+   speedup and the change in allocation pressure. An assertion mode
+   backs the CI smoke check:
+
+     dune exec bench/compare.exe -- --assert-major-le engine-cancel-churn=18 BENCH_pr5.json
+
+   exits non-zero if the named row reports more major collections than
+   the bound.
+
+   The parser is deliberately minimal: the emitter writes one scenario
+   object per line with flat ["key": value] pairs, and this reads
+   exactly that shape (it is not a general JSON parser). Older
+   BENCH_*.json generations lack some fields; those read as absent and
+   the affected columns print as "-". *)
+
+type row = {
+  name : string;
+  fields : (string * float) list;  (* numeric fields, in file order *)
+}
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+(* ["key": <string-or-number>] scanner over one scenario line. *)
+let parse_row line =
+  let n = String.length line in
+  let name = ref None and fields = ref [] in
+  let i = ref 0 in
+  (try
+     while !i < n do
+       let kq0 = String.index_from line !i '"' in
+       let kq1 = String.index_from line (kq0 + 1) '"' in
+       let key = String.sub line (kq0 + 1) (kq1 - kq0 - 1) in
+       let colon = String.index_from line kq1 ':' in
+       let vstart = ref (colon + 1) in
+       while !vstart < n && line.[!vstart] = ' ' do incr vstart done;
+       if !vstart >= n then raise Not_found;
+       if line.[!vstart] = '"' then begin
+         let vq1 = String.index_from line (!vstart + 1) '"' in
+         let v = String.sub line (!vstart + 1) (vq1 - !vstart - 1) in
+         if key = "name" then name := Some v;
+         i := vq1 + 1
+       end
+       else begin
+         let vend = ref !vstart in
+         while
+           !vend < n
+           && (match line.[!vend] with
+              | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+              | _ -> false)
+         do
+           incr vend
+         done;
+         (match
+            float_of_string_opt (String.sub line !vstart (!vend - !vstart))
+          with
+         | Some v -> fields := (key, v) :: !fields
+         | None -> ());
+         i := !vend
+       end
+     done
+   with Not_found -> ());
+  match !name with
+  | Some name -> Some { name; fields = List.rev !fields }
+  | None -> None
+
+let load path =
+  read_lines path
+  |> List.filter_map (fun line ->
+         if Option.is_some (String.index_opt line '{') then parse_row line
+         else None)
+
+let field r key = List.assoc_opt key r.fields
+
+(* Derivable even from files that predate the explicit column. *)
+let alloc_per_event r =
+  match field r "alloc_per_event" with
+  | Some v -> Some v
+  | None -> (
+      match (field r "minor_words", field r "major_words", field r "events") with
+      | Some mi, Some ma, Some ev when ev > 0.0 -> Some ((mi +. ma) /. ev)
+      | _ -> None)
+
+let pp_opt fmt = function
+  | Some v -> Printf.sprintf fmt v
+  | None -> "-"
+
+let pp_ratio old_v new_v =
+  match (old_v, new_v) with
+  | Some o, Some n when n > 0.0 -> Printf.sprintf "%.2fx" (o /. n)
+  | _ -> "-"
+
+let pp_delta_pct old_v new_v =
+  match (old_v, new_v) with
+  | Some o, Some n when o > 0.0 -> Printf.sprintf "%+.1f%%" (100.0 *. (n -. o) /. o)
+  | _ -> "-"
+
+let compare_files old_path new_path =
+  let old_rows = load old_path and new_rows = load new_path in
+  Printf.printf "%-30s %10s %10s %8s %12s %12s %8s %12s\n" "scenario"
+    ("wall(" ^ Filename.basename old_path ^ ")")
+    "wall(new)" "speedup" "minor_words" "major_words" "majors" "w/event";
+  let missing = ref [] in
+  List.iter
+    (fun o ->
+      match List.find_opt (fun n -> n.name = o.name) new_rows with
+      | None -> missing := o.name :: !missing
+      | Some nw ->
+          Printf.printf "%-30s %10s %10s %8s %12s %12s %8s %12s\n" o.name
+            (pp_opt "%.3f" (field o "wall_seconds"))
+            (pp_opt "%.3f" (field nw "wall_seconds"))
+            (pp_ratio (field o "wall_seconds") (field nw "wall_seconds"))
+            (pp_delta_pct (field o "minor_words") (field nw "minor_words"))
+            (pp_delta_pct (field o "major_words") (field nw "major_words"))
+            (Printf.sprintf "%s->%s"
+               (pp_opt "%.0f" (field o "major_collections"))
+               (pp_opt "%.0f" (field nw "major_collections")))
+            (pp_delta_pct (alloc_per_event o) (alloc_per_event nw)))
+    old_rows;
+  List.iter
+    (fun n ->
+      if not (List.exists (fun o -> o.name = n.name) old_rows) then
+        Printf.printf "%-30s (new row, no baseline)\n" n.name)
+    new_rows;
+  List.iter
+    (fun name -> Printf.printf "%-30s (dropped: not in %s)\n" name new_path)
+    (List.rev !missing)
+
+let assert_major_le spec path =
+  match String.index_opt spec '=' with
+  | None ->
+      prerr_endline "--assert-major-le expects ROW=BOUND";
+      exit 2
+  | Some eq ->
+      let row_name = String.sub spec 0 eq in
+      let bound =
+        match
+          int_of_string_opt
+            (String.sub spec (eq + 1) (String.length spec - eq - 1))
+        with
+        | Some b -> b
+        | None ->
+            prerr_endline "--assert-major-le expects an integer bound";
+            exit 2
+      in
+      let rows = load path in
+      (match List.find_opt (fun r -> r.name = row_name) rows with
+      | None ->
+          Printf.eprintf "row %S not found in %s\n" row_name path;
+          exit 1
+      | Some r -> (
+          match field r "major_collections" with
+          | None ->
+              Printf.eprintf "row %S has no major_collections field\n" row_name;
+              exit 1
+          | Some v when int_of_float v > bound ->
+              Printf.eprintf
+                "FAIL: %s major_collections = %.0f > allowed %d (%s)\n"
+                row_name v bound path;
+              exit 1
+          | Some v ->
+              Printf.printf "OK: %s major_collections = %.0f <= %d\n" row_name
+                v bound))
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; "--assert-major-le"; spec; path ] -> assert_major_le spec path
+  | [ _; old_path; new_path ] -> compare_files old_path new_path
+  | _ ->
+      prerr_endline
+        "usage: compare OLD.json NEW.json\n\
+        \       compare --assert-major-le ROW=BOUND FILE.json";
+      exit 2

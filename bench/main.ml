@@ -397,9 +397,10 @@ let run_ablations () =
 
 (* ---------- bench trajectory (BENCH_*.json) ---------- *)
 
-(* Macro throughput numbers for the hot path, written to BENCH_pr4.json
+(* Macro throughput numbers for the hot path, written to BENCH_pr5.json
    so successive PRs can compare events/sec and packets/sec on fixed
-   scenarios. Runs alone (fast) with BENCH_SMOKE=1 or --trajectory. *)
+   scenarios (diff two files with bench/compare.exe). Runs alone (fast)
+   with BENCH_SMOKE=1 or --trajectory. *)
 
 type bench_row = {
   bname : string;
@@ -560,9 +561,17 @@ let engine_churn_row ?backend ~name ~sim_s () =
     major_cols = gc.major_cols;
   }
 
+(* Derived allocation-pressure metric: total words allocated (minor +
+   major-only allocations) per event dispatched. The hot-path work of
+   this PR shows up here: a steady-state event that allocates nothing
+   drives the quotient toward the per-packet floor. *)
+let alloc_per_event r =
+  if r.events = 0 then 0.0
+  else (r.minor_words +. r.major_words) /. float_of_int r.events
+
 let emit_bench_json ~path rows =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n  \"bench\": \"pr4\",\n";
+  Buffer.add_string buf "{\n  \"bench\": \"pr5\",\n";
   Printf.bprintf buf "  \"mode\": \"%s\",\n"
     (if full then "full" else "quick");
   Printf.bprintf buf "  \"scheduler\": \"%s\",\n"
@@ -577,12 +586,14 @@ let emit_bench_json ~path rows =
          %.3f, \"events\": %d, \"events_per_sec\": %.0f, \
          \"packets_forwarded\": %d, \"packets_per_sec\": %.0f, \
          \"peak_heap\": %d, \"peak_live\": %d, \"minor_words\": %.0f, \
-         \"major_words\": %.0f, \"major_collections\": %d}%s\n"
+         \"major_words\": %.0f, \"major_collections\": %d, \
+         \"alloc_per_event\": %.2f}%s\n"
         r.bname r.sim_s r.wall_s r.events
         (float_of_int r.events /. r.wall_s)
         r.packets
         (float_of_int r.packets /. r.wall_s)
         r.peak_heap r.peak_live r.minor_words r.major_words r.major_cols
+        (alloc_per_event r)
         (if i = n - 1 then "" else ","))
     rows;
   Buffer.add_string buf "  ]\n}\n";
@@ -646,17 +657,17 @@ let run_trajectory () =
     (fun r ->
       Format.printf
         "%-28s %6.1f sim-s in %6.2f s — %9.0f events/s, %8.0f packets/s, \
-         peak heap %d, live %d, GC %.1f/%.1f Mw, %d major@."
+         peak heap %d, live %d, GC %.1f/%.1f Mw, %d major, %.1f w/event@."
         r.bname r.sim_s r.wall_s
         (float_of_int r.events /. r.wall_s)
         (float_of_int r.packets /. r.wall_s)
         r.peak_heap r.peak_live
         (r.minor_words /. 1e6)
         (r.major_words /. 1e6)
-        r.major_cols)
+        r.major_cols (alloc_per_event r))
     rows;
   let path =
-    Option.value ~default:"BENCH_pr4.json" (Sys.getenv_opt "BENCH_OUT")
+    Option.value ~default:"BENCH_pr5.json" (Sys.getenv_opt "BENCH_OUT")
   in
   emit_bench_json ~path rows;
   Format.printf "wrote %s@." path

@@ -154,6 +154,16 @@ let vec_iter f v =
     f v.data.(v.start + i)
   done
 
+(* Empty the vector for parking in the spare generation, keeping its
+   capacity: the backing array is scrubbed to [dummy] (retains nothing —
+   the sentinel is shared), so a recycled bucket starts with whatever
+   room its previous life grew, and the rebuild's tail appends skip the
+   4-8-16 regrowth ladder. *)
+let vec_reset dummy v =
+  v.start <- 0;
+  v.len <- 0;
+  Array.fill v.data 0 (Array.length v.data) dummy
+
 (* ---------- the calendar ---------- *)
 
 type 'a t = {
@@ -165,7 +175,26 @@ type 'a t = {
   mutable size : int;
   mutable lastkey : int;  (* lower bound on every pending key *)
   mutable head : 'a option;  (* cached minimum, so peek-then-pop scans once *)
+  mutable spares : 'a vec array array;
+      (* Retired bucket generations, scrubbed and parked one per size
+         class (slot = log2 of the bucket count, [||] = empty slot).
+         Grows jump x8 (the trigger fires at size = 2n+1, wanting
+         next_pow2 (4n+2)) while shrinks step x2, so consecutive resizes
+         never want the length just retired — but an oscillating
+         population revisits the same size classes cycle after cycle,
+         and parking each class separately turns that steady churn of
+         resizes from fresh [Array.make]s into pointer swaps (with every
+         per-bucket capacity grown in a previous life kept). *)
+  mutable recycled : int;  (* resizes served from [spares]; telemetry/tests *)
 }
+
+(* Size classes are powers of two from 2 up to next_pow2 (2 * max_size):
+   62 slots over-covers any int-indexed population. *)
+let spare_slots = 62
+
+let log2i n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
 
 let create ~cmp ~key ~dummy =
   {
@@ -177,11 +206,14 @@ let create ~cmp ~key ~dummy =
     size = 0;
     lastkey = 0;
     head = None;
+    spares = Array.make spare_slots [||];
+    recycled = 0;
   }
 
 let length t = t.size
 let is_empty t = t.size = 0
 let capacity t = Array.length t.buckets
+let recycled t = t.recycled
 
 let bucket_of t k = k / t.width land (Array.length t.buckets - 1)
 
@@ -241,7 +273,21 @@ let resize t =
   Array.sort t.cmp sorted;
   t.width <- width_for t sorted;
   let nbuckets = next_pow2 (max 2 (2 * t.size)) in
-  t.buckets <- Array.init nbuckets (fun _ -> vec_make ());
+  let retired = t.buckets in
+  let slot = log2i nbuckets in
+  t.buckets <-
+    (if Array.length t.spares.(slot) = nbuckets then begin
+       t.recycled <- t.recycled + 1;
+       let b = t.spares.(slot) in
+       t.spares.(slot) <- [||];
+       b
+     end
+     else Array.init nbuckets (fun _ -> vec_make ()));
+  (* Scrub at retirement, not at reuse: a parked generation must not
+     keep the current events (and the packets their thunks capture)
+     alive behind the collector's back. *)
+  Array.iter (vec_reset t.dummy) retired;
+  t.spares.(log2i (Array.length retired)) <- retired;
   (* Ascending order makes every insert a tail append: O(n) rebuild. *)
   Array.iter
     (fun x -> vec_insert t.dummy t.cmp t.buckets.(bucket_of t (t.key x)) x)
@@ -339,7 +385,8 @@ let clear t =
   t.width <- 1;
   t.size <- 0;
   t.lastkey <- 0;
-  t.head <- None
+  t.head <- None;
+  Array.fill t.spares 0 spare_slots [||]
 
 let to_list t =
   let acc = ref [] in

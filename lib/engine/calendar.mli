@@ -49,6 +49,13 @@ val capacity : 'a t -> int
 (** Number of buckets in the backing array; for tests of the resize
     policy. *)
 
+val recycled : 'a t -> int
+(** Number of resizes served from a parked (retired, scrubbed) bucket
+    generation instead of allocating fresh arrays. Retired generations
+    are kept one per size class, so an oscillating population that
+    revisits the same bucket counts recycles on every cycle after the
+    first; for tests and telemetry. *)
+
 val clear : 'a t -> unit
 
 val to_list : 'a t -> 'a list

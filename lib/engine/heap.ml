@@ -44,34 +44,50 @@ let maybe_shrink h =
     end
   end
 
-let rec sift_up h i =
-  if i > 0 then begin
+(* Sifts carry the displaced element in a register ("hole" technique):
+   one store per level instead of a three-store swap. The unsafe
+   accesses are bounds-proven — every index is < size <= capacity.
+   Elements are totally ordered (the simulator's (time, seq) keys are
+   unique), so tie-breaking differences against the textbook
+   swap-based sift cannot arise. *)
+let rec sift_hole_up h x i =
+  if i = 0 then Array.unsafe_set h.data 0 x
+  else begin
     let parent = (i - 1) / 2 in
-    if h.cmp h.data.(i) h.data.(parent) < 0 then begin
-      let tmp = h.data.(i) in
-      h.data.(i) <- h.data.(parent);
-      h.data.(parent) <- tmp;
-      sift_up h parent
+    let p = Array.unsafe_get h.data parent in
+    if h.cmp x p < 0 then begin
+      Array.unsafe_set h.data i p;
+      sift_hole_up h x parent
     end
+    else Array.unsafe_set h.data i x
   end
 
-let rec sift_down h i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < h.size && h.cmp h.data.(l) h.data.(!smallest) < 0 then smallest := l;
-  if r < h.size && h.cmp h.data.(r) h.data.(!smallest) < 0 then smallest := r;
-  if !smallest <> i then begin
-    let tmp = h.data.(i) in
-    h.data.(i) <- h.data.(!smallest);
-    h.data.(!smallest) <- tmp;
-    sift_down h !smallest
+let rec sift_hole_down h x i =
+  let l = (2 * i) + 1 in
+  if l >= h.size then Array.unsafe_set h.data i x
+  else begin
+    let r = l + 1 in
+    let c =
+      if
+        r < h.size
+        && h.cmp (Array.unsafe_get h.data r) (Array.unsafe_get h.data l) < 0
+      then r
+      else l
+    in
+    let cx = Array.unsafe_get h.data c in
+    if h.cmp cx x < 0 then begin
+      Array.unsafe_set h.data i cx;
+      sift_hole_down h x c
+    end
+    else Array.unsafe_set h.data i x
   end
+
+let sift_down h i = sift_hole_down h h.data.(i) i
 
 let push h x =
   grow h x;
-  h.data.(h.size) <- x;
   h.size <- h.size + 1;
-  sift_up h (h.size - 1)
+  sift_hole_up h x (h.size - 1)
 
 let peek h = if h.size = 0 then None else Some h.data.(0)
 
@@ -86,12 +102,10 @@ let pop_exn h =
   let root = h.data.(0) in
   h.size <- h.size - 1;
   if h.size > 0 then begin
-    h.data.(0) <- h.data.(h.size);
-    (* The last slot now aliases the new root; overwrite it so the
-       moved element is not retained twice and the popped root not at
-       all. *)
-    h.data.(h.size) <- h.data.(0);
-    sift_down h 0
+    (* The vacated slot keeps aliasing the element being re-sifted
+       (live wherever it lands), so the popped root is not retained. *)
+    let last = h.data.(h.size) in
+    sift_hole_down h last 0
   end
   else h.data <- [||];
   maybe_shrink h;

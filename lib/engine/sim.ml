@@ -1,8 +1,12 @@
 type event = {
-  at : Time.t;
-  seq : int;
+  mutable at : Time.t;
+  mutable seq : int;
   thunk : unit -> unit;
   mutable cancelled : bool;
+  mutable queued : bool;
+      (* Physically present in the pending queue (live or tombstoned).
+         Cleared at dispatch and by the compaction sweep, so a reusable
+         timer knows whether its record can be re-armed in place. *)
   mutable successor : event option;
       (* A periodic chain's handle cell points at its currently armed
          event, so cancelling the handle marks the in-heap event itself —
@@ -10,6 +14,15 @@ type event = {
 }
 
 type handle = H : event -> handle [@@unboxed]
+
+type timer = { mutable cur : event }
+(* A reusable timer wraps one preallocated event record (and the user
+   callback, allocated once at [timer] creation). Re-arming after the
+   event fired mutates the record in place — the steady-state path
+   allocates nothing. Re-arming while the record is still physically
+   queued (a pending arm being superseded, or a disarm tombstone awaiting
+   its sweep) tombstones the old record and installs a fresh one, which
+   is exactly [cancel] + [schedule_after]. *)
 
 (* The pending-event store, behind the Event_queue.S contract. A direct
    variant (rather than a packed first-class module) keeps the default
@@ -47,7 +60,7 @@ let create ?(seed = 42L) ?backend () =
            dead bucket slots without retaining real events. *)
         let dummy =
           { at = Time.zero; seq = -1; thunk = ignore; cancelled = true;
-            successor = None }
+            queued = false; successor = None }
         in
         Q_calendar (Calendar.create ~cmp:cmp_event ~key:key_event ~dummy)
   in
@@ -97,18 +110,25 @@ let now t = t.clock
 
 let rng t ~label = Prng.split t.root_rng ~label
 
+(* High-water marks, updated after every push. *)
+let note_pushed t =
+  let len = q_length t in
+  if len > t.max_pending then t.max_pending <- len;
+  let live = len - t.cancelled_pending in
+  if live > t.max_live_pending then t.max_live_pending <- live
+
 let schedule_event t at thunk =
   if Time.(at < t.clock) then
     invalid_arg
       (Format.asprintf "Sim.schedule_at: %a is before now (%a)" Time.pp at
          Time.pp t.clock);
-  let ev = { at; seq = t.next_seq; thunk; cancelled = false; successor = None } in
+  let ev =
+    { at; seq = t.next_seq; thunk; cancelled = false; queued = true;
+      successor = None }
+  in
   t.next_seq <- t.next_seq + 1;
   q_push t ev;
-  let len = q_length t in
-  if len > t.max_pending then t.max_pending <- len;
-  let live = len - t.cancelled_pending in
-  if live > t.max_live_pending then t.max_live_pending <- live;
+  note_pushed t;
   ev
 
 let schedule_at t at thunk = H (schedule_event t at thunk)
@@ -134,24 +154,81 @@ let rec mark_cancelled t ev =
   tombstone t ev;
   match ev.successor with None -> () | Some s -> mark_cancelled t s
 
-let cancel t (H ev) =
-  mark_cancelled t ev;
+let maybe_compact t =
   if
     t.cancelled_pending > compact_threshold
     && 2 * t.cancelled_pending > q_length t
   then begin
-    q_filter t (fun e -> not e.cancelled);
+    q_filter t (fun e ->
+        if e.cancelled then begin
+          (* The record leaves the backing store here, not at dispatch:
+             without this a disarmed reusable timer could never be
+             re-armed in place again. *)
+          e.queued <- false;
+          false
+        end
+        else true);
     t.cancelled_pending <- 0
   end
 
-(* A periodic task is a chain of events; the handle must outlive each link,
-   so it wraps a forwarding cell whose [successor] always points at the
-   currently armed link. *)
+let cancel t (H ev) =
+  mark_cancelled t ev;
+  maybe_compact t
+
+(* ---------- reusable timers ---------- *)
+
+let timer _t f =
+  {
+    cur =
+      { at = Time.zero; seq = 0; thunk = f; cancelled = true; queued = false;
+        successor = None };
+  }
+
+let arm_at t tm at =
+  if Time.(at < t.clock) then
+    invalid_arg
+      (Format.asprintf "Sim.arm_at: %a is before now (%a)" Time.pp at Time.pp
+         t.clock);
+  let ev = tm.cur in
+  let ev =
+    if ev.queued then begin
+      (* Superseding a pending arm (or a disarm tombstone still awaiting
+         its sweep): behave exactly like [cancel] + a fresh schedule. *)
+      tombstone t ev;
+      maybe_compact t;
+      let e =
+        { at; seq = t.next_seq; thunk = ev.thunk; cancelled = false;
+          queued = true; successor = None }
+      in
+      tm.cur <- e;
+      e
+    end
+    else begin
+      ev.at <- at;
+      ev.seq <- t.next_seq;
+      ev.cancelled <- false;
+      ev.queued <- true;
+      ev
+    end
+  in
+  t.next_seq <- t.next_seq + 1;
+  q_push t ev;
+  note_pushed t
+
+let arm_after t tm span = arm_at t tm (Time.add t.clock span)
+
+let disarm t tm = cancel t (H tm.cur)
+
+(* A periodic task reuses one timer: the tick closure and the event
+   record are allocated once, and each firing re-arms the record in
+   place. The handle must still outlive the task, so it wraps a
+   forwarding cell whose [successor] points at the timer's record. *)
 let every t ?start ?jitter ~period f =
   if period <= 0 then invalid_arg "Sim.every: period <= 0";
   let first = match start with Some s -> s | None -> Time.add t.clock period in
   let cell =
-    { at = first; seq = -1; thunk = ignore; cancelled = false; successor = None }
+    { at = first; seq = -1; thunk = ignore; cancelled = false; queued = false;
+      successor = None }
   in
   let displaced base =
     match jitter with
@@ -164,21 +241,31 @@ let every t ?start ?jitter ~period f =
         let ns = Time.to_ns base + int_of_float (Float.round (d *. 1e9)) in
         Time.of_ns (Stdlib.max (Time.to_ns t.clock) ns)
   in
-  let rec arm at =
-    let ev =
-      schedule_event t (displaced at) (fun () ->
-          f ();
-          if not cell.cancelled then arm (Time.add at period))
-    in
-    cell.successor <- Some ev;
-    (* Forward a cancellation that raced the re-arm. *)
-    if cell.cancelled then tombstone t ev
+  let nominal = ref first in
+  let rec tick () =
+    f ();
+    if not cell.cancelled then begin
+      nominal := Time.add !nominal period;
+      arm_at t tm (displaced !nominal);
+      cell.successor <- Some tm.cur;
+      (* Forward a cancellation that raced the re-arm. *)
+      if cell.cancelled then tombstone t tm.cur
+    end
+  and tm =
+    {
+      cur =
+        { at = first; seq = 0; thunk = tick; cancelled = true; queued = false;
+          successor = None };
+    }
   in
-  arm first;
+  arm_at t tm (displaced first);
+  cell.successor <- Some tm.cur;
+  if cell.cancelled then tombstone t tm.cur;
   H cell
 
 let dispatch t ev =
   t.clock <- ev.at;
+  ev.queued <- false;
   if ev.cancelled then t.cancelled_pending <- max 0 (t.cancelled_pending - 1)
   else begin
     t.dispatched <- t.dispatched + 1;

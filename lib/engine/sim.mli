@@ -48,6 +48,31 @@ val cancel : t -> handle -> unit
 (** Cancel a pending event. Cancelling an already-fired or already-cancelled
     event is a no-op. *)
 
+type timer
+(** A reusable one-shot timer: the event record and the callback are
+    allocated once, at {!timer} creation, and re-armed in place — the
+    steady-state arm/fire cycle allocates nothing. The ns-style
+    counterpart of reusable [Event] objects. *)
+
+val timer : t -> (unit -> unit) -> timer
+(** [timer sim f] is a disarmed timer that runs [f] each time it fires.
+    Create once per recurring concern (a link's serializer, a source's
+    emit loop), then {!arm_after} from the callback to repeat. *)
+
+val arm_at : t -> timer -> Time.t -> unit
+(** Arm the timer to fire at an absolute instant. Arming a timer that is
+    already armed supersedes the pending firing (equivalent to {!cancel}
+    followed by a fresh schedule, including its effect on the dispatch
+    counters and tombstone population).
+    @raise Invalid_argument if the instant is in the past. *)
+
+val arm_after : t -> timer -> Time.span -> unit
+(** Arm the timer to fire [span] after the current time. *)
+
+val disarm : t -> timer -> unit
+(** Cancel the pending firing, if any. Disarming an unarmed timer is a
+    no-op. The timer can be re-armed afterwards. *)
+
 val every :
   t -> ?start:Time.t -> ?jitter:(Prng.t * float) -> period:Time.span ->
   (unit -> unit) -> handle

@@ -12,10 +12,15 @@ let of_us n = of_ns (n * 1_000)
 let of_ms n = of_ns (n * 1_000_000)
 let of_sec n = of_ns (n * 1_000_000_000)
 
-let of_sec_f s =
+(* [of_sec_f] and [span_of_sec_f] share one body: both round a
+   non-negative float of seconds to integer nanoseconds. The argument
+   name in the error message is the only per-caller difference. *)
+let ns_of_sec_f ~what s =
   if not (Float.is_finite s) || s < 0.0 then
-    invalid_arg "Time.of_sec_f: negative or non-finite";
+    invalid_arg (what ^ ": negative or non-finite");
   int_of_float (Float.round (s *. 1e9))
+
+let of_sec_f s = ns_of_sec_f ~what:"Time.of_sec_f" s
 
 let to_ns t = t
 let to_sec_f t = float_of_int t /. 1e9
@@ -26,10 +31,12 @@ let add t d =
 
 let diff a b = a - b
 
-let span_of_sec_f s =
-  if not (Float.is_finite s) || s < 0.0 then
-    invalid_arg "Time.span_of_sec_f: negative or non-finite";
-  int_of_float (Float.round (s *. 1e9))
+let span_of_sec_f s = ns_of_sec_f ~what:"Time.span_of_sec_f" s
+
+let mul_span d n =
+  if d < 0 then invalid_arg "Time.mul_span: negative span";
+  if n < 0 then invalid_arg "Time.mul_span: negative factor";
+  d * n
 
 let span_of_ms n =
   if n < 0 then invalid_arg "Time.span_of_ms: negative";

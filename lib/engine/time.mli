@@ -45,6 +45,12 @@ val span_of_ms : int -> span
 val span_of_sec : int -> span
 val span_to_sec_f : span -> float
 
+val mul_span : span -> int -> span
+(** [mul_span d n] is [n] repetitions of [d], exactly — no float
+    round-trip, so [add t (mul_span d n)] lands on the same nanosecond
+    as [n] successive [add]s.
+    @raise Invalid_argument if [d] or [n] is negative. *)
+
 val compare : t -> t -> int
 val equal : t -> t -> bool
 val ( <= ) : t -> t -> bool

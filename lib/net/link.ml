@@ -1,6 +1,40 @@
 module Sim = Engine.Sim
 module Time = Engine.Time
 
+(* Placeholder for the empty slot of a released cell: a released cell
+   must not keep the last real packet (and its payload) alive. Shared
+   and immutable, so it costs nothing. *)
+let dummy_packet : Packet.t =
+  {
+    id = -1;
+    src = 0;
+    dst = Addr.Unicast 0;
+    size = 0;
+    payload = Packet.Data { session = -1; layer = -1; seq = -1 };
+    sent_at = Time.zero;
+  }
+
+let no_deliver (_ : Packet.t) = failwith "Link: deliver callback not installed"
+
+type stage = Ser | Prop
+
+(* One in-flight transmission. The cell carries the per-hop state the
+   old implementation packed into two closures (serialization, then
+   propagation): the packet, the epoch at which it entered service, and
+   which leg it is on. Its reusable timer is created once, when the cell
+   first enters the pool, so a steady-state hop allocates nothing — the
+   cell flips from [Ser] to [Prop] in place and re-arms the same event
+   record. Cells are recycled through a free list; the pool only grows
+   when the number of simultaneously in-flight packets on this link
+   exceeds its previous maximum. *)
+type cell = {
+  mutable pkt : Packet.t;
+  mutable cepoch : int;
+  mutable stage : stage;
+  mutable tmr : Sim.timer;
+  mutable next_free : cell option;
+}
+
 type t = {
   sim : Sim.t;
   src : Addr.node_id;
@@ -8,13 +42,15 @@ type t = {
   bandwidth_bps : float;
   prop_delay : Time.span;
   queue : Queue_discipline.t;
-  mutable deliver : (Packet.t -> unit) option;
+  mutable deliver : Packet.t -> unit;
   mutable busy : bool;
   mutable up : bool;
-  (* Bumped on every failure; in-flight serialization and propagation
-     events capture the epoch at which they were scheduled and become
-     no-ops (counted as fault drops) if the link failed meanwhile. *)
+  (* Bumped on every failure; in-flight cells hold the epoch at which
+     they were armed and become no-ops (counted as fault drops for the
+     propagation leg) if the link failed meanwhile. *)
   mutable epoch : int;
+  mutable free : cell option;
+  mutable pool_cells : int;  (* cells ever created; for tests of reuse *)
   mutable tx_packets : int;
   mutable tx_bytes : int;
   mutable fault_drops : int;
@@ -34,10 +70,12 @@ let create ~sim ~src ~dst ~bandwidth_bps ~prop_delay ~queue =
     bandwidth_bps;
     prop_delay;
     queue;
-    deliver = None;
+    deliver = no_deliver;
     busy = false;
     up = true;
     epoch = 0;
+    free = None;
+    pool_cells = 0;
     tx_packets = 0;
     tx_bytes = 0;
     fault_drops = 0;
@@ -45,7 +83,7 @@ let create ~sim ~src ~dst ~bandwidth_bps ~prop_delay ~queue =
     ser_span = Time.span_of_sec 0;
   }
 
-let set_deliver t f = t.deliver <- Some f
+let set_deliver t f = t.deliver <- f
 
 let serialization_span t (pkt : Packet.t) =
   if pkt.size <> t.ser_size then begin
@@ -55,32 +93,59 @@ let serialization_span t (pkt : Packet.t) =
   end;
   t.ser_span
 
-let rec transmit t (pkt : Packet.t) =
+let release t c =
+  c.pkt <- dummy_packet;
+  c.next_free <- t.free;
+  t.free <- Some c
+
+let rec acquire t =
+  match t.free with
+  | Some c ->
+      t.free <- c.next_free;
+      c.next_free <- None;
+      c
+  | None ->
+      let c =
+        { pkt = dummy_packet; cepoch = 0; stage = Ser;
+          tmr = Sim.timer t.sim ignore; next_free = None }
+      in
+      c.tmr <- Sim.timer t.sim (fun () -> fire t c);
+      t.pool_cells <- t.pool_cells + 1;
+      c
+
+and transmit t (pkt : Packet.t) =
   t.busy <- true;
-  let ser = serialization_span t pkt in
-  let epoch = t.epoch in
-  ignore
-    (Sim.schedule_after t.sim ser (fun () ->
-         if t.epoch <> epoch then
-           (* The link failed mid-serialization; the packet (already
-              counted lost by [set_up]) and this event are void. *)
-           ()
-         else begin
-           t.tx_packets <- t.tx_packets + 1;
-           t.tx_bytes <- t.tx_bytes + pkt.size;
-           let deliver =
-             match t.deliver with
-             | Some f -> f
-             | None -> failwith "Link: deliver callback not installed"
-           in
-           ignore
-             (Sim.schedule_after t.sim t.prop_delay (fun () ->
-                  if t.epoch = epoch then deliver pkt
-                  else t.fault_drops <- t.fault_drops + 1));
-           match Queue_discipline.poll t.queue with
-           | Some next -> transmit t next
-           | None -> t.busy <- false
-         end))
+  let c = acquire t in
+  c.pkt <- pkt;
+  c.cepoch <- t.epoch;
+  c.stage <- Ser;
+  Sim.arm_after t.sim c.tmr (serialization_span t pkt)
+
+and fire t c =
+  match c.stage with
+  | Ser ->
+      if t.epoch <> c.cepoch then
+        (* The link failed mid-serialization; the packet (already counted
+           lost by [set_up]) and this firing are void. *)
+        release t c
+      else begin
+        t.tx_packets <- t.tx_packets + 1;
+        t.tx_bytes <- t.tx_bytes + c.pkt.size;
+        (* Same cell, same timer: the serialization leg becomes the
+           propagation leg in place. The arm precedes the poll so the
+           arrival keeps a lower [seq] than the next packet's
+           serialization, exactly as the closure pipeline scheduled. *)
+        c.stage <- Prop;
+        Sim.arm_after t.sim c.tmr t.prop_delay;
+        match Queue_discipline.poll t.queue with
+        | Some next -> transmit t next
+        | None -> t.busy <- false
+      end
+  | Prop ->
+      let pkt = c.pkt in
+      let live = t.epoch = c.cepoch in
+      release t c;
+      if live then t.deliver pkt else t.fault_drops <- t.fault_drops + 1
 
 let send t pkt =
   if not t.up then t.fault_drops <- t.fault_drops + 1
@@ -122,3 +187,4 @@ let drops t = Queue_discipline.drops t.queue
 let early_drops t = Queue_discipline.early_drops t.queue
 let queue_length t = Queue_discipline.length t.queue
 let busy t = t.busy
+let pool_cells t = t.pool_cells

@@ -61,3 +61,9 @@ val queue_length : t -> int
 (** Packets waiting, excluding the one in service. *)
 
 val busy : t -> bool
+
+val pool_cells : t -> int
+(** Number of in-flight transmission cells ever created for this link.
+    Cells (and their reusable timers) are recycled through a free list,
+    so this is the high-water mark of simultaneously in-flight packets —
+    steady-state forwarding keeps it flat; for tests of pool reuse. *)

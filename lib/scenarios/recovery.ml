@@ -579,7 +579,7 @@ let partition ?(receivers_per_set = 2) ?(down_at_s = 60.0) ?(up_at_s = 90.0)
   let layering = Session.layering rig.session in
   let end_t = Sim.now rig.sim in
   let three_intervals =
-    Time.span_to_sec_f (3 * params.Toposense.Params.interval)
+    Time.span_to_sec_f (Time.mul_span params.Toposense.Params.interval 3)
   in
   let receivers =
     List.map

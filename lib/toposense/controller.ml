@@ -296,7 +296,7 @@ let session_input t session tree =
   in
   let may_add node =
     let st = receiver_state t ~session:id ~node in
-    Time.diff now st.level_changed_at >= 2 * t.params.interval
+    Time.diff now st.level_changed_at >= Time.mul_span t.params.interval 2
   in
   {
     Algorithm.id;
@@ -340,7 +340,7 @@ let debug_dump t inputs =
    so the sweep is free in runs where every lease is refreshed on
    time. *)
 let sweep_leases t ~now =
-  let lease = t.params.lease_intervals * t.params.interval in
+  let lease = Time.mul_span t.params.interval t.params.lease_intervals in
   Hashtbl.iter
     (fun _ st ->
       if st.status = Active && Time.diff now st.last_report_at > lease then begin

@@ -83,7 +83,7 @@ let set_level t ~session ~level:target =
 
 (* Ceiling on the multiplicative join timers; also the re-probe period
    once all layers are held (RLM uses 120 s against a 10–30 s initial). *)
-let fb_join_max t = 4 * t.params.backoff_max
+let fb_join_max t = Time.mul_span t.params.backoff_max 4
 
 let schedule_next_join t id st ~now =
   let count = Traffic.Layering.count (Traffic.Session.layering st.session) in
@@ -345,7 +345,7 @@ let send_reports t =
    reception probes one layer up at a randomized period. *)
 let watchdog t =
   let now = Sim.now (sim t) in
-  let timeout = t.params.suggestion_timeout_intervals * t.params.interval in
+  let timeout = Time.mul_span t.params.interval t.params.suggestion_timeout_intervals in
   Hashtbl.iter
     (fun id st ->
       if st.unsubscribed then ()

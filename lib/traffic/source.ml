@@ -30,14 +30,25 @@ let emit t ~layer =
   t.sent.(layer) <- t.sent.(layer) + 1;
   t.bytes <- t.bytes + Net.Packet.data_size
 
+(* Every emit loop below runs on reusable timers (allocated once per
+   layer at kickoff, re-armed in place), so steady-state traffic
+   allocates only the immutable [Packet.t] per emission. The timer
+   callback needs its own timer to re-arm; OCaml's recursive-value
+   restriction forbids [let rec] through the opaque [Sim.timer], so each
+   loop threads the timer through a ref filled right after creation. *)
+
 (* CBR: one packet every packet_bits / rate seconds, forever. *)
-let rec cbr_loop t ~layer ~gap =
-  if t.running then begin
-    emit t ~layer;
-    ignore
-      (Sim.schedule_after (Net.Network.sim t.network) gap (fun () ->
-           cbr_loop t ~layer ~gap))
-  end
+let cbr_start t ~layer ~gap ~phase =
+  let sim = Net.Network.sim t.network in
+  let tmr = ref (Sim.timer sim ignore) in
+  let tick () =
+    if t.running then begin
+      emit t ~layer;
+      Sim.arm_after sim !tmr gap
+    end
+  in
+  tmr := Sim.timer sim tick;
+  Sim.arm_after sim !tmr phase
 
 (* VBR: per 1 s interval, draw the packet count for the interval and space
    the packets evenly within it. *)
@@ -47,48 +58,97 @@ let vbr_interval_count t ~avg ~peak_to_mean =
     Float.max 1.0 ((p *. avg) +. 1.0 -. p)
   else 1.0
 
-let rec vbr_loop t ~layer ~avg ~peak_to_mean =
-  if t.running then begin
-    let sim = Net.Network.sim t.network in
-    let n = vbr_interval_count t ~avg ~peak_to_mean in
-    let count = int_of_float (Float.round n) in
-    let gap = Time.span_of_sec_f (1.0 /. float_of_int count) in
-    let rec burst k =
-      if t.running && k < count then begin
-        emit t ~layer;
-        ignore (Sim.schedule_after sim gap (fun () -> burst (k + 1)))
-      end
+(* One in-progress burst. An interval's final continuation event lands
+   on (or a hair past) the next interval's start, so the next burst can
+   begin while the previous lane's last event is still pending — lanes
+   are therefore pooled, each with its own timer and progress state, and
+   an interval grabs any lane that is not mid-burst. In practice two
+   lanes cover a layer; the pool only grows at startup. A stale lane's
+   final firing reads its own exhausted state ([l_k = l_count]) and
+   cannot emit a packet from the interval that superseded it. *)
+type vbr_lane = {
+  mutable l_tmr : Sim.timer;
+  mutable l_k : int;  (* next burst position to emit *)
+  mutable l_count : int;  (* packets in this lane's interval *)
+  mutable l_gap : Time.span;
+  mutable l_active : bool;  (* armed, or awaiting its final no-op firing *)
+}
+
+let vbr_start t ~layer ~avg ~peak_to_mean ~phase =
+  let sim = Net.Network.sim t.network in
+  let lanes = ref [] in
+  let new_lane () =
+    let lane =
+      { l_tmr = Sim.timer sim ignore; l_k = 0; l_count = 0; l_gap = 0;
+        l_active = false }
     in
-    burst 0;
-    ignore
-      (Sim.schedule_after sim (Time.span_of_sec 1) (fun () ->
-           vbr_loop t ~layer ~avg ~peak_to_mean))
-  end
+    lane.l_tmr <-
+      Sim.timer sim (fun () ->
+          if t.running && lane.l_k < lane.l_count then begin
+            emit t ~layer;
+            lane.l_k <- lane.l_k + 1;
+            Sim.arm_after sim lane.l_tmr lane.l_gap
+          end
+          else lane.l_active <- false);
+    lanes := lane :: !lanes;
+    lane
+  in
+  let acquire () =
+    match List.find_opt (fun l -> not l.l_active) !lanes with
+    | Some l -> l
+    | None -> new_lane ()
+  in
+  let tmr = ref (Sim.timer sim ignore) in
+  let interval_tick () =
+    if t.running then begin
+      let n = vbr_interval_count t ~avg ~peak_to_mean in
+      let count = int_of_float (Float.round n) in
+      let gap = Time.span_of_sec_f (1.0 /. float_of_int count) in
+      emit t ~layer;
+      let lane = acquire () in
+      lane.l_k <- 1;
+      lane.l_count <- count;
+      lane.l_gap <- gap;
+      lane.l_active <- true;
+      Sim.arm_after sim lane.l_tmr gap;
+      Sim.arm_after sim !tmr (Time.span_of_sec 1)
+    end
+  in
+  tmr := Sim.timer sim interval_tick;
+  Sim.arm_after sim !tmr phase
 
 (* On/off: CBR ticks during an exponentially-long on-phase, silence
-   during the off-phase. *)
-let rec onoff_on t ~layer ~gap ~mean_on_s ~mean_off_s =
+   during the off-phase. One timer serves both phases; [in_off] says
+   whether the pending firing opens a fresh on-phase. *)
+let onoff_start t ~layer ~gap ~mean_on_s ~mean_off_s ~phase =
   let sim = Net.Network.sim t.network in
-  let until =
-    Time.add (Sim.now sim)
-      (Time.span_of_sec_f (Engine.Prng.exponential t.rng ~mean:mean_on_s))
-  in
-  let rec tick () =
+  let until = ref Time.zero in
+  let in_off = ref true in
+  let tmr = ref (Sim.timer sim ignore) in
+  let tick () =
     if t.running then begin
-      if Time.(Sim.now sim < until) then begin
+      if !in_off then begin
+        until :=
+          Time.add (Sim.now sim)
+            (Time.span_of_sec_f
+               (Engine.Prng.exponential t.rng ~mean:mean_on_s));
+        in_off := false
+      end;
+      if Time.(Sim.now sim < !until) then begin
         emit t ~layer;
-        ignore (Sim.schedule_after sim gap tick)
+        Sim.arm_after sim !tmr gap
       end
-      else
+      else begin
         let off =
           Time.span_of_sec_f (Engine.Prng.exponential t.rng ~mean:mean_off_s)
         in
-        ignore
-          (Sim.schedule_after sim off (fun () ->
-               onoff_on t ~layer ~gap ~mean_on_s ~mean_off_s))
+        in_off := true;
+        Sim.arm_after sim !tmr off
+      end
     end
   in
-  tick ()
+  tmr := Sim.timer sim tick;
+  Sim.arm_after sim !tmr phase
 
 let start ~network ~session ~kind ~rng ?start_at () =
   (match kind with
@@ -128,14 +188,11 @@ let start ~network ~session ~kind ~rng ?start_at () =
             Time.span_of_sec_f
               (Engine.Prng.float rng *. Time.span_to_sec_f gap)
           in
-          ignore
-            (Sim.schedule_after sim phase (fun () -> cbr_loop t ~layer ~gap))
+          cbr_start t ~layer ~gap ~phase
       | Vbr { peak_to_mean } ->
           let avg = rate /. float_of_int packet_bits in
           let phase = Time.span_of_sec_f (Engine.Prng.float rng) in
-          ignore
-            (Sim.schedule_after sim phase (fun () ->
-                 vbr_loop t ~layer ~avg ~peak_to_mean))
+          vbr_start t ~layer ~avg ~peak_to_mean ~phase
       | On_off { mean_on_s; mean_off_s } ->
           (* During the on phase the layer runs at its nominal rate, so
              the long-run average is rate x on/(on+off). *)
@@ -144,9 +201,7 @@ let start ~network ~session ~kind ~rng ?start_at () =
             Time.span_of_sec_f
               (Engine.Prng.float rng *. Time.span_to_sec_f gap)
           in
-          ignore
-            (Sim.schedule_after sim phase (fun () ->
-                 onoff_on t ~layer ~gap ~mean_on_s ~mean_off_s))
+          onoff_start t ~layer ~gap ~mean_on_s ~mean_off_s ~phase
     done
   in
   if Time.(begin_at <= Sim.now sim) then kickoff ()

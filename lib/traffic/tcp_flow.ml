@@ -24,7 +24,7 @@ type t = {
   mutable srtt_s : float;
   mutable rttvar_s : float;
   mutable rto_s : float;
-  mutable rto_epoch : int;  (* cancels stale timers *)
+  mutable rto_tmr : Sim.timer;  (* reusable RTO timer; re-arming supersedes *)
   mutable send_times : (int * Time.t) list;  (* for RTT samples *)
   (* receiver state *)
   mutable rcv_next : int;
@@ -53,15 +53,14 @@ let rec pump t =
     pump t
   end
 
-(* RTO management: one logical timer, invalidated by bumping the epoch. *)
-let rec arm_rto t =
-  let epoch = t.rto_epoch in
-  ignore
-    (Sim.schedule_after (sim t)
-       (Time.span_of_sec_f t.rto_s)
-       (fun () -> if t.running && t.rto_epoch = epoch then on_timeout t))
+(* RTO management: one reusable timer. Re-arming while the previous
+   expiry is still pending supersedes it (Sim tombstones the stale
+   record), so a firing always means the most recent arm matured — the
+   role the per-arm epoch closures used to play, without the per-arm
+   allocation. *)
+let arm_rto t = Sim.arm_after (sim t) t.rto_tmr (Time.span_of_sec_f t.rto_s)
 
-and on_timeout t =
+let on_timeout t =
   if inflight t > 0 then begin
     t.timeouts <- t.timeouts + 1;
     t.ssthresh <- Float.max 2.0 (t.cwnd /. 2.0);
@@ -71,13 +70,9 @@ and on_timeout t =
     t.rto_s <- Float.min 8.0 (t.rto_s *. 2.0);
     t.retransmissions <- t.retransmissions + 1;
     send_segment t t.send_base;
-    t.rto_epoch <- t.rto_epoch + 1;
     arm_rto t
   end
-  else begin
-    t.rto_epoch <- t.rto_epoch + 1;
-    arm_rto t
-  end
+  else arm_rto t
 
 let update_rtt t seq =
   match List.assoc_opt seq t.send_times with
@@ -112,7 +107,6 @@ let on_ack t ack =
       t.retransmissions <- t.retransmissions + 1;
       send_segment t t.send_base
     end;
-    t.rto_epoch <- t.rto_epoch + 1;
     arm_rto t;
     pump t
   end
@@ -125,7 +119,6 @@ let on_ack t ack =
       t.recovery_until <- t.next_seq;
       t.retransmissions <- t.retransmissions + 1;
       send_segment t t.send_base;
-      t.rto_epoch <- t.rto_epoch + 1;
       arm_rto t
     end
   end
@@ -167,7 +160,7 @@ let start ~network ~src ~dst ?(flow_id = 0) ?(initial_ssthresh = 64.0) () =
       srtt_s = 0.0;
       rttvar_s = 0.0;
       rto_s = 1.0;
-      rto_epoch = 0;
+      rto_tmr = Sim.timer (Net.Network.sim network) ignore;
       send_times = [];
       rcv_next = 0;
       out_of_order = [];
@@ -186,6 +179,8 @@ let start ~network ~src ~dst ?(flow_id = 0) ?(initial_ssthresh = 64.0) () =
       match pkt.Net.Packet.payload with
       | Tcp_ack { flow; ack } when flow = flow_id -> on_ack t ack
       | _ -> ());
+  t.rto_tmr <- Sim.timer (Net.Network.sim network) (fun () ->
+      if t.running then on_timeout t);
   pump t;
   arm_rto t;
   t

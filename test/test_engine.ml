@@ -238,6 +238,33 @@ let test_calendar_interleaved_lower_key () =
   checkb "lower key surfaces" true (Calendar.pop_min_exn q = (50, 2));
   checkb "then the rest" true (Calendar.pop_min_exn q = (200, 1))
 
+let test_calendar_bucket_recycling () =
+  let q = cal_create () in
+  checki "fresh queue has recycled nothing" 0 (Calendar.recycled q);
+  (* Grow/shrink oscillations over the same size range: the first cycle
+     parks the retired bucket generations, later cycles must be served
+     from the parked spare instead of allocating fresh arrays. *)
+  for cycle = 1 to 3 do
+    for s = 0 to 599 do
+      Calendar.push q ((cycle * 10_000) + s, s)
+    done;
+    for _ = 1 to 600 do
+      ignore (Calendar.pop_min_exn q)
+    done
+  done;
+  checkb
+    (Printf.sprintf "later cycles reuse parked generations (%d)"
+       (Calendar.recycled q))
+    true
+    (Calendar.recycled q > 0);
+  (* Recycled buckets must come back scrubbed: the queue behaves
+     exactly as a fresh one afterwards. *)
+  for s = 0 to 99 do
+    Calendar.push q (s * 7, s)
+  done;
+  checkb "drains sorted after recycling" true
+    (cal_drain q = List.init 100 (fun i -> (7 * i, i)))
+
 let prop_calendar_matches_heap =
   QCheck.Test.make ~name:"calendar drains exactly like a heap" ~count:200
     QCheck.(list (int_bound 100_000))
@@ -329,6 +356,184 @@ let prop_backends_equivalent =
     ~count:100 sim_op_arb
     (fun ops ->
       run_ops Event_queue.Heap ops = run_ops Event_queue.Calendar ops)
+
+(* ---------- reusable timers ---------- *)
+
+let test_sim_timer_supersede_and_reuse () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  let tmr =
+    Sim.timer sim (fun () -> fired := Time.to_ns (Sim.now sim) :: !fired)
+  in
+  Sim.arm_at sim tmr (Time.of_sec 1);
+  Sim.arm_at sim tmr (Time.of_sec 2);
+  Sim.run_until sim (Time.of_sec 3);
+  check (Alcotest.list Alcotest.int) "second arm supersedes the first"
+    [ Time.to_ns (Time.of_sec 2) ]
+    (List.rev !fired);
+  (* After firing, the same timer re-arms in place. *)
+  Sim.arm_after sim tmr (Time.span_of_sec 1);
+  Sim.run_until sim (Time.of_sec 5);
+  checki "re-armed after firing" 2 (List.length !fired)
+
+let test_sim_timer_disarm () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let tmr = Sim.timer sim (fun () -> incr count) in
+  Sim.arm_at sim tmr (Time.of_sec 1);
+  Sim.disarm sim tmr;
+  Sim.run_until sim (Time.of_sec 2);
+  checki "disarmed timer never fires" 0 !count;
+  Sim.arm_at sim tmr (Time.of_sec 3);
+  Sim.run_until sim (Time.of_sec 4);
+  checki "armable again after disarm" 1 !count;
+  Sim.disarm sim tmr;
+  Sim.run_until sim (Time.of_sec 5);
+  checki "disarm after firing is inert" 1 !count
+
+(* Random interleavings of the reusable-timer API, replayed against a
+   reference program that expresses each re-arm as cancel + fresh
+   schedule_after. The two must be indistinguishable — identical
+   dispatch traces AND identical counters — on both backends. A
+   [T_self] op turns a timer into a self-re-arming loop for a few
+   firings, exercising the fired-then-re-armed (reuse-in-place) path;
+   [T_arm] over a pending arm exercises the supersede (tombstone +
+   fresh record) path. *)
+type timer_op =
+  | T_arm of int * int  (* timer index, delay in ms *)
+  | T_disarm of int
+  | T_self of int * int * int  (* timer index, extra firings, period ms *)
+
+let n_timers = 3
+
+let timer_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 5,
+          map2 (fun i ms -> T_arm (i, ms)) (int_bound (n_timers - 1))
+            (int_bound 400) );
+        (3, map (fun i -> T_disarm i) (int_bound (n_timers - 1)));
+        ( 2,
+          map3
+            (fun i n p -> T_self (i, 1 + n, 1 + p))
+            (int_bound (n_timers - 1))
+            (int_bound 5) (int_bound 60) );
+      ])
+
+let pp_timer_op ppf = function
+  | T_arm (i, ms) -> Format.fprintf ppf "T_arm (%d, %d)" i ms
+  | T_disarm i -> Format.fprintf ppf "T_disarm %d" i
+  | T_self (i, n, p) -> Format.fprintf ppf "T_self (%d, %d, %d)" i n p
+
+let timer_op_arb =
+  QCheck.make
+    ~print:(Format.asprintf "%a" (Format.pp_print_list pp_timer_op))
+    QCheck.Gen.(list_size (1 -- 30) timer_op_gen)
+
+let run_timer_ops backend ops =
+  let sim = Sim.create ~backend () in
+  let trace = ref [] in
+  let mark id = trace := (Time.to_ns (Sim.now sim), id) :: !trace in
+  let self_n = Array.make n_timers 0 in
+  let self_p = Array.make n_timers 0 in
+  let timers =
+    Array.init n_timers (fun idx ->
+        let tmr = ref (Sim.timer sim ignore) in
+        tmr :=
+          Sim.timer sim (fun () ->
+              mark idx;
+              if self_n.(idx) > 0 then begin
+                self_n.(idx) <- self_n.(idx) - 1;
+                Sim.arm_after sim !tmr (Time.span_of_ms self_p.(idx))
+              end);
+        !tmr)
+  in
+  List.iteri
+    (fun i op ->
+      ignore
+        (Sim.schedule_at sim (Time.of_ms i) (fun () ->
+             match op with
+             | T_arm (t, ms) ->
+                 self_n.(t) <- 0;
+                 Sim.arm_after sim timers.(t) (Time.span_of_ms ms)
+             | T_disarm t ->
+                 self_n.(t) <- 0;
+                 Sim.disarm sim timers.(t)
+             | T_self (t, n, p) ->
+                 self_n.(t) <- n;
+                 self_p.(t) <- p;
+                 Sim.arm_after sim timers.(t) (Time.span_of_ms p))))
+    ops;
+  Sim.run_until sim (Time.of_ms (List.length ops + 2000));
+  ( List.rev !trace,
+    Sim.events_dispatched sim,
+    Sim.live_pending sim,
+    Sim.max_live_pending sim )
+
+(* The reference program: a timer is a handle plus a live flag. Arming
+   over a pending arm cancels it first; arming a fired timer schedules
+   afresh with no cancel (mirroring reuse-in-place); disarm cancels the
+   last handle unconditionally — even after it fired — because that is
+   what [Sim.disarm] does, and the cancel-after-fire tombstone is
+   visible in [live_pending]. *)
+let run_ref_ops backend ops =
+  let sim = Sim.create ~backend () in
+  let trace = ref [] in
+  let mark id = trace := (Time.to_ns (Sim.now sim), id) :: !trace in
+  let self_n = Array.make n_timers 0 in
+  let self_p = Array.make n_timers 0 in
+  let handle = Array.make n_timers None in
+  let live = Array.make n_timers false in
+  let rec arm idx ms =
+    if live.(idx) then Option.iter (Sim.cancel sim) handle.(idx);
+    handle.(idx) <-
+      Some
+        (Sim.schedule_after sim (Time.span_of_ms ms) (fun () ->
+             live.(idx) <- false;
+             mark idx;
+             if self_n.(idx) > 0 then begin
+               self_n.(idx) <- self_n.(idx) - 1;
+               arm idx self_p.(idx)
+             end));
+    live.(idx) <- true
+  in
+  let disarm idx =
+    Option.iter (Sim.cancel sim) handle.(idx);
+    live.(idx) <- false
+  in
+  List.iteri
+    (fun i op ->
+      ignore
+        (Sim.schedule_at sim (Time.of_ms i) (fun () ->
+             match op with
+             | T_arm (t, ms) ->
+                 self_n.(t) <- 0;
+                 arm t ms
+             | T_disarm t ->
+                 self_n.(t) <- 0;
+                 disarm t
+             | T_self (t, n, p) ->
+                 self_n.(t) <- n;
+                 self_p.(t) <- p;
+                 arm t p)))
+    ops;
+  Sim.run_until sim (Time.of_ms (List.length ops + 2000));
+  ( List.rev !trace,
+    Sim.events_dispatched sim,
+    Sim.live_pending sim,
+    Sim.max_live_pending sim )
+
+let prop_timers_equivalent =
+  QCheck.Test.make
+    ~name:"reusable timers match cancel+reschedule on both backends"
+    ~count:100 timer_op_arb
+    (fun ops ->
+      let a = run_timer_ops Event_queue.Heap ops in
+      let b = run_timer_ops Event_queue.Calendar ops in
+      let c = run_ref_ops Event_queue.Heap ops in
+      let d = run_ref_ops Event_queue.Calendar ops in
+      a = b && a = c && a = d)
 
 (* ---------- Prng ---------- *)
 
@@ -654,6 +859,8 @@ let () =
           Alcotest.test_case "resize" `Quick test_calendar_resize;
           Alcotest.test_case "lower key after pop" `Quick
             test_calendar_interleaved_lower_key;
+          Alcotest.test_case "bucket recycling" `Quick
+            test_calendar_bucket_recycling;
         ] );
       qsuite "calendar-props" [ prop_calendar_matches_heap ];
       ( "heap",
@@ -697,9 +904,16 @@ let () =
             test_sim_jitter_instants_pinned;
           Alcotest.test_case "dispatch count" `Quick
             test_sim_dispatched_counter;
+          Alcotest.test_case "timer supersede and reuse" `Quick
+            test_sim_timer_supersede_and_reuse;
+          Alcotest.test_case "timer disarm" `Quick test_sim_timer_disarm;
         ] );
       qsuite "sim-props"
-        [ prop_sim_events_in_time_order; prop_backends_equivalent ];
+        [
+          prop_sim_events_in_time_order;
+          prop_backends_equivalent;
+          prop_timers_equivalent;
+        ];
       ( "stats",
         [
           Alcotest.test_case "basic" `Quick test_stats_basic;

@@ -245,6 +245,96 @@ let test_link_drains_queue () =
   Sim.run_until sim (Time.of_sec 1);
   checki "all delivered" 20 !delivered
 
+(* The in-flight cells (and their reusable timers) come from a per-link
+   free list: the pool grows to the high-water mark of simultaneously
+   in-flight packets and then stays flat, no matter how many packets the
+   link carries. On a 1 Mbps / 10 ms link with 1000-byte packets,
+   serialization is 8 ms and propagation 10 ms, so at most one packet is
+   in service while two are still propagating: three cells cover any
+   backlog. *)
+let test_link_pool_reuse () =
+  let sim = Sim.create () in
+  let topo = line ~bandwidth_bps:1e6 ~delay:(Time.span_of_ms 10) ~queue_limit:100 2 in
+  let nw = Network.create ~sim topo in
+  let delivered = ref 0 in
+  Network.set_local_handler nw 1 (fun _ -> incr delivered);
+  for i = 1 to 25 do
+    Network.originate nw ~src:0 ~dst:(Addr.Unicast 1) ~size:1000
+      ~payload:(Probe i)
+  done;
+  Sim.run_until sim (Time.of_sec 1);
+  let link = Network.link_on_iface nw ~node:0 ~iface:0 in
+  checki "first batch delivered" 25 !delivered;
+  let cells = Net.Link.pool_cells link in
+  checkb
+    (Printf.sprintf "pool bounded by in-flight window (%d)" cells)
+    true (cells >= 1 && cells <= 3);
+  for i = 26 to 50 do
+    Network.originate nw ~src:0 ~dst:(Addr.Unicast 1) ~size:1000
+      ~payload:(Probe i)
+  done;
+  Sim.run_until sim (Time.of_sec 2);
+  checki "second batch delivered" 50 !delivered;
+  checki "steady state creates no new cells" cells (Net.Link.pool_cells link)
+
+(* A failure voids everything the link was carrying: the in-service
+   packet, the queued backlog, and packets already in propagation. None
+   of them may surface after the link comes back — the recycled cells
+   must not resurrect the packets they held in the failed epoch. *)
+let test_link_pool_no_resurrection () =
+  let sim = Sim.create () in
+  let topo = line ~bandwidth_bps:1e6 ~delay:(Time.span_of_ms 10) ~queue_limit:10 2 in
+  let nw = Network.create ~sim topo in
+  let delivered = ref [] in
+  Network.set_local_handler nw 1 (fun pkt ->
+      match pkt.Packet.payload with
+      | Probe i -> delivered := i :: !delivered
+      | _ -> ());
+  let link = Network.link_on_iface nw ~node:0 ~iface:0 in
+  for i = 1 to 5 do
+    Network.originate nw ~src:0 ~dst:(Addr.Unicast 1) ~size:1000
+      ~payload:(Probe i)
+  done;
+  (* Probe 1 serializes over [0,8)ms then propagates until 18 ms; probe 2
+     enters service at 8 ms. Failing at 12 ms catches probe 1 mid-flight,
+     probe 2 in service and probes 3-5 queued. *)
+  ignore (Sim.schedule_at sim (Time.of_ms 12) (fun () -> Net.Link.set_up link false));
+  ignore (Sim.schedule_at sim (Time.of_ms 20) (fun () -> Net.Link.set_up link true));
+  ignore
+    (Sim.schedule_at sim (Time.of_ms 25) (fun () ->
+         Network.originate nw ~src:0 ~dst:(Addr.Unicast 1) ~size:1000
+           ~payload:(Probe 6)));
+  Sim.run_until sim (Time.of_sec 1);
+  check (Alcotest.list Alcotest.int)
+    "only the post-recovery packet arrives" [ 6 ] (List.rev !delivered);
+  checki "in-flight + in-service + queued all lost" 5
+    (Net.Link.fault_drops link);
+  let cells = Net.Link.pool_cells link in
+  (* Probe 1's propagation cell and probe 2's serialization cell were the
+     only ones ever live at once; probe 6 reuses them. *)
+  checkb (Printf.sprintf "failed epoch's cells reused (%d)" cells) true
+    (cells <= 2);
+  (* Further failure cycles with traffic must not grow the pool either. *)
+  Net.Link.set_up link false;
+  Net.Link.set_up link true;
+  for i = 7 to 9 do
+    Network.originate nw ~src:0 ~dst:(Addr.Unicast 1) ~size:1000
+      ~payload:(Probe i)
+  done;
+  Sim.run_until sim (Time.of_sec 2);
+  check (Alcotest.list Alcotest.int) "later packets delivered"
+    [ 6; 7; 8; 9 ] (List.rev !delivered);
+  let cells2 = Net.Link.pool_cells link in
+  checkb
+    (Printf.sprintf "pool bounded by in-flight window (%d)" cells2)
+    true (cells2 <= 3);
+  for i = 10 to 12 do
+    Network.originate nw ~src:0 ~dst:(Addr.Unicast 1) ~size:1000
+      ~payload:(Probe i)
+  done;
+  Sim.run_until sim (Time.of_sec 3);
+  checki "pool flat once high-water reached" cells2 (Net.Link.pool_cells link)
+
 (* ---------- Network forwarding ---------- *)
 
 let test_unicast_multihop () =
@@ -341,6 +431,9 @@ let () =
           Alcotest.test_case "back to back" `Quick test_link_back_to_back;
           Alcotest.test_case "drop tail" `Quick test_link_drop_tail;
           Alcotest.test_case "drains queue" `Quick test_link_drains_queue;
+          Alcotest.test_case "pool reuse" `Quick test_link_pool_reuse;
+          Alcotest.test_case "pool no resurrection" `Quick
+            test_link_pool_no_resurrection;
         ] );
       ( "network",
         [
