@@ -139,48 +139,69 @@ let compare_files old_path new_path =
     (fun name -> Printf.printf "%-30s (dropped: not in %s)\n" name new_path)
     (List.rev !missing)
 
+(* Assert that [field_name] of the named row is <= an integer bound —
+   the generic form behind the CI gates. *)
+let assert_field_le ~row_name ~field_name ~bound path =
+  let rows = load path in
+  match List.find_opt (fun r -> r.name = row_name) rows with
+  | None ->
+      Printf.eprintf "row %S not found in %s\n" row_name path;
+      exit 1
+  | Some r -> (
+      match field r field_name with
+      | None ->
+          Printf.eprintf "row %S has no %s field\n" row_name field_name;
+          exit 1
+      | Some v when int_of_float v > bound ->
+          Printf.eprintf "FAIL: %s %s = %.0f > allowed %d (%s)\n" row_name
+            field_name v bound path;
+          exit 1
+      | Some v ->
+          Printf.printf "OK: %s %s = %.0f <= %d\n" row_name field_name v bound)
+
+(* [--assert-le ROW:FIELD=BOUND]. *)
+let assert_le spec path =
+  match (String.index_opt spec ':', String.index_opt spec '=') with
+  | Some colon, Some eq when colon < eq -> (
+      let row_name = String.sub spec 0 colon in
+      let field_name = String.sub spec (colon + 1) (eq - colon - 1) in
+      match
+        int_of_string_opt (String.sub spec (eq + 1) (String.length spec - eq - 1))
+      with
+      | Some bound -> assert_field_le ~row_name ~field_name ~bound path
+      | None ->
+          prerr_endline "--assert-le expects an integer bound";
+          exit 2)
+  | _ ->
+      prerr_endline "--assert-le expects ROW:FIELD=BOUND";
+      exit 2
+
+(* [--assert-major-le ROW=BOUND], kept for compatibility: shorthand for
+   [--assert-le ROW:major_collections=BOUND]. *)
 let assert_major_le spec path =
   match String.index_opt spec '=' with
   | None ->
       prerr_endline "--assert-major-le expects ROW=BOUND";
       exit 2
-  | Some eq ->
+  | Some eq -> (
       let row_name = String.sub spec 0 eq in
-      let bound =
-        match
-          int_of_string_opt
-            (String.sub spec (eq + 1) (String.length spec - eq - 1))
-        with
-        | Some b -> b
-        | None ->
-            prerr_endline "--assert-major-le expects an integer bound";
-            exit 2
-      in
-      let rows = load path in
-      (match List.find_opt (fun r -> r.name = row_name) rows with
+      match
+        int_of_string_opt (String.sub spec (eq + 1) (String.length spec - eq - 1))
+      with
+      | Some bound ->
+          assert_field_le ~row_name ~field_name:"major_collections" ~bound path
       | None ->
-          Printf.eprintf "row %S not found in %s\n" row_name path;
-          exit 1
-      | Some r -> (
-          match field r "major_collections" with
-          | None ->
-              Printf.eprintf "row %S has no major_collections field\n" row_name;
-              exit 1
-          | Some v when int_of_float v > bound ->
-              Printf.eprintf
-                "FAIL: %s major_collections = %.0f > allowed %d (%s)\n"
-                row_name v bound path;
-              exit 1
-          | Some v ->
-              Printf.printf "OK: %s major_collections = %.0f <= %d\n" row_name
-                v bound))
+          prerr_endline "--assert-major-le expects an integer bound";
+          exit 2)
 
 let () =
   match Array.to_list Sys.argv with
   | [ _; "--assert-major-le"; spec; path ] -> assert_major_le spec path
+  | [ _; "--assert-le"; spec; path ] -> assert_le spec path
   | [ _; old_path; new_path ] -> compare_files old_path new_path
   | _ ->
       prerr_endline
         "usage: compare OLD.json NEW.json\n\
+        \       compare --assert-le ROW:FIELD=BOUND FILE.json\n\
         \       compare --assert-major-le ROW=BOUND FILE.json";
       exit 2

@@ -397,7 +397,7 @@ let run_ablations () =
 
 (* ---------- bench trajectory (BENCH_*.json) ---------- *)
 
-(* Macro throughput numbers for the hot path, written to BENCH_pr5.json
+(* Macro throughput numbers for the hot path, written to BENCH_pr6.json
    so successive PRs can compare events/sec and packets/sec on fixed
    scenarios (diff two files with bench/compare.exe). Runs alone (fast)
    with BENCH_SMOKE=1 or --trajectory. *)
@@ -413,6 +413,9 @@ type bench_row = {
   minor_words : float;
   major_words : float;
   major_cols : int;
+  extras : (string * float) list;
+      (* scenario-specific counters appended verbatim to the JSON row
+         (e.g. the churn-storm damage counters the CI gate bounds) *)
 }
 
 (* Allocation pressure of one run, from [Gc.quick_stat] deltas. Minor
@@ -471,6 +474,7 @@ let experiment_row ~name ~spec ~traffic ~sim_s () =
     minor_words = gc.minor_w;
     major_words = gc.major_w;
     major_cols = gc.major_cols;
+    extras = [];
   }
 
 (* Failure recovery under load: the link-flap scenario stresses the
@@ -492,6 +496,7 @@ let fault_flap_row ~sim_s () =
     minor_words = gc.minor_w;
     major_words = gc.major_w;
     major_cols = gc.major_cols;
+    extras = [];
   }
 
 (* Reliable control plane under partition: leases, retransmission timers
@@ -515,6 +520,7 @@ let fault_partition_row ~sim_s () =
     minor_words = gc.minor_w;
     major_words = gc.major_w;
     major_cols = gc.major_cols;
+    extras = [];
   }
 
 (* Engine-only: thousands of periodic chains, most cancelled mid-run, on
@@ -559,6 +565,50 @@ let engine_churn_row ?backend ~name ~sim_s () =
     minor_words = gc.minor_w;
     major_words = gc.major_w;
     major_cols = gc.major_cols;
+    extras = [];
+  }
+
+(* Churn storm at scale (PR 6): sustained link flaps + membership churn
+   on a 259-node 6-ary tree, no data plane — the cost measured is pure
+   incremental route & tree maintenance. The extras pin the
+   damage-proportional counters; the CI gate bounds [recomputes] so the
+   full-recompute-per-event path cannot silently return (it would cost
+   [full_recompute_equiv], an order of magnitude more). The run aborts
+   if the storm ends inconsistent, so the bench doubles as an
+   at-scale correctness check. *)
+let churn_storm_row ~sim_s () =
+  let flaps = int_of_float (sim_s /. 5.0) in
+  let o, wall, gc =
+    time_wall_best (fun () ->
+        let o =
+          Scenarios.Recovery.churn_storm ~fanout:6 ~depth:3 ~flaps
+            ~churners:32 ~duration:(Time.of_sec_f sim_s) ()
+        in
+        if not (o.Scenarios.Recovery.tables_consistent
+               && o.Scenarios.Recovery.tree_consistent)
+        then failwith "churn-storm: inconsistent after the storm";
+        o)
+  in
+  {
+    bname = "churn-storm";
+    sim_s;
+    wall_s = wall;
+    events = o.Scenarios.Recovery.events_dispatched;
+    packets = 0;
+    peak_heap = o.Scenarios.Recovery.peak_heap;
+    peak_live = o.Scenarios.Recovery.peak_live;
+    minor_words = gc.minor_w;
+    major_words = gc.major_w;
+    major_cols = gc.major_cols;
+    extras =
+      [
+        ("recomputes", float_of_int o.Scenarios.Recovery.routing_recomputes);
+        ("topology_events", float_of_int o.Scenarios.Recovery.topology_events);
+        ( "full_recompute_equiv",
+          float_of_int o.Scenarios.Recovery.full_recompute_equiv );
+        ("repair_passes", float_of_int o.Scenarios.Recovery.repair_passes);
+        ("edges_repaired", float_of_int o.Scenarios.Recovery.edges_repaired);
+      ];
   }
 
 (* Derived allocation-pressure metric: total words allocated (minor +
@@ -571,7 +621,7 @@ let alloc_per_event r =
 
 let emit_bench_json ~path rows =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n  \"bench\": \"pr5\",\n";
+  Buffer.add_string buf "{\n  \"bench\": \"pr6\",\n";
   Printf.bprintf buf "  \"mode\": \"%s\",\n"
     (if full then "full" else "quick");
   Printf.bprintf buf "  \"scheduler\": \"%s\",\n"
@@ -587,14 +637,17 @@ let emit_bench_json ~path rows =
          \"packets_forwarded\": %d, \"packets_per_sec\": %.0f, \
          \"peak_heap\": %d, \"peak_live\": %d, \"minor_words\": %.0f, \
          \"major_words\": %.0f, \"major_collections\": %d, \
-         \"alloc_per_event\": %.2f}%s\n"
+         \"alloc_per_event\": %.2f"
         r.bname r.sim_s r.wall_s r.events
         (float_of_int r.events /. r.wall_s)
         r.packets
         (float_of_int r.packets /. r.wall_s)
         r.peak_heap r.peak_live r.minor_words r.major_words r.major_cols
-        (alloc_per_event r)
-        (if i = n - 1 then "" else ","))
+        (alloc_per_event r);
+      List.iter
+        (fun (k, v) -> Printf.bprintf buf ", \"%s\": %.0f" k v)
+        r.extras;
+      Printf.bprintf buf "}%s\n" (if i = n - 1 then "" else ","))
     rows;
   Buffer.add_string buf "  ]\n}\n";
   let oc = open_out path in
@@ -643,6 +696,7 @@ let run_trajectory () =
           ~traffic:(Experiment.Vbr 6.0) ~sim_s ());
       (fun () -> fault_flap_row ~sim_s ());
       (fun () -> fault_partition_row ~sim_s ());
+      (fun () -> churn_storm_row ~sim_s ());
       (fun () ->
         engine_churn_row ~name:"engine-cancel-churn" ~sim_s:(sim_s /. 5.0) ());
       (* Same workload, calendar backend pinned: the heap/calendar pair in
@@ -667,7 +721,7 @@ let run_trajectory () =
         r.major_cols (alloc_per_event r))
     rows;
   let path =
-    Option.value ~default:"BENCH_pr5.json" (Sys.getenv_opt "BENCH_OUT")
+    Option.value ~default:"BENCH_pr6.json" (Sys.getenv_opt "BENCH_OUT")
   in
   emit_bench_json ~path rows;
   Format.printf "wrote %s@." path

@@ -1,8 +1,6 @@
-let quantile xs ~q =
-  if xs = [] then invalid_arg "Quantiles.quantile: empty";
-  if q < 0.0 || q > 1.0 then invalid_arg "Quantiles.quantile: q outside [0,1]";
-  let a = Array.of_list xs in
-  Array.sort Float.compare a;
+(* Type-7 interpolation over an already-sorted array, shared by
+   [quantile] and [summarize] so the summary sorts its sample once. *)
+let quantile_of_sorted a ~q =
   let n = Array.length a in
   if n = 1 then a.(0)
   else begin
@@ -12,6 +10,13 @@ let quantile xs ~q =
     let frac = h -. float_of_int lo in
     a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
   end
+
+let quantile xs ~q =
+  if xs = [] then invalid_arg "Quantiles.quantile: empty";
+  if q < 0.0 || q > 1.0 then invalid_arg "Quantiles.quantile: q outside [0,1]";
+  let a = Array.of_list xs in
+  Array.sort Float.compare a;
+  quantile_of_sorted a ~q
 
 type summary = {
   count : int;
@@ -23,14 +28,20 @@ type summary = {
   max : float;
 }
 
+(* One sort, one array: every quantile (and the count) indexes the same
+   sorted sample, instead of re-sorting the list per quantile. The sort
+   and the interpolation are the ones [quantile] uses, so the results
+   are bit-identical. *)
 let summarize xs =
   match xs with
   | [] -> None
   | _ ->
-      let q q' = quantile xs ~q:q' in
+      let a = Array.of_list xs in
+      Array.sort Float.compare a;
+      let q q' = quantile_of_sorted a ~q:q' in
       Some
         {
-          count = List.length xs;
+          count = Array.length a;
           min = q 0.0;
           p25 = q 0.25;
           p50 = q 0.5;

@@ -34,10 +34,22 @@ type t = {
      don't fold the whole (node, group) table. *)
   members_by_group : (Addr.group_id, Iset.t) Hashtbl.t;
   edges_by_group : (Addr.group_id, Pset.t) Hashtbl.t;
+  (* Repair indexes, so a topology event only visits the groups it can
+     have touched: groups keyed by their source (a group needs repair
+     exactly when its source's routing table moved), groups keyed by the
+     physical links their recorded edges ride (belt and braces for the
+     link itself), and per group the detached set — on-tree nodes with no
+     recorded parent edge, i.e. severed subtree roots and nodes whose
+     graft is still in flight. *)
+  groups_by_src : (Addr.node_id, Iset.t) Hashtbl.t;
+  groups_by_link : (Addr.node_id * Addr.node_id, Iset.t) Hashtbl.t;
+  detached_by_group : (Addr.group_id, Iset.t) Hashtbl.t;
   mutable next_group : Addr.group_id;
   mutable repair_passes : int;
   mutable edges_repaired : int;
 }
+
+let link_key a b = if a < b then (a, b) else (b, a)
 
 let grow_groups t g =
   let cap = Array.length t.src_of in
@@ -65,17 +77,18 @@ let remove_member t ~group ~node =
   | None -> ()
   | Some cur -> Hashtbl.replace t.members_by_group group (Iset.remove node cur)
 
-let add_edge t ~group ~parent ~child =
+let detached_add t ~group ~node =
   let cur =
-    Option.value ~default:Pset.empty (Hashtbl.find_opt t.edges_by_group group)
+    Option.value ~default:Iset.empty
+      (Hashtbl.find_opt t.detached_by_group group)
   in
-  Hashtbl.replace t.edges_by_group group (Pset.add (parent, child) cur)
+  Hashtbl.replace t.detached_by_group group (Iset.add node cur)
 
-let remove_edge t ~group ~parent ~child =
-  match Hashtbl.find_opt t.edges_by_group group with
+let detached_remove t ~group ~node =
+  match Hashtbl.find_opt t.detached_by_group group with
   | None -> ()
   | Some cur ->
-      Hashtbl.replace t.edges_by_group group (Pset.remove (parent, child) cur)
+      Hashtbl.replace t.detached_by_group group (Iset.remove node cur)
 
 let state t node group =
   grow_groups t group;
@@ -94,6 +107,38 @@ let state t node group =
       let s = { oifs = Iset.empty; local = false; on_tree = false; leave_epoch = 0 } in
       row.(node) <- Some s;
       s
+
+let add_edge t ~group ~parent ~child =
+  let cur =
+    Option.value ~default:Pset.empty (Hashtbl.find_opt t.edges_by_group group)
+  in
+  Hashtbl.replace t.edges_by_group group (Pset.add (parent, child) cur);
+  let key = link_key parent child in
+  let gs =
+    Option.value ~default:Iset.empty (Hashtbl.find_opt t.groups_by_link key)
+  in
+  Hashtbl.replace t.groups_by_link key (Iset.add group gs);
+  (* the child has a parent again *)
+  detached_remove t ~group ~node:child
+
+let remove_edge t ~group ~parent ~child =
+  match Hashtbl.find_opt t.edges_by_group group with
+  | None -> ()
+  | Some cur ->
+      let cur = Pset.remove (parent, child) cur in
+      Hashtbl.replace t.edges_by_group group cur;
+      (* drop the group from the link index only when no recorded edge
+         rides the link in either direction any more *)
+      if not (Pset.mem (child, parent) cur) then begin
+        let key = link_key parent child in
+        match Hashtbl.find_opt t.groups_by_link key with
+        | None -> ()
+        | Some gs ->
+            let gs = Iset.remove group gs in
+            if Iset.is_empty gs then Hashtbl.remove t.groups_by_link key
+            else Hashtbl.replace t.groups_by_link key gs
+      end;
+      if (state t child group).on_tree then detached_add t ~group ~node:child
 
 let source t ~group =
   if group < 0 || group >= Array.length t.src_of || t.src_of.(group) < 0 then
@@ -142,6 +187,10 @@ let fresh_group t ~source =
   t.next_group <- t.next_group + 1;
   grow_groups t g;
   t.src_of.(g) <- source;
+  let gs =
+    Option.value ~default:Iset.empty (Hashtbl.find_opt t.groups_by_src source)
+  in
+  Hashtbl.replace t.groups_by_src source (Iset.add g gs);
   g
 
 let hop_delay t ~node ~parent =
@@ -182,6 +231,7 @@ let rec graft t ~node ~group =
                  end;
                  if not pst.on_tree then begin
                    pst.on_tree <- true;
+                   if parent <> src then detached_add t ~group ~node:parent;
                    graft t ~node:parent ~group
                  end
                end))
@@ -193,6 +243,7 @@ and maybe_prune t ~node ~group =
   let st = state t node group in
   if st.on_tree && (not st.local) && Iset.is_empty st.oifs && node <> src then begin
     st.on_tree <- false;
+    detached_remove t ~group ~node;
     match rpf_parent t ~node ~src with
     | None -> () (* detached by a partition; repair already cut the edge *)
     | Some parent ->
@@ -226,53 +277,140 @@ and detach_other_parents t ~group ~node ~keep =
           end)
         edges
 
-(* Tree repair after a routing change. Three sweeps per group:
-   1. cut every recorded edge that no longer lies on the child's reverse
-      path toward the source (the upstream interface died or moved);
-   2. re-graft every node that still wants traffic (local membership or
-      live downstream interest) but lost its parent edge — re-attachment
+(* Sweep 1 of tree repair: cut every recorded edge of [group] that no
+   longer lies on the child's reverse path toward the source (the
+   upstream interface died or moved). Iterates a snapshot of the edge
+   set, so the removals are safe. Returns the parents whose interface
+   sets the cuts shrank: each may just have lost its last downstream
+   interest and needs a prune check, which the scoped sweep would
+   otherwise miss (the detached set tracks severed children, not
+   severed parents). *)
+let cut_invalid_edges t ~group ~src =
+  match Hashtbl.find_opt t.edges_by_group group with
+  | None -> Iset.empty
+  | Some edges ->
+      Pset.fold
+        (fun (p, c) cut_parents ->
+          let valid = c <> src && rpf_parent t ~node:c ~src = Some p in
+          if not valid then begin
+            let pst = state t p group in
+            let oif = Network.iface_to t.network ~node:p ~neighbor:c in
+            pst.oifs <- Iset.remove oif pst.oifs;
+            remove_edge t ~group ~parent:p ~child:c;
+            t.edges_repaired <- t.edges_repaired + 1;
+            Iset.add p cut_parents
+          end
+          else cut_parents)
+        edges Iset.empty
+
+(* The recorded child set after the cuts. [graft] and [maybe_prune] only
+   schedule future work (every hop costs at least a propagation delay),
+   so the edge set cannot change during a sweep and the set is built once
+   per repair, not once per node. *)
+let current_children t ~group =
+  match Hashtbl.find_opt t.edges_by_group group with
+  | None -> Iset.empty
+  | Some edges ->
+      Pset.fold (fun (_, c) acc -> Iset.add c acc) edges Iset.empty
+
+(* Sweeps 2 and 3 for one node:
+   2. re-graft it if it still wants traffic (local membership or live
+      downstream interest) but has no parent edge — re-attachment
       propagates with hop delays, so recovery time is measurable;
-   3. start a prune at every on-tree node left with neither membership
-      nor downstream interest, so severed branches do not linger. *)
+   3. start a prune if it is on the tree with neither membership nor
+      downstream interest, so severed branches do not linger. *)
+let regraft_or_prune t ~group ~src ~children n st =
+  if n <> src && st.on_tree then begin
+    let interested = st.local || not (Iset.is_empty st.oifs) in
+    if not interested then maybe_prune t ~node:n ~group
+    else if not (Iset.mem n children) then graft t ~node:n ~group
+  end
+
+(* A group with no members, no recorded edges and no detached node has no
+   tree to cut and nobody to re-attach: all three sweeps would no-op. *)
+let group_idle t ~group =
+  (match Hashtbl.find_opt t.members_by_group group with
+  | Some m -> Iset.is_empty m
+  | None -> true)
+  && (match Hashtbl.find_opt t.edges_by_group group with
+     | Some e -> Pset.is_empty e
+     | None -> true)
+  && (match Hashtbl.find_opt t.detached_by_group group with
+     | Some d -> Iset.is_empty d
+     | None -> true)
+
+(* Full repair of one group against the current routing tables: cut,
+   then walk every allocated node state for sweeps 2–3. *)
 let repair_group t ~group =
   let src = t.src_of.(group) in
   if src >= 0 then begin
-    (match Hashtbl.find_opt t.edges_by_group group with
-    | None -> ()
-    | Some edges ->
-        Pset.iter
-          (fun (p, c) ->
-            let valid = c <> src && rpf_parent t ~node:c ~src = Some p in
-            if not valid then begin
-              let pst = state t p group in
-              let oif = Network.iface_to t.network ~node:p ~neighbor:c in
-              pst.oifs <- Iset.remove oif pst.oifs;
-              remove_edge t ~group ~parent:p ~child:c;
-              t.edges_repaired <- t.edges_repaired + 1
-            end)
-          edges);
+    ignore (cut_invalid_edges t ~group ~src : Iset.t);
     let row = t.state_rows.(group) in
-    let edges_now () =
-      Option.value ~default:Pset.empty (Hashtbl.find_opt t.edges_by_group group)
-    in
+    let children = current_children t ~group in
     for n = 0 to Array.length row - 1 do
       match row.(n) with
       | None -> ()
-      | Some st ->
-          if n <> src && st.on_tree then begin
-            let interested = st.local || not (Iset.is_empty st.oifs) in
-            if not interested then maybe_prune t ~node:n ~group
-            else if not (Pset.exists (fun (_, c) -> c = n) (edges_now ()))
-            then graft t ~node:n ~group
-          end
+      | Some st -> regraft_or_prune t ~group ~src ~children n st
     done
+  end
+
+(* Event-scoped repair of one group: the same cut, but sweeps 2–3 walk
+   only the nodes the event can have left inconsistent — the detached
+   set (subtree roots the cuts just severed plus any node still waiting
+   for a graft) and the parents the cuts stripped of a child (which may
+   just have lost their last downstream interest) — instead of every
+   node row. Any other on-tree node still has a valid parent edge and
+   unchanged interest, so it needs neither a graft nor a prune and
+   restricting the sweep to this set loses nothing. *)
+let repair_group_scoped t ~group =
+  let src = t.src_of.(group) in
+  if src >= 0 then begin
+    let cut_parents = cut_invalid_edges t ~group ~src in
+    let det =
+      Option.value ~default:Iset.empty
+        (Hashtbl.find_opt t.detached_by_group group)
+    in
+    let work = Iset.union det cut_parents in
+    if not (Iset.is_empty work) then begin
+      let children = current_children t ~group in
+      Iset.iter
+        (fun n -> regraft_or_prune t ~group ~src ~children n (state t n group))
+        work
+    end
   end
 
 let repair t =
   t.repair_passes <- t.repair_passes + 1;
   for g = 0 to t.next_group - 1 do
-    repair_group t ~group:g
+    if t.src_of.(g) >= 0 && not (group_idle t ~group:g) then
+      repair_group t ~group:g
   done
+
+(* Observer entry point: one pass per topology event, bounded to the
+   groups the event can have touched. A group's recorded edges and
+   detached nodes are validated against its source's routing table, so
+   repair is needed only where that table moved — the groups rooted at
+   the event's affected destinations (their reverse paths crossed the
+   link) — plus, belt and braces, any group with a recorded tree edge
+   riding the changed link itself. Every other group's state provably
+   still agrees with the tables and is skipped without being read. *)
+let repair_event t (ev : Network.topology_event) =
+  t.repair_passes <- t.repair_passes + 1;
+  let candidates = ref Iset.empty in
+  List.iter
+    (fun d ->
+      match Hashtbl.find_opt t.groups_by_src d with
+      | Some gs -> candidates := Iset.union gs !candidates
+      | None -> ())
+    ev.affected_destinations;
+  (match Hashtbl.find_opt t.groups_by_link (link_key ev.a ev.b) with
+  | Some gs -> candidates := Iset.union gs !candidates
+  | None -> ());
+  Iset.iter
+    (fun g ->
+      if t.src_of.(g) >= 0 && not (group_idle t ~group:g) then
+        repair_group_scoped t ~group:g)
+    !candidates
 
 let create ~network ?(leave_latency = Time.span_of_sec 1)
     ?(expedited_leave = false) () =
@@ -287,6 +425,9 @@ let create ~network ?(leave_latency = Time.span_of_sec 1)
       delivered_by_group = [||];
       members_by_group = Hashtbl.create 64;
       edges_by_group = Hashtbl.create 64;
+      groups_by_src = Hashtbl.create 64;
+      groups_by_link = Hashtbl.create 64;
+      detached_by_group = Hashtbl.create 64;
       next_group = 0;
       repair_passes = 0;
       edges_repaired = 0;
@@ -296,7 +437,7 @@ let create ~network ?(leave_latency = Time.span_of_sec 1)
     Network.set_mcast_handler network n (fun pkt ~in_iface ->
         handle t n pkt ~in_iface)
   done;
-  Network.add_topology_observer network (fun () -> repair t);
+  Network.add_topology_observer network (fun ev -> repair_event t ev);
   t
 
 let join t ~node ~group =
@@ -307,7 +448,10 @@ let join t ~node ~group =
   st.leave_epoch <- st.leave_epoch + 1;
   if not st.on_tree then begin
     st.on_tree <- true;
-    if node <> src then graft t ~node ~group
+    if node <> src then begin
+      detached_add t ~group ~node;
+      graft t ~node ~group
+    end
   end
 
 let leave t ~node ~group =

@@ -63,5 +63,11 @@ val clear_control_plane : t -> unit
 
 val link_downs : t -> int
 val link_ups : t -> int
+
+val topology_changes : t -> int
+(** [link_downs + link_ups]: every fault event that fired a topology
+    observer. The churn-storm scenario divides the routing work done by
+    this to show it is bounded by damage, not by events × nodes. *)
+
 val control_dropped : t -> int
 val control_delayed : t -> int

@@ -31,6 +31,13 @@ type node = {
   mutable mcast_handler : (Packet.t -> in_iface:int option -> unit) option;
 }
 
+type topology_event = {
+  a : Addr.node_id;
+  b : Addr.node_id;
+  up : bool;
+  affected_destinations : Addr.node_id list;
+}
+
 type t = {
   sim : Sim.t;
   routing : Routing.t;
@@ -38,7 +45,7 @@ type t = {
   mutable next_packet_id : int;
   observers :
     (Packet.t -> at:Addr.node_id -> in_iface:int option -> unit) Dyn.t;
-  topology_observers : (unit -> unit) Dyn.t;
+  topology_observers : (topology_event -> unit) Dyn.t;
       (** fired after every administrative link state change *)
   mutable origination_filter :
     (Packet.t -> [ `Deliver | `Drop | `Delay of Time.span ]) option;
@@ -165,10 +172,11 @@ let set_link_up t ~a ~b up =
   let iface_ba = Hashtbl.find t.nodes.(b).iface_of_neighbor a in
   Link.set_up t.nodes.(a).out_links.(iface_ab) up;
   Link.set_up t.nodes.(b).out_links.(iface_ba) up;
-  Routing.set_link_enabled t.routing ~a ~b up;
+  let affected = Routing.set_link_enabled t.routing ~a ~b up in
+  let ev = { a; b; up; affected_destinations = affected } in
   let obs = t.topology_observers in
   for i = 0 to obs.Dyn.count - 1 do
-    obs.Dyn.items.(i) ()
+    obs.Dyn.items.(i) ev
   done
 
 let link_is_up t ~a ~b =

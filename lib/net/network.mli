@@ -47,10 +47,22 @@ val add_transit_observer :
     {!Packet_trace} debugging aid. Multiple observers run in
     registration order. *)
 
-val add_topology_observer : t -> (unit -> unit) -> unit
+type topology_event = {
+  a : Addr.node_id;
+  b : Addr.node_id;  (** the changed duplex link *)
+  up : bool;
+  affected_destinations : Addr.node_id list;
+      (** destinations whose routing tables the change updated, ascending
+          (see {!Routing.set_link_enabled}); empty for a no-op change *)
+}
+
+val add_topology_observer : t -> (topology_event -> unit) -> unit
 (** Observers run (in registration order) after every administrative link
     state change made through {!set_link_up}, once routing has been
-    recomputed. The multicast router uses this to repair its trees. *)
+    updated. The event identifies the changed link and the destinations
+    whose tables moved, so an observer can bound its own repair work to
+    the damage — the multicast router uses this to repair only the trees
+    whose reverse paths the change touched. *)
 
 val set_link_up : t -> a:Addr.node_id -> b:Addr.node_id -> bool -> unit
 (** Fails or restores the duplex link between [a] and [b]: both simplex

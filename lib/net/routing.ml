@@ -59,6 +59,80 @@ let recompute_dst t d =
   t.next.(d) <- n;
   t.dist.(d) <- ds
 
+(* Splice the restored edge (a,b) of weight [w] back into destination
+   [d]'s tables, which are exact for the topology without it. [dijkstra]
+   leaves a canonical table — [dist.(m)] is the shortest distance and
+   [next.(m)] the smallest-id neighbor on a shortest path — and that
+   invariant characterizes the tables independently of how they were
+   produced. A distance can only improve through the restored edge, so if
+   neither endpoint gains a shorter path through the other (nor an
+   equal-length one through a lower-id neighbor, the tie-break), the
+   destination's tables are already canonical for the restored topology
+   and it is skipped without touching the counter. Otherwise the improved
+   endpoint seeds a Dijkstra confined to the improved region, relaxing
+   with the same tie-break over the same sorted adjacency: nodes whose
+   distance falls are pushed and finalized in (dist, id) order, while an
+   equal-length discovery only lowers [next.(m)] — distances are
+   unchanged there, so nothing propagates (a neighbor's canonical next
+   hop depends on distances alone). Any node not reached this way kept
+   both its distance and, by the old canonicity, its minimal next hop, so
+   the result is bit-identical to a fresh [compute]. Returns whether the
+   destination's tables changed. *)
+let restore_edge_dst t ~d ~a ~b ~w =
+  let dist = t.dist.(d) and next = t.next.(d) in
+  let touched = ref false in
+  let frontier = ref [] in
+  let seed n m =
+    (* candidate path for [m]: over the restored edge, then [n]'s path *)
+    if dist.(n) < max_int && m <> d then begin
+      let nd = dist.(n) + w in
+      if nd < dist.(m) then begin
+        dist.(m) <- nd;
+        next.(m) <- n;
+        frontier := (nd, m) :: !frontier;
+        touched := true
+      end
+      else if nd = dist.(m) && next.(m) > n then begin
+        next.(m) <- n;
+        touched := true
+      end
+    end
+  in
+  seed a b;
+  seed b a;
+  (match !frontier with
+  | [] -> ()
+  | seeds ->
+      let heap =
+        Engine.Heap.create ~cmp:(fun (da, na) (db, nb) ->
+            let c = Int.compare da db in
+            if c <> 0 then c else Int.compare na nb)
+      in
+      List.iter (fun s -> Engine.Heap.push heap s) seeds;
+      let rec loop () =
+        match Engine.Heap.pop heap with
+        | None -> ()
+        | Some (dn, n) ->
+            if dn = dist.(n) then
+              List.iter
+                (fun (m, w') ->
+                  if not (Hashtbl.mem t.disabled (edge_key n m)) then begin
+                    let nd = dn + w' in
+                    if nd < dist.(m) then begin
+                      dist.(m) <- nd;
+                      next.(m) <- n;
+                      Engine.Heap.push heap (nd, m)
+                    end
+                    else if nd = dist.(m) && next.(m) > n && m <> d then
+                      next.(m) <- n
+                  end)
+                t.adj.(n);
+            loop ()
+      in
+      loop ());
+  if !touched then t.recomputes <- t.recomputes + 1;
+  !touched
+
 let compute topo =
   if not (Topology.is_connected topo) then
     invalid_arg "Routing.compute: topology is not connected";
@@ -95,33 +169,44 @@ let check t from dst =
 
 let link_enabled t ~a ~b = not (Hashtbl.mem t.disabled (edge_key a b))
 
-(* Taking a link down only invalidates destinations whose shortest-path
-   tree actually crossed it: next.(d) is a tree rooted at [d], so the edge
-   (a,b) is in use iff one endpoint forwards through the other. An unused
-   equal-cost edge was already rejected by the deterministic tie-break, so
-   removing it cannot change any table. Restoring a link can shorten paths
-   to any destination, so every table is rebuilt — the result is exactly
-   what [compute] would produce on the restored topology. *)
+(* Both directions are incremental and bounded to the destinations whose
+   tables actually change. Taking a link down only invalidates
+   destinations whose shortest-path tree crossed it: next.(d) is a tree
+   rooted at [d], so the edge (a,b) is in use iff one endpoint forwards
+   through the other. An unused equal-cost edge was already rejected by
+   the deterministic tie-break, so removing it cannot change any table.
+   Restoring a link runs [restore_edge_dst] per destination: the restored
+   edge is spliced in where it improves a reachable node and the
+   improvement relaxed outward, or the destination is skipped entirely —
+   either way the tables are exactly what [compute] would produce on the
+   restored topology. Returns the destinations whose tables changed, in
+   ascending order. *)
 let set_link_enabled t ~a ~b enabled =
   check t a b;
   if a = b then invalid_arg "Routing.set_link_enabled: a = b";
   if not (List.mem_assoc b t.adj.(a)) then
     invalid_arg "Routing.set_link_enabled: not adjacent";
   let key = edge_key a b in
+  let affected = ref [] in
   if enabled then begin
     if Hashtbl.mem t.disabled key then begin
       Hashtbl.remove t.disabled key;
-      for d = 0 to t.node_count - 1 do
-        recompute_dst t d
+      let w = List.assoc b t.adj.(a) in
+      for d = t.node_count - 1 downto 0 do
+        if restore_edge_dst t ~d ~a ~b ~w then affected := d :: !affected
       done
     end
   end
   else if not (Hashtbl.mem t.disabled key) then begin
     Hashtbl.add t.disabled key ();
-    for d = 0 to t.node_count - 1 do
-      if t.next.(d).(a) = b || t.next.(d).(b) = a then recompute_dst t d
+    for d = t.node_count - 1 downto 0 do
+      if t.next.(d).(a) = b || t.next.(d).(b) = a then begin
+        recompute_dst t d;
+        affected := d :: !affected
+      end
     done
-  end
+  end;
+  !affected
 
 let recomputes t = t.recomputes
 

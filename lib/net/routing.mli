@@ -7,12 +7,15 @@
     toward a source is the unicast next hop toward it.
 
     Links can be administratively disabled (the fault-injection layer's
-    link failures) and re-enabled. Recomputation is incremental: taking a
-    link down rebuilds only the destinations whose shortest-path tree
-    crossed it; restoring one rebuilds every table, yielding exactly the
-    tables {!compute} would produce from scratch. With links down the
-    graph may be partitioned, in which case the affected entries report
-    the destination as unreachable. *)
+    link failures) and re-enabled. Recomputation is incremental in both
+    directions: taking a link down rebuilds only the destinations whose
+    shortest-path tree crossed it; restoring one splices the edge back in
+    per destination — seeding from whichever endpoint it improves and
+    relaxing outward, or skipping the destination entirely — yielding
+    exactly the tables {!compute} would produce from scratch, preserved
+    tie-breaks included (see DESIGN.md, "Incremental maintenance"). With
+    links down the graph may be partitioned, in which case the affected
+    entries report the destination as unreachable. *)
 
 type t
 
@@ -39,13 +42,21 @@ val distance : t -> from:Addr.node_id -> dst:Addr.node_id -> Engine.Time.span
 (** Sum of link delays along the routed path; [max_int] when
     unreachable. *)
 
-val set_link_enabled : t -> a:Addr.node_id -> b:Addr.node_id -> bool -> unit
+val set_link_enabled :
+  t -> a:Addr.node_id -> b:Addr.node_id -> bool -> Addr.node_id list
 (** Administratively disables or re-enables the duplex link between [a]
-    and [b] and recomputes the affected tables. Idempotent.
+    and [b] and updates the affected tables incrementally. Returns the
+    destinations whose tables changed, in ascending order — empty when
+    the call was a no-op (already in the requested state, or restoring an
+    edge that improves no path). Idempotent.
     @raise Invalid_argument if the nodes are not adjacent. *)
 
 val link_enabled : t -> a:Addr.node_id -> b:Addr.node_id -> bool
 
 val recomputes : t -> int
-(** Per-destination Dijkstra runs triggered by {!set_link_enabled} since
-    creation (the initial full computation is not counted). *)
+(** Destination tables updated by {!set_link_enabled} since creation: one
+    per full per-destination Dijkstra on a link-down, one per destination
+    spliced by the bounded link-up update. Destinations skipped because
+    the change could not affect them are not counted, so under churn this
+    grows with the damage done, not with [events x node_count] (the
+    initial full computation is not counted either). *)

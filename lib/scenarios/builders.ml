@@ -83,6 +83,40 @@ let topology_b ~session_count =
   in
   { topology = topo; controller_node; sessions }
 
+(* Complete k-ary tree of internal fan-out [fanout] and [depth] levels
+   below the root, every link at [fast_bps]. With [cross_links], each
+   internal node's consecutive children are also chained sibling-to-
+   sibling: those links are off every shortest path while the tree is
+   intact (one hop up beats two hops sideways at equal delay), but give a
+   failed tree link a detour, so churn exercises rerouting and bounded
+   tree repair rather than only partition and reattachment. The session
+   is rooted at the root with every leaf a receiver. *)
+let kary ~fanout ~depth ?(cross_links = true) () =
+  if fanout < 2 then invalid_arg "kary: fanout < 2";
+  if depth < 1 then invalid_arg "kary: depth < 1";
+  let topo = Topology.create () in
+  let root = Topology.add_node topo in
+  let rec grow parents level =
+    let children =
+      List.concat_map
+        (fun parent ->
+          let kids = Topology.add_nodes topo fanout in
+          List.iter
+            (fun kid -> duplex topo ~a:parent ~b:kid ~bandwidth_bps:fast_bps)
+            kids;
+          if cross_links then
+            List.iter2
+              (fun a b -> duplex topo ~a ~b ~bandwidth_bps:fast_bps)
+              (List.filteri (fun i _ -> i < fanout - 1) kids)
+              (List.tl kids);
+          kids)
+        parents
+    in
+    if level = depth then children else grow children (level + 1)
+  in
+  let leaves = grow [ root ] 1 in
+  { topology = topo; controller_node = root; sessions = [ (root, leaves) ] }
+
 let figure1 () =
   let topo = Topology.create () in
   let source = Topology.add_node topo in

@@ -27,6 +27,16 @@ val topology_a : receivers_per_set:int -> spec
 val topology_b : session_count:int -> spec
 (** @raise Invalid_argument if [session_count < 1]. *)
 
+val kary : fanout:int -> depth:int -> ?cross_links:bool -> unit -> spec
+(** Complete k-ary tree: a root, [depth] levels of [fanout]-way fan-out
+    below it ([(fanout^(depth+1) - 1) / (fanout - 1)] nodes), every link
+    fast. One session from the root to every leaf. With [cross_links]
+    (default true) consecutive siblings are also linked: off every
+    shortest path while the tree is intact, they turn a failed tree link
+    into a reroute instead of a partition. Built for the churn-storm
+    scenario and the large incremental-maintenance tests.
+    @raise Invalid_argument if [fanout < 2] or [depth < 1]. *)
+
 val figure1 : unit -> spec
 (** The paper's Fig. 1 illustration: source, a 64 Kbps branch serving two
     receivers (nodes 3 and 4 in the paper) and an unconstrained branch

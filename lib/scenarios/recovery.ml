@@ -641,3 +641,168 @@ let partition ?(receivers_per_set = 2) ?(down_at_s = 60.0) ?(up_at_s = 90.0)
     peak_heap = Sim.max_pending rig.sim;
     peak_live = Sim.max_live_pending rig.sim;
   }
+
+(* ---------- churn storm ---------- *)
+
+type storm_outcome = {
+  nodes : int;
+  links : int;
+  flaps : int;
+  topology_events : int;
+  joins : int;
+  leaves : int;
+  routing_recomputes : int;
+  full_recompute_equiv : int;
+  repair_passes : int;
+  edges_repaired : int;
+  tables_consistent : bool;
+  tree_consistent : bool;
+  events_dispatched : int;
+  peak_heap : int;
+  peak_live : int;
+}
+
+(* Pure control-plane stress: no traffic, no TopoSense loop — just the
+   routing tables and one multicast tree under sustained link flaps and
+   membership churn on a k-ary topology with sibling detours.  Every flap
+   finishes before [storm_end]; a restore-all sweep there guarantees the
+   final graph is the pristine topology, so the end-of-run oracle is
+   simply a fresh [Routing.compute] with nothing disabled.  The last
+   30 s are quiet, long enough for every in-flight graft (hop delays)
+   and leave timer (1 s) to land before the consistency checks. *)
+let churn_storm ?(fanout = 4) ?(depth = 3) ?(flaps = 60) ?(churners = 24)
+    ?(duration = Time.of_sec 600) ?(seed = 7L) ?backend () =
+  if flaps < 0 then invalid_arg "churn_storm: flaps < 0";
+  if churners < 0 then invalid_arg "churn_storm: churners < 0";
+  let horizon_s = Time.to_sec_f duration in
+  if horizon_s < 60.0 then invalid_arg "churn_storm: duration < 60 s";
+  let spec = Builders.kary ~fanout ~depth () in
+  let sim = Sim.create ~seed ?backend () in
+  let network = Net.Network.create ~sim spec.Builders.topology in
+  let router = Multicast.Router.create ~network () in
+  let faults = Net.Faults.create ~network () in
+  let root, leaf_nodes =
+    match spec.Builders.sessions with [ s ] -> s | _ -> assert false
+  in
+  let group = Multicast.Router.fresh_group router ~source:root in
+  List.iter (fun n -> Multicast.Router.join router ~node:n ~group) leaf_nodes;
+  let join_count = ref (List.length leaf_nodes) in
+  let leave_count = ref 0 in
+  let rng = Sim.rng sim ~label:"churn-storm" in
+  let schedule_at_s s f = ignore (Sim.schedule_at sim (Time.of_sec_f s) f) in
+  let storm_end = horizon_s -. 30.0 in
+  (* Membership churners: a subset of leaves that repeatedly leave and
+     re-join a few seconds later.  Every cycle ends in a re-join before
+     [storm_end], so the final membership is all leaves again. *)
+  List.iteri
+    (fun _ node ->
+      let t = ref (Engine.Prng.uniform rng ~lo:5.0 ~hi:20.0) in
+      let continue = ref true in
+      while !continue do
+        let gap = Engine.Prng.uniform rng ~lo:2.0 ~hi:6.0 in
+        if !t +. gap >= storm_end then continue := false
+        else begin
+          let off = !t in
+          schedule_at_s off (fun () ->
+              incr leave_count;
+              Multicast.Router.leave router ~node ~group);
+          schedule_at_s (off +. gap) (fun () ->
+              incr join_count;
+              Multicast.Router.join router ~node ~group);
+          t := !t +. gap +. Engine.Prng.uniform rng ~lo:10.0 ~hi:25.0
+        end
+      done)
+    (List.filteri (fun i _ -> i < churners) leaf_nodes);
+  (* Link flaps over the whole link set (tree links and sibling
+     detours); overlapping flaps of one link are fine — [Faults]'s
+     down/up are guarded no-ops, and the counters track only effective
+     transitions. *)
+  let pairs =
+    Array.of_list
+      (List.map
+         (fun (l : Net.Topology.link_spec) -> (l.a, l.b))
+         (Net.Topology.links spec.Builders.topology))
+  in
+  for _ = 1 to flaps do
+    let a, b = pairs.(Engine.Prng.int rng ~bound:(Array.length pairs)) in
+    let down = Engine.Prng.uniform rng ~lo:5.0 ~hi:(storm_end -. 10.0) in
+    let up = down +. Engine.Prng.uniform rng ~lo:2.0 ~hi:8.0 in
+    Net.Faults.schedule_flap faults ~a ~b ~down_at:(Time.of_sec_f down)
+      ~up_at:(Time.of_sec_f up)
+  done;
+  schedule_at_s storm_end (fun () ->
+      Array.iter (fun (a, b) -> Net.Faults.link_up faults ~a ~b) pairs);
+  Sim.run_until sim duration;
+  let routing = Net.Network.routing network in
+  let nodes = Net.Network.node_count network in
+  (* Every link is back up, so the live tables must equal a fresh
+     compute over the pristine topology — next hops and distances, for
+     every (from, dst) pair. *)
+  let tables_consistent =
+    let oracle = Net.Routing.compute spec.Builders.topology in
+    let ok = ref true in
+    for from = 0 to nodes - 1 do
+      for dst = 0 to nodes - 1 do
+        if
+          from <> dst
+          && (Net.Routing.next_hop_opt routing ~from ~dst
+                <> Net.Routing.next_hop_opt oracle ~from ~dst
+             || Net.Routing.distance routing ~from ~dst
+                <> Net.Routing.distance oracle ~from ~dst)
+        then ok := false
+      done
+    done;
+    !ok
+  in
+  let tree_consistent =
+    let edges = Multicast.Router.tree_edges router ~group in
+    let parent = Hashtbl.create 256 in
+    let unique =
+      List.for_all
+        (fun (p, c) ->
+          (not (Hashtbl.mem parent c))
+          && begin
+               Hashtbl.add parent c p;
+               true
+             end)
+        edges
+    in
+    let rpf_ok =
+      List.for_all
+        (fun (p, c) ->
+          Net.Routing.next_hop_opt routing ~from:c ~dst:root = Some p)
+        edges
+    in
+    let covered =
+      let rec climb n steps =
+        n = root
+        || steps <= nodes
+           &&
+           match Hashtbl.find_opt parent n with
+           | None -> false
+           | Some p -> climb p (steps + 1)
+      in
+      List.for_all
+        (fun m -> climb m 0)
+        (Multicast.Router.members router ~group)
+    in
+    unique && rpf_ok && covered
+  in
+  let topology_events = Net.Faults.topology_changes faults in
+  {
+    nodes;
+    links = Array.length pairs;
+    flaps;
+    topology_events;
+    joins = !join_count;
+    leaves = !leave_count;
+    routing_recomputes = Net.Routing.recomputes routing;
+    full_recompute_equiv = topology_events * nodes;
+    repair_passes = Multicast.Router.repair_passes router;
+    edges_repaired = Multicast.Router.edges_repaired router;
+    tables_consistent;
+    tree_consistent;
+    events_dispatched = Sim.events_dispatched sim;
+    peak_heap = Sim.max_pending sim;
+    peak_live = Sim.max_live_pending sim;
+  }

@@ -1,7 +1,7 @@
 (** Failure-recovery experiments.
 
-    Four fault scenarios over Topology-A-style networks, each reporting
-    recovery-time and goodput/accuracy metrics:
+    Five fault scenarios, each reporting recovery-time and
+    goodput/accuracy metrics:
 
     - {!link_flap} — the core→fast-branch link fails and later heals on a
       topology with a narrower two-hop detour, exercising incremental
@@ -18,7 +18,12 @@
       link fails: the control plane is severed while the data plane keeps
       flowing; leases evict the unreachable receivers, the standalone
       RLM fallback keeps them adapting, and both ends reconverge after
-      the heal.
+      the heal;
+    - {!churn_storm} — sustained random link flaps interleaved with
+      membership churn on a large k-ary topology, measuring that the
+      incremental route and tree maintenance does work proportional to
+      the damage (not events × nodes) while staying exactly consistent
+      with a from-scratch computation.
 
     All runs are deterministic per seed. Without scheduled faults these
     rigs behave exactly like {!Experiment.run}'s. *)
@@ -233,3 +238,55 @@ val partition :
     prescriptions, the RLM fallback and a 5-interval lease. Defaults:
     2+2 receivers, down at 60 s, up at 90 s, 180 s horizon, CBR.
     @raise Invalid_argument unless [down_at_s < up_at_s < duration]. *)
+
+(** {1 Churn storm} *)
+
+type storm_outcome = {
+  nodes : int;
+  links : int;  (** duplex links in the topology *)
+  flaps : int;  (** flap cycles requested *)
+  topology_events : int;
+      (** effective link-down/link-up transitions that fired topology
+          observers (overlapping flaps collapse; the final restore-all
+          sweep is included) *)
+  joins : int;  (** join calls, initial subscriptions included *)
+  leaves : int;  (** leave calls *)
+  routing_recomputes : int;
+      (** per-destination routing-table updates actually performed; a
+          non-incremental implementation would need
+          [full_recompute_equiv] of them *)
+  full_recompute_equiv : int;  (** [topology_events * nodes] *)
+  repair_passes : int;  (** one per topology event *)
+  edges_repaired : int;  (** tree edges cut by the bounded repair *)
+  tables_consistent : bool;
+      (** after the storm (all links restored) the live tables are
+          bit-identical to a fresh {!Net.Routing.compute} — next hops
+          and distances for every pair *)
+  tree_consistent : bool;
+      (** the final overlay is a tree that reaches every member and
+          every edge agrees with the unicast reverse paths *)
+  events_dispatched : int;
+  peak_heap : int;  (** backing-store high-water mark, tombstones included *)
+  peak_live : int;  (** high-water mark of non-cancelled pending events *)
+}
+
+val churn_storm :
+  ?fanout:int ->
+  ?depth:int ->
+  ?flaps:int ->
+  ?churners:int ->
+  ?duration:Engine.Time.t ->
+  ?seed:int64 ->
+  ?backend:Engine.Event_queue.backend ->
+  unit ->
+  storm_outcome
+(** Pure control-plane churn stress on {!Builders.kary}: [flaps] random
+    link down/up cycles and [churners] leaves repeatedly leaving and
+    re-joining, all completing 30 s before the horizon so in-flight
+    grafts and leave timers settle; a restore-all sweep guarantees the
+    final graph is pristine before the consistency checks run.
+    Defaults: fanout 4, depth 3 (85 nodes), 60 flaps, 24 churners,
+    600 s horizon. Deterministic per seed and identical across event
+    queue [backend]s.
+    @raise Invalid_argument on negative counts or a horizon under
+    60 s. *)
