@@ -327,7 +327,8 @@ let run_ablations () =
             sessions
             (match control with
             | Scenarios.Tiered.Global -> "global"
-            | Scenarios.Tiered.Per_domain -> "per-domain")
+            | Scenarios.Tiered.Per_domain -> "per-domain"
+            | Scenarios.Tiered.Federated -> "federated")
             o.controllers o.mean_deviation)
         [ Scenarios.Tiered.Global; Scenarios.Tiered.Per_domain ])
     [ 1; 2 ];
@@ -397,7 +398,7 @@ let run_ablations () =
 
 (* ---------- bench trajectory (BENCH_*.json) ---------- *)
 
-(* Macro throughput numbers for the hot path, written to BENCH_pr6.json
+(* Macro throughput numbers for the hot path, written to BENCH_pr7.json
    so successive PRs can compare events/sec and packets/sec on fixed
    scenarios (diff two files with bench/compare.exe). Runs alone (fast)
    with BENCH_SMOKE=1 or --trajectory. *)
@@ -611,6 +612,42 @@ let churn_storm_row ~sim_s () =
       ];
   }
 
+(* Scaled transit-stub worlds (PR 7): the row's headline numbers are
+   peak RSS and the materialized-column count, pinning the lazy-routing
+   and O(domains)-federation state claims at 10k and 100k receivers.
+   One run, not best-of-N: VmHWM is a process-wide high-water mark, so
+   repeats measure nothing new and these rows must run first (10k before
+   100k) for their RSS figures to mean what they say. *)
+let scale_row ~name ~config () =
+  let o, wall, gc = time_wall (fun () -> Scenarios.Scale.run ~config ()) in
+  {
+    bname = name;
+    sim_s = Time.to_sec_f config.Scenarios.Scale.duration;
+    wall_s = wall;
+    events = o.Scenarios.Scale.events_dispatched;
+    packets = 0;
+    peak_heap = 0;
+    peak_live = 0;
+    minor_words = gc.minor_w;
+    major_words = gc.major_w;
+    major_cols = gc.major_cols;
+    extras =
+      [
+        ("receivers", float_of_int o.Scenarios.Scale.receivers);
+        ("domains", float_of_int o.Scenarios.Scale.domains);
+        ("peak_rss_kb", float_of_int o.Scenarios.Scale.peak_rss_kb);
+        ( "materialized_columns",
+          float_of_int o.Scenarios.Scale.materialized_columns );
+        ("column_bound", float_of_int o.Scenarios.Scale.column_bound);
+        ( "parent_state_entries",
+          float_of_int o.Scenarios.Scale.parent_state_entries );
+        ( "controller_state_entries",
+          float_of_int o.Scenarios.Scale.controller_state_entries );
+        ( "summaries_received",
+          float_of_int o.Scenarios.Scale.summaries_received );
+      ];
+  }
+
 (* Derived allocation-pressure metric: total words allocated (minor +
    major-only allocations) per event dispatched. The hot-path work of
    this PR shows up here: a steady-state event that allocates nothing
@@ -621,7 +658,7 @@ let alloc_per_event r =
 
 let emit_bench_json ~path rows =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n  \"bench\": \"pr6\",\n";
+  Buffer.add_string buf "{\n  \"bench\": \"pr7\",\n";
   Printf.bprintf buf "  \"mode\": \"%s\",\n"
     (if full then "full" else "quick");
   Printf.bprintf buf "  \"scheduler\": \"%s\",\n"
@@ -706,7 +743,32 @@ let run_trajectory () =
           ~backend:Engine.Event_queue.Calendar ~sim_s:(sim_s /. 5.0) ());
     ]
   in
-  let rows = Scenarios.Sweep.run ~jobs (fun thunk -> thunk ()) row_thunks in
+  (* Scale rows run serially, before everything else in this trajectory:
+     VmHWM only ever grows, so the 10k row's RSS (the CI gate) must be
+     recorded before the 100k world is built. *)
+  let scale_rows =
+    let d10, d100 = if full then (10.0, 5.0) else (5.0, 5.0) in
+    let with_duration config d =
+      { config with Scenarios.Scale.duration = Time.of_sec_f d }
+    in
+    (* Sequenced with lets: list-literal elements evaluate right to
+       left, which would run the 100k world first and pollute the 10k
+       row's VmHWM reading. *)
+    let r10k =
+      scale_row ~name:"scale-10k"
+        ~config:(with_duration Scenarios.Scale.config_10k d10)
+        ()
+    in
+    let r100k =
+      scale_row ~name:"scale-100k"
+        ~config:(with_duration Scenarios.Scale.config_100k d100)
+        ()
+    in
+    [ r10k; r100k ]
+  in
+  let rows =
+    scale_rows @ Scenarios.Sweep.run ~jobs (fun thunk -> thunk ()) row_thunks
+  in
   List.iter
     (fun r ->
       Format.printf
@@ -721,7 +783,7 @@ let run_trajectory () =
         r.major_cols (alloc_per_event r))
     rows;
   let path =
-    Option.value ~default:"BENCH_pr6.json" (Sys.getenv_opt "BENCH_OUT")
+    Option.value ~default:"BENCH_pr7.json" (Sys.getenv_opt "BENCH_OUT")
   in
   emit_bench_json ~path rows;
   Format.printf "wrote %s@." path

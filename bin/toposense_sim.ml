@@ -313,7 +313,8 @@ let tiered_cmd =
         Format.printf "%-12s controllers %d, mean deviation %.3f@."
           (match control with
           | Scenarios.Tiered.Global -> "global"
-          | Scenarios.Tiered.Per_domain -> "per-domain")
+          | Scenarios.Tiered.Per_domain -> "per-domain"
+          | Scenarios.Tiered.Federated -> "federated")
           o.controllers o.mean_deviation;
         List.iter
           (fun (r : Scenarios.Tiered.receiver_outcome) ->
@@ -684,6 +685,49 @@ let faults_cmd =
         (const run $ duration_term $ seed_term $ scheduler_term
        $ experiment_term $ drop_term $ reliable_term $ json_term))
 
+let scale_cmd =
+  let run seed scheduler receivers duration =
+    set_scheduler scheduler;
+    match
+      match receivers with
+      | 10_000 -> Ok Scenarios.Scale.config_10k
+      | 100_000 -> Ok Scenarios.Scale.config_100k
+      | 1_000_000 -> Ok Scenarios.Scale.config_1m
+      | _ -> Error "supported --receivers values: 10000, 100000, 1000000"
+    with
+    | Error msg -> `Error (false, msg)
+    | Ok base ->
+        let config = { base with Scenarios.Scale.seed = Int64.of_int seed } in
+        let config =
+          match duration with
+          | None -> config
+          | Some s -> { config with Scenarios.Scale.duration = Time.of_sec s }
+        in
+        let o = Scenarios.Scale.run ~config () in
+        Format.printf "%a@." Scenarios.Scale.pp o;
+        `Ok ()
+  in
+  let receivers =
+    Arg.(
+      value & opt int 10_000
+      & info [ "receivers" ] ~docv:"N"
+          ~doc:"Receiver population: 10000, 100000 or 1000000.")
+  in
+  let duration =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Simulated seconds (default: the preset's).")
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Scaled transit-stub world: full population on bitset membership, \
+          lazy routing columns, per-stub controllers federated under an \
+          O(domains) parent. Prints state counters, events/s and peak RSS.")
+    Term.(ret (const run $ seed_term $ scheduler_term $ receivers $ duration))
+
 let () =
   let info =
     Cmd.info "toposense_sim" ~version:"1.0.0"
@@ -705,4 +749,5 @@ let () =
             tiered_cmd;
             churn_cmd;
             faults_cmd;
+            scale_cmd;
           ]))

@@ -106,7 +106,17 @@ let restrict t ~domain =
     match ingresses with
     | [] -> None
     | _ :: _ :: _ ->
-        invalid_arg "Snapshot.restrict: session enters the domain twice"
+        invalid_arg
+          (Format.asprintf
+             "Snapshot.restrict: session %d enters the domain at %d ingresses \
+              (%a); domains handed to a controller must be subtree-shaped — \
+              regroup the nodes so the tree crosses the boundary once (see \
+              Scenarios.Builders.validate_domains)"
+             t.session (List.length ingresses)
+             (Format.pp_print_list
+                ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+                Addr.pp_node)
+             ingresses)
     | [ ingress ] ->
         let members = List.filter (fun (m, _) -> inside m) t.members in
         Some { t with source = ingress; edges = edges_in; members }

@@ -46,7 +46,9 @@ val restrict : t -> domain:Net.Addr.node_id list -> t option
     it belongs to the domain). [None] when the session does not enter the
     domain. @raise Invalid_argument if the tree enters the domain at more
     than one ingress (the domain is not subtree-shaped for this
-    session). *)
+    session); the message names the offending ingress nodes. Validate
+    domain assignments up front with
+    [Scenarios.Builders.validate_domains]. *)
 
 val divergence :
   t -> router:Multicast.Router.t -> session:Traffic.Session.t -> int

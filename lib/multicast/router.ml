@@ -2,19 +2,26 @@ module Sim = Engine.Sim
 module Time = Engine.Time
 module Addr = Net.Addr
 module Network = Net.Network
-module Iset = Set.Make (Int)
-
-module Pset = Set.Make (struct
-  type t = int * int
-
-  let compare = compare
-end)
+module Bitset = Util.Bitset
 
 type gstate = {
-  mutable oifs : Iset.t;  (* outgoing interfaces with downstream interest *)
+  oifs : Bitset.t;  (* outgoing interfaces with downstream interest *)
   mutable local : bool;  (* application-level membership at this node *)
   mutable on_tree : bool;
   mutable leave_epoch : int;  (* invalidates stale leave timers *)
+}
+
+(* A group's recorded forwarding edges, child-indexed: [parents.(c)] is
+   the ascending list of parents with an installed edge toward [c] —
+   almost always empty or a singleton, transiently two mid-repair (a
+   reroute can leave the old parent forwarding while the graft installs
+   the new one). Replaces the former sorted pair-set: detaching a node's
+   other parents and the has-a-parent test are O(degree) instead of a
+   scan of the whole edge set, which is what a 100k-receiver join storm
+   actually spends its time on. *)
+type tree = {
+  parents : Addr.node_id list array;
+  mutable edge_count : int;
 }
 
 type t = {
@@ -31,9 +38,10 @@ type t = {
   mutable delivered_by_group : int array;
   (* Derived views maintained incrementally on join/leave/graft/prune so
      [members] and [tree_edges] — queried every TopoSense decision epoch —
-     don't fold the whole (node, group) table. *)
-  members_by_group : (Addr.group_id, Iset.t) Hashtbl.t;
-  edges_by_group : (Addr.group_id, Pset.t) Hashtbl.t;
+     don't fold the whole (node, group) table. Node and group ids are
+     dense, so the sets are bitsets (updated in place). *)
+  members_by_group : (Addr.group_id, Bitset.t) Hashtbl.t;
+  edges_by_group : (Addr.group_id, tree) Hashtbl.t;
   (* Repair indexes, so a topology event only visits the groups it can
      have touched: groups keyed by their source (a group needs repair
      exactly when its source's routing table moved), groups keyed by the
@@ -41,15 +49,23 @@ type t = {
      link itself), and per group the detached set — on-tree nodes with no
      recorded parent edge, i.e. severed subtree roots and nodes whose
      graft is still in flight. *)
-  groups_by_src : (Addr.node_id, Iset.t) Hashtbl.t;
-  groups_by_link : (Addr.node_id * Addr.node_id, Iset.t) Hashtbl.t;
-  detached_by_group : (Addr.group_id, Iset.t) Hashtbl.t;
+  groups_by_src : (Addr.node_id, Bitset.t) Hashtbl.t;
+  groups_by_link : (Addr.node_id * Addr.node_id, Bitset.t) Hashtbl.t;
+  detached_by_group : (Addr.group_id, Bitset.t) Hashtbl.t;
   mutable next_group : Addr.group_id;
   mutable repair_passes : int;
   mutable edges_repaired : int;
 }
 
 let link_key a b = if a < b then (a, b) else (b, a)
+
+let get_set tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some s -> s
+  | None ->
+      let s = Bitset.create () in
+      Hashtbl.add tbl key s;
+      s
 
 let grow_groups t g =
   let cap = Array.length t.src_of in
@@ -66,29 +82,20 @@ let grow_groups t g =
     t.delivered_by_group <- ndel
   end
 
-let add_member t ~group ~node =
-  let cur =
-    Option.value ~default:Iset.empty (Hashtbl.find_opt t.members_by_group group)
-  in
-  Hashtbl.replace t.members_by_group group (Iset.add node cur)
+let add_member t ~group ~node = Bitset.add (get_set t.members_by_group group) node
 
 let remove_member t ~group ~node =
   match Hashtbl.find_opt t.members_by_group group with
   | None -> ()
-  | Some cur -> Hashtbl.replace t.members_by_group group (Iset.remove node cur)
+  | Some cur -> Bitset.remove cur node
 
 let detached_add t ~group ~node =
-  let cur =
-    Option.value ~default:Iset.empty
-      (Hashtbl.find_opt t.detached_by_group group)
-  in
-  Hashtbl.replace t.detached_by_group group (Iset.add node cur)
+  Bitset.add (get_set t.detached_by_group group) node
 
 let detached_remove t ~group ~node =
   match Hashtbl.find_opt t.detached_by_group group with
   | None -> ()
-  | Some cur ->
-      Hashtbl.replace t.detached_by_group group (Iset.remove node cur)
+  | Some cur -> Bitset.remove cur node
 
 let state t node group =
   grow_groups t group;
@@ -104,39 +111,52 @@ let state t node group =
   match row.(node) with
   | Some s -> s
   | None ->
-      let s = { oifs = Iset.empty; local = false; on_tree = false; leave_epoch = 0 } in
+      let s =
+        {
+          oifs = Bitset.create ~capacity:8 ();
+          local = false;
+          on_tree = false;
+          leave_epoch = 0;
+        }
+      in
       row.(node) <- Some s;
       s
 
+let tree_of t group =
+  match Hashtbl.find_opt t.edges_by_group group with
+  | Some tr -> tr
+  | None ->
+      let tr = { parents = Array.make t.node_count []; edge_count = 0 } in
+      Hashtbl.add t.edges_by_group group tr;
+      tr
+
 let add_edge t ~group ~parent ~child =
-  let cur =
-    Option.value ~default:Pset.empty (Hashtbl.find_opt t.edges_by_group group)
-  in
-  Hashtbl.replace t.edges_by_group group (Pset.add (parent, child) cur);
-  let key = link_key parent child in
-  let gs =
-    Option.value ~default:Iset.empty (Hashtbl.find_opt t.groups_by_link key)
-  in
-  Hashtbl.replace t.groups_by_link key (Iset.add group gs);
+  let tr = tree_of t group in
+  let ps = tr.parents.(child) in
+  if not (List.mem parent ps) then begin
+    (* keep ascending so iteration order matches the former sorted set *)
+    tr.parents.(child) <- List.sort compare (parent :: ps);
+    tr.edge_count <- tr.edge_count + 1
+  end;
+  Bitset.add (get_set t.groups_by_link (link_key parent child)) group;
   (* the child has a parent again *)
   detached_remove t ~group ~node:child
 
 let remove_edge t ~group ~parent ~child =
   match Hashtbl.find_opt t.edges_by_group group with
   | None -> ()
-  | Some cur ->
-      let cur = Pset.remove (parent, child) cur in
-      Hashtbl.replace t.edges_by_group group cur;
+  | Some tr ->
+      let ps = tr.parents.(child) in
+      if List.mem parent ps then begin
+        tr.parents.(child) <- List.filter (fun p -> p <> parent) ps;
+        tr.edge_count <- tr.edge_count - 1
+      end;
       (* drop the group from the link index only when no recorded edge
          rides the link in either direction any more *)
-      if not (Pset.mem (child, parent) cur) then begin
-        let key = link_key parent child in
-        match Hashtbl.find_opt t.groups_by_link key with
+      if not (List.mem child tr.parents.(parent)) then begin
+        match Hashtbl.find_opt t.groups_by_link (link_key parent child) with
         | None -> ()
-        | Some gs ->
-            let gs = Iset.remove group gs in
-            if Iset.is_empty gs then Hashtbl.remove t.groups_by_link key
-            else Hashtbl.replace t.groups_by_link key gs
+        | Some gs -> Bitset.remove gs group
       end;
       if (state t child group).on_tree then detached_add t ~group ~node:child
 
@@ -172,7 +192,7 @@ let handle t node (pkt : Net.Packet.t) ~in_iface =
           count_delivery t group;
           Network.deliver_local t.network node pkt
         end;
-        Iset.iter
+        Bitset.iter
           (fun oif ->
             if in_iface <> Some oif then
               Network.send_on_iface t.network ~node ~iface:oif pkt)
@@ -187,10 +207,7 @@ let fresh_group t ~source =
   t.next_group <- t.next_group + 1;
   grow_groups t g;
   t.src_of.(g) <- source;
-  let gs =
-    Option.value ~default:Iset.empty (Hashtbl.find_opt t.groups_by_src source)
-  in
-  Hashtbl.replace t.groups_by_src source (Iset.add g gs);
+  Bitset.add (get_set t.groups_by_src source) g;
   g
 
 let hop_delay t ~node ~parent =
@@ -216,7 +233,7 @@ let rec graft t ~node ~group =
           (Sim.schedule_after (Network.sim t.network) delay (fun () ->
                if rpf_parent t ~node ~src <> Some parent then begin
                  let st = state t node group in
-                 if st.on_tree && (st.local || not (Iset.is_empty st.oifs))
+                 if st.on_tree && (st.local || not (Bitset.is_empty st.oifs))
                  then graft t ~node ~group
                end
                else begin
@@ -225,8 +242,8 @@ let rec graft t ~node ~group =
                  let oif =
                    Network.iface_to t.network ~node:parent ~neighbor:node
                  in
-                 if not (Iset.mem oif pst.oifs) then begin
-                   pst.oifs <- Iset.add oif pst.oifs;
+                 if not (Bitset.mem pst.oifs oif) then begin
+                   Bitset.add pst.oifs oif;
                    add_edge t ~group ~parent ~child:node
                  end;
                  if not pst.on_tree then begin
@@ -241,7 +258,8 @@ let rec graft t ~node ~group =
 and maybe_prune t ~node ~group =
   let src = source t ~group in
   let st = state t node group in
-  if st.on_tree && (not st.local) && Iset.is_empty st.oifs && node <> src then begin
+  if st.on_tree && (not st.local) && Bitset.is_empty st.oifs && node <> src
+  then begin
     st.on_tree <- false;
     detached_remove t ~group ~node;
     match rpf_parent t ~node ~src with
@@ -252,8 +270,8 @@ and maybe_prune t ~node ~group =
           (Sim.schedule_after (Network.sim t.network) delay (fun () ->
                let pst = state t parent group in
                let oif = Network.iface_to t.network ~node:parent ~neighbor:node in
-               if Iset.mem oif pst.oifs then begin
-                 pst.oifs <- Iset.remove oif pst.oifs;
+               if Bitset.mem pst.oifs oif then begin
+                 Bitset.remove pst.oifs oif;
                  remove_edge t ~group ~parent ~child:node
                end;
                maybe_prune t ~node:parent ~group))
@@ -261,21 +279,34 @@ and maybe_prune t ~node ~group =
 
 (* Detach [node] from any recorded parent other than [keep]: a reroute can
    leave the old parent still forwarding to us while a graft installs the
-   new one. Never fires while routing is static. *)
+   new one. Never fires while routing is static. O(recorded parents of
+   [node]) — the child-indexed tree makes this a local lookup instead of
+   a scan of every edge in the group. *)
 and detach_other_parents t ~group ~node ~keep =
   match Hashtbl.find_opt t.edges_by_group group with
   | None -> ()
-  | Some edges ->
-      Pset.iter
-        (fun (p, c) ->
-          if c = node && p <> keep then begin
-            let pst = state t p group in
-            let oif = Network.iface_to t.network ~node:p ~neighbor:node in
-            pst.oifs <- Iset.remove oif pst.oifs;
-            remove_edge t ~group ~parent:p ~child:node;
-            maybe_prune t ~node:p ~group
-          end)
-        edges
+  | Some tr -> (
+      match List.filter (fun p -> p <> keep) tr.parents.(node) with
+      | [] -> ()
+      | others ->
+          (* ascending, and a snapshot: remove_edge mutates the list *)
+          List.iter
+            (fun p ->
+              let pst = state t p group in
+              let oif = Network.iface_to t.network ~node:p ~neighbor:node in
+              Bitset.remove pst.oifs oif;
+              remove_edge t ~group ~parent:p ~child:node;
+              maybe_prune t ~node:p ~group)
+            others)
+
+(* Recorded edges as a sorted (parent, child) snapshot — iteration order
+   of the former pair-set, safe to iterate while edges are removed. *)
+let edges_snapshot tr =
+  let acc = ref [] in
+  for c = Array.length tr.parents - 1 downto 0 do
+    List.iter (fun p -> acc := (p, c) :: !acc) tr.parents.(c)
+  done;
+  List.sort compare !acc
 
 (* Sweep 1 of tree repair: cut every recorded edge of [group] that no
    longer lies on the child's reverse path toward the source (the
@@ -286,32 +317,32 @@ and detach_other_parents t ~group ~node ~keep =
    otherwise miss (the detached set tracks severed children, not
    severed parents). *)
 let cut_invalid_edges t ~group ~src =
-  match Hashtbl.find_opt t.edges_by_group group with
-  | None -> Iset.empty
-  | Some edges ->
-      Pset.fold
-        (fun (p, c) cut_parents ->
+  let cut_parents = Bitset.create () in
+  (match Hashtbl.find_opt t.edges_by_group group with
+  | None -> ()
+  | Some tr ->
+      List.iter
+        (fun (p, c) ->
           let valid = c <> src && rpf_parent t ~node:c ~src = Some p in
           if not valid then begin
             let pst = state t p group in
             let oif = Network.iface_to t.network ~node:p ~neighbor:c in
-            pst.oifs <- Iset.remove oif pst.oifs;
+            Bitset.remove pst.oifs oif;
             remove_edge t ~group ~parent:p ~child:c;
             t.edges_repaired <- t.edges_repaired + 1;
-            Iset.add p cut_parents
-          end
-          else cut_parents)
-        edges Iset.empty
+            Bitset.add cut_parents p
+          end)
+        (edges_snapshot tr));
+  cut_parents
 
-(* The recorded child set after the cuts. [graft] and [maybe_prune] only
+(* Does [n] have a recorded parent edge? [graft] and [maybe_prune] only
    schedule future work (every hop costs at least a propagation delay),
-   so the edge set cannot change during a sweep and the set is built once
-   per repair, not once per node. *)
-let current_children t ~group =
+   so the edge set cannot change during a repair sweep and the live
+   lookup equals a snapshot taken at sweep start. *)
+let has_parent t ~group n =
   match Hashtbl.find_opt t.edges_by_group group with
-  | None -> Iset.empty
-  | Some edges ->
-      Pset.fold (fun (_, c) acc -> Iset.add c acc) edges Iset.empty
+  | None -> false
+  | Some tr -> tr.parents.(n) <> []
 
 (* Sweeps 2 and 3 for one node:
    2. re-graft it if it still wants traffic (local membership or live
@@ -319,24 +350,24 @@ let current_children t ~group =
       propagates with hop delays, so recovery time is measurable;
    3. start a prune if it is on the tree with neither membership nor
       downstream interest, so severed branches do not linger. *)
-let regraft_or_prune t ~group ~src ~children n st =
+let regraft_or_prune t ~group ~src n st =
   if n <> src && st.on_tree then begin
-    let interested = st.local || not (Iset.is_empty st.oifs) in
+    let interested = st.local || not (Bitset.is_empty st.oifs) in
     if not interested then maybe_prune t ~node:n ~group
-    else if not (Iset.mem n children) then graft t ~node:n ~group
+    else if not (has_parent t ~group n) then graft t ~node:n ~group
   end
 
 (* A group with no members, no recorded edges and no detached node has no
    tree to cut and nobody to re-attach: all three sweeps would no-op. *)
 let group_idle t ~group =
   (match Hashtbl.find_opt t.members_by_group group with
-  | Some m -> Iset.is_empty m
+  | Some m -> Bitset.is_empty m
   | None -> true)
   && (match Hashtbl.find_opt t.edges_by_group group with
-     | Some e -> Pset.is_empty e
+     | Some tr -> tr.edge_count = 0
      | None -> true)
   && (match Hashtbl.find_opt t.detached_by_group group with
-     | Some d -> Iset.is_empty d
+     | Some d -> Bitset.is_empty d
      | None -> true)
 
 (* Full repair of one group against the current routing tables: cut,
@@ -344,13 +375,12 @@ let group_idle t ~group =
 let repair_group t ~group =
   let src = t.src_of.(group) in
   if src >= 0 then begin
-    ignore (cut_invalid_edges t ~group ~src : Iset.t);
+    ignore (cut_invalid_edges t ~group ~src : Bitset.t);
     let row = t.state_rows.(group) in
-    let children = current_children t ~group in
     for n = 0 to Array.length row - 1 do
       match row.(n) with
       | None -> ()
-      | Some st -> regraft_or_prune t ~group ~src ~children n st
+      | Some st -> regraft_or_prune t ~group ~src n st
     done
   end
 
@@ -365,18 +395,15 @@ let repair_group t ~group =
 let repair_group_scoped t ~group =
   let src = t.src_of.(group) in
   if src >= 0 then begin
-    let cut_parents = cut_invalid_edges t ~group ~src in
-    let det =
-      Option.value ~default:Iset.empty
-        (Hashtbl.find_opt t.detached_by_group group)
-    in
-    let work = Iset.union det cut_parents in
-    if not (Iset.is_empty work) then begin
-      let children = current_children t ~group in
-      Iset.iter
-        (fun n -> regraft_or_prune t ~group ~src ~children n (state t n group))
-        work
-    end
+    let work = cut_invalid_edges t ~group ~src in
+    (* union in a copy: the sweep itself moves nodes in and out of the
+       live detached set *)
+    (match Hashtbl.find_opt t.detached_by_group group with
+    | Some det -> Bitset.union_into ~into:work det
+    | None -> ());
+    Bitset.iter
+      (fun n -> regraft_or_prune t ~group ~src n (state t n group))
+      work
   end
 
 let repair t =
@@ -396,21 +423,21 @@ let repair t =
    still agrees with the tables and is skipped without being read. *)
 let repair_event t (ev : Network.topology_event) =
   t.repair_passes <- t.repair_passes + 1;
-  let candidates = ref Iset.empty in
+  let candidates = Bitset.create () in
   List.iter
     (fun d ->
       match Hashtbl.find_opt t.groups_by_src d with
-      | Some gs -> candidates := Iset.union gs !candidates
+      | Some gs -> Bitset.union_into ~into:candidates gs
       | None -> ())
     ev.affected_destinations;
   (match Hashtbl.find_opt t.groups_by_link (link_key ev.a ev.b) with
-  | Some gs -> candidates := Iset.union gs !candidates
+  | Some gs -> Bitset.union_into ~into:candidates gs
   | None -> ());
-  Iset.iter
+  Bitset.iter
     (fun g ->
       if t.src_of.(g) >= 0 && not (group_idle t ~group:g) then
         repair_group_scoped t ~group:g)
-    !candidates
+    candidates
 
 let create ~network ?(leave_latency = Time.span_of_sec 1)
     ?(expedited_leave = false) () =
@@ -472,18 +499,19 @@ let leave t ~node ~group =
 
 let is_member t ~node ~group = (state t node group).local
 
-(* Both views are maintained incrementally; [Iset.elements] and
-   [Pset.elements] return sorted lists, matching the seed's fold + sort
-   over the whole state table element for element. *)
+(* Both views are maintained incrementally; bitset iteration and the
+   child-indexed edge collection are ascending, so the sorted lists match
+   the seed's fold + sort over the whole state table element for
+   element. *)
 let members t ~group =
   match Hashtbl.find_opt t.members_by_group group with
   | None -> []
-  | Some s -> Iset.elements s
+  | Some s -> Bitset.elements s
 
 let tree_edges t ~group =
   match Hashtbl.find_opt t.edges_by_group group with
   | None -> []
-  | Some s -> Pset.elements s
+  | Some tr -> edges_snapshot tr
 
 let on_tree t ~node ~group = (state t node group).on_tree
 

@@ -116,6 +116,19 @@ let create ~sim topo =
     }
   in
   let clock () = Time.to_sec_f (Sim.now sim) in
+  (* Interface arrays are sized up front from the node degrees: growing
+     them with [Array.append] per link is O(degree^2) per node, which a
+     generated stub router with thousands of receivers turns into the
+     dominant cost of world construction. Fill order is unchanged, so
+     iface numbering (and hence all downstream determinism) is too. *)
+  let degree = Array.make (Array.length nodes) 0 in
+  let specs = Topology.links topo in
+  List.iter
+    (fun (spec : Topology.link_spec) ->
+      degree.(spec.a) <- degree.(spec.a) + 1;
+      degree.(spec.b) <- degree.(spec.b) + 1)
+    specs;
+  let cursor = Array.make (Array.length nodes) 0 in
   let attach ~src ~dst (spec : Topology.link_spec) =
     let queue =
       Queue_discipline.create spec.discipline ~clock
@@ -128,9 +141,15 @@ let create ~sim topo =
         ~prop_delay:spec.delay ~queue
     in
     let n = nodes.(src) in
-    n.out_links <- Array.append n.out_links [| link |];
-    n.neighbors <- Array.append n.neighbors [| dst |];
-    Hashtbl.replace n.iface_of_neighbor dst (Array.length n.neighbors - 1);
+    if Array.length n.out_links = 0 then begin
+      n.out_links <- Array.make degree.(src) link;
+      n.neighbors <- Array.make degree.(src) dst
+    end;
+    let i = cursor.(src) in
+    cursor.(src) <- i + 1;
+    n.out_links.(i) <- link;
+    n.neighbors.(i) <- dst;
+    Hashtbl.replace n.iface_of_neighbor dst i;
     link
   in
   List.iter
@@ -145,7 +164,7 @@ let create ~sim topo =
           handle t ~node:spec.b ~in_iface:(Some in_b) pkt);
       Link.set_deliver ba (fun pkt ->
           handle t ~node:spec.a ~in_iface:(Some in_a) pkt))
-    (Topology.links topo);
+    specs;
   t
 
 let iface_count t n = Array.length t.nodes.(n).out_links

@@ -2,22 +2,34 @@ module Time = Engine.Time
 
 type t = {
   node_count : int;
-  (* next.(dst).(n) = neighbor of n on the shortest path toward dst,
-     or -1 when dst is unreachable from n *)
+  (* next.(dst).(n) = neighbor of n on the shortest path toward dst, or
+     -1 when dst is unreachable from n. A destination's column is [||]
+     until the first query that needs it: materializing all columns up
+     front is O(V^2) memory and V Dijkstras, which caps topologies at a
+     few hundred nodes, while a multicast workload only ever routes
+     toward sources and control-plane endpoints. *)
   next : Addr.node_id array array;
   dist : Time.span array array;
   (* Retained so tables can be recomputed when links fail or recover. *)
   adj : (Addr.node_id * int) list array;
   disabled : (Addr.node_id * Addr.node_id, unit) Hashtbl.t;
   mutable recomputes : int;
+  mutable materialized : int;
+  mutable heap_pushes : int;
 }
 
 let edge_key a b = if a < b then (a, b) else (b, a)
 
 (* One Dijkstra rooted at [dst] gives, for every node, its next hop toward
    [dst]: the neighbor through which the node was finalized. Edges in
-   [disabled] are skipped. *)
-let dijkstra ~node_count ~adj ~disabled dst =
+   [disabled] are skipped. An equality-only rewrite (same distance,
+   lower-id neighbor wins the tie-break) updates [next.(m)] without a
+   push: the node's distance is unchanged, its earlier relaxation already
+   offered neighbors the same candidate distances, and a canonical next
+   hop depends on distances alone — re-relaxing the adjacency would redo
+   identical work (the same argument [restore_edge_dst] relies on). *)
+let dijkstra t dst =
+  let node_count = t.node_count and adj = t.adj and disabled = t.disabled in
   let dist = Array.make node_count max_int in
   let next = Array.make node_count (-1) in
   let heap =
@@ -25,8 +37,12 @@ let dijkstra ~node_count ~adj ~disabled dst =
         let c = Int.compare da db in
         if c <> 0 then c else Int.compare na nb)
   in
+  let push entry =
+    t.heap_pushes <- t.heap_pushes + 1;
+    Engine.Heap.push heap entry
+  in
   dist.(dst) <- 0;
-  Engine.Heap.push heap (0, dst);
+  push (0, dst);
   let rec loop () =
     match Engine.Heap.pop heap with
     | None -> ()
@@ -36,14 +52,13 @@ let dijkstra ~node_count ~adj ~disabled dst =
             (fun (m, w) ->
               if not (Hashtbl.mem disabled (edge_key n m)) then begin
                 let nd = d + w in
-                if
-                  nd < dist.(m)
-                  || (nd = dist.(m) && next.(m) > n && m <> dst)
-                then begin
+                if nd < dist.(m) then begin
                   dist.(m) <- nd;
                   next.(m) <- n;
-                  Engine.Heap.push heap (nd, m)
+                  push (nd, m)
                 end
+                else if nd = dist.(m) && next.(m) > n && m <> dst then
+                  next.(m) <- n
               end)
             adj.(n);
         loop ()
@@ -51,11 +66,26 @@ let dijkstra ~node_count ~adj ~disabled dst =
   loop ();
   (next, dist)
 
+let is_materialized t d = Array.length t.next.(d) <> 0
+
+(* First query for a destination computes its column against the current
+   [disabled] set — bit-identical to what an eager [compute] plus the
+   incremental updates would have produced, since both leave the unique
+   canonical table for the live topology. Not billed to [recomputes]:
+   like the eager initial computation, it is creation, not damage. *)
+let materialize_dst t d =
+  let n, ds = dijkstra t d in
+  t.next.(d) <- n;
+  t.dist.(d) <- ds;
+  t.materialized <- t.materialized + 1
+
+let column t d =
+  if not (is_materialized t d) then materialize_dst t d;
+  t.next.(d)
+
 let recompute_dst t d =
   t.recomputes <- t.recomputes + 1;
-  let n, ds =
-    dijkstra ~node_count:t.node_count ~adj:t.adj ~disabled:t.disabled d
-  in
+  let n, ds = dijkstra t d in
   t.next.(d) <- n;
   t.dist.(d) <- ds
 
@@ -147,21 +177,24 @@ let compute topo =
   Array.iteri
     (fun i ns -> adj.(i) <- List.sort compare ns)
     adj;
-  let t =
-    {
-      node_count;
-      next = Array.make node_count [||];
-      dist = Array.make node_count [||];
-      adj;
-      disabled = Hashtbl.create 8;
-      recomputes = 0;
-    }
-  in
-  for d = 0 to node_count - 1 do
-    recompute_dst t d
-  done;
-  t.recomputes <- 0;
-  t
+  {
+    node_count;
+    next = Array.make node_count [||];
+    dist = Array.make node_count [||];
+    adj;
+    disabled = Hashtbl.create 8;
+    recomputes = 0;
+    materialized = 0;
+    heap_pushes = 0;
+  }
+
+let prefetch_all t =
+  for d = 0 to t.node_count - 1 do
+    if not (is_materialized t d) then materialize_dst t d
+  done
+
+let materialized_columns t = t.materialized
+let heap_pushes t = t.heap_pushes
 
 let check t from dst =
   if from < 0 || from >= t.node_count || dst < 0 || dst >= t.node_count then
@@ -169,17 +202,20 @@ let check t from dst =
 
 let link_enabled t ~a ~b = not (Hashtbl.mem t.disabled (edge_key a b))
 
-(* Both directions are incremental and bounded to the destinations whose
-   tables actually change. Taking a link down only invalidates
-   destinations whose shortest-path tree crossed it: next.(d) is a tree
-   rooted at [d], so the edge (a,b) is in use iff one endpoint forwards
-   through the other. An unused equal-cost edge was already rejected by
-   the deterministic tie-break, so removing it cannot change any table.
-   Restoring a link runs [restore_edge_dst] per destination: the restored
-   edge is spliced in where it improves a reachable node and the
-   improvement relaxed outward, or the destination is skipped entirely —
-   either way the tables are exactly what [compute] would produce on the
-   restored topology. Returns the destinations whose tables changed, in
+(* Both directions are incremental and bounded to the materialized
+   destinations whose tables actually change; a column nobody has queried
+   holds no state to maintain, and will be computed against the live
+   [disabled] set if a later query materializes it. Taking a link down
+   only invalidates destinations whose shortest-path tree crossed it:
+   next.(d) is a tree rooted at [d], so the edge (a,b) is in use iff one
+   endpoint forwards through the other. An unused equal-cost edge was
+   already rejected by the deterministic tie-break, so removing it cannot
+   change any table. Restoring a link runs [restore_edge_dst] per
+   materialized destination: the restored edge is spliced in where it
+   improves a reachable node and the improvement relaxed outward, or the
+   destination is skipped entirely — either way the tables are exactly
+   what a fresh computation would produce on the restored topology.
+   Returns the materialized destinations whose tables changed, in
    ascending order. *)
 let set_link_enabled t ~a ~b enabled =
   check t a b;
@@ -193,14 +229,16 @@ let set_link_enabled t ~a ~b enabled =
       Hashtbl.remove t.disabled key;
       let w = List.assoc b t.adj.(a) in
       for d = t.node_count - 1 downto 0 do
-        if restore_edge_dst t ~d ~a ~b ~w then affected := d :: !affected
+        if is_materialized t d && restore_edge_dst t ~d ~a ~b ~w then
+          affected := d :: !affected
       done
     end
   end
   else if not (Hashtbl.mem t.disabled key) then begin
     Hashtbl.add t.disabled key ();
     for d = t.node_count - 1 downto 0 do
-      if t.next.(d).(a) = b || t.next.(d).(b) = a then begin
+      if is_materialized t d && (t.next.(d).(a) = b || t.next.(d).(b) = a)
+      then begin
         recompute_dst t d;
         affected := d :: !affected
       end
@@ -213,23 +251,24 @@ let recomputes t = t.recomputes
 let next_hop t ~from ~dst =
   check t from dst;
   if from = dst then invalid_arg "Routing.next_hop: from = dst";
-  t.next.(dst).(from)
+  (column t dst).(from)
 
 let next_hop_opt t ~from ~dst =
   check t from dst;
   if from = dst then invalid_arg "Routing.next_hop_opt: from = dst";
-  match t.next.(dst).(from) with -1 -> None | n -> Some n
+  match (column t dst).(from) with -1 -> None | n -> Some n
 
 let reachable t ~from ~dst =
   check t from dst;
-  from = dst || t.next.(dst).(from) >= 0
+  from = dst || (column t dst).(from) >= 0
 
 let path t ~from ~dst =
   check t from dst;
+  let next = column t dst in
   let rec walk n acc =
     if n = dst then List.rev (dst :: acc)
     else
-      match t.next.(dst).(n) with
+      match next.(n) with
       | -1 -> invalid_arg "Routing.path: destination unreachable"
       | nh -> walk nh (n :: acc)
   in
@@ -237,4 +276,5 @@ let path t ~from ~dst =
 
 let distance t ~from ~dst =
   check t from dst;
+  ignore (column t dst : Addr.node_id array);
   t.dist.(dst).(from)

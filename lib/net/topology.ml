@@ -11,9 +11,12 @@ type link_spec = {
 type t = {
   mutable node_count : int;
   mutable links_rev : link_spec list;
+  pairs : (Addr.node_id * Addr.node_id, unit) Hashtbl.t;
+      (* normalized (min, max) endpoint pairs: the duplicate check must
+         stay O(1) per link or building a 1M-receiver world is O(L^2) *)
 }
 
-let create () = { node_count = 0; links_rev = [] }
+let create () = { node_count = 0; links_rev = []; pairs = Hashtbl.create 64 }
 
 let add_node t =
   let id = t.node_count in
@@ -25,16 +28,15 @@ let add_nodes t k = List.init k (fun _ -> add_node t)
 let default_delay = Time.span_of_ms 200
 let default_queue_limit = 50
 
-let same_pair l ~a ~b = (l.a = a && l.b = b) || (l.a = b && l.b = a)
-
 let add_duplex t ~a ~b ~bandwidth_bps ?(delay = default_delay)
     ?(queue_limit = default_queue_limit) ?discipline () =
   if a < 0 || a >= t.node_count || b < 0 || b >= t.node_count then
     invalid_arg "Topology.add_duplex: unknown node";
   if a = b then invalid_arg "Topology.add_duplex: self-loop";
   if bandwidth_bps <= 0.0 then invalid_arg "Topology.add_duplex: bandwidth <= 0";
-  if List.exists (same_pair ~a ~b) t.links_rev then
+  if Hashtbl.mem t.pairs (min a b, max a b) then
     invalid_arg "Topology.add_duplex: duplicate link";
+  Hashtbl.add t.pairs (min a b, max a b) ();
   let discipline =
     match discipline with
     | Some d ->
@@ -57,18 +59,37 @@ let neighbors t n =
   in
   List.sort_uniq Int.compare ns
 
+(* Iterative DFS over adjacency built in one pass: the recursive walk
+   over [neighbors] (itself O(L) per call) both overflowed the stack and
+   went quadratic on generated 100k+-node worlds. *)
 let is_connected t =
   if t.node_count = 0 then true
   else begin
+    let adj = Array.make t.node_count [] in
+    List.iter
+      (fun l ->
+        adj.(l.a) <- l.b :: adj.(l.a);
+        adj.(l.b) <- l.a :: adj.(l.b))
+      t.links_rev;
     let seen = Array.make t.node_count false in
-    let rec visit n =
-      if not seen.(n) then begin
-        seen.(n) <- true;
-        List.iter visit (neighbors t n)
-      end
-    in
-    visit 0;
-    Array.for_all Fun.id seen
+    let visited = ref 1 in
+    seen.(0) <- true;
+    let stack = ref [ 0 ] in
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | n :: rest ->
+          stack := rest;
+          List.iter
+            (fun m ->
+              if not seen.(m) then begin
+                seen.(m) <- true;
+                incr visited;
+                stack := m :: !stack
+              end)
+            adj.(n)
+    done;
+    !visited = t.node_count
   end
 
 let kbps x = x *. 1_000.0

@@ -117,6 +117,137 @@ let kary ~fanout ~depth ?(cross_links = true) () =
   let leaves = grow [ root ] 1 in
   { topology = topo; controller_node = root; sessions = [ (root, leaves) ] }
 
+(* ---------- generated transit-stub worlds (PR 7) ---------- *)
+
+type world = {
+  spec : spec;
+  domains : (int * Net.Addr.node_id list) list;
+  transit_nodes : Net.Addr.node_id list;
+}
+
+(* One administrative domain must meet the rest of the topology at a
+   single node: then any tree, under any routing, enters it exactly once
+   and [Discovery.Snapshot.restrict] can never hit its multi-ingress
+   failure. Checking attachment points is a static property of the
+   topology, so bad domain drawings die at world-build time with a
+   message naming the offending nodes instead of mid-run inside a
+   controller interval. *)
+let validate_domains ~topology ~domains =
+  let n = Topology.node_count topology in
+  let adj = Array.make (max n 1) [] in
+  List.iter
+    (fun (l : Topology.link_spec) ->
+      adj.(l.a) <- l.b :: adj.(l.a);
+      adj.(l.b) <- l.a :: adj.(l.b))
+    (Topology.links topology);
+  let claimed = Util.Bitset.create ~capacity:n () in
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let rec check = function
+    | [] -> Ok ()
+    | (id, nodes) :: rest -> (
+        if nodes = [] then err "domain %d is empty" id
+        else if List.exists (fun v -> v < 0 || v >= n) nodes then
+          err "domain %d names a node outside the topology" id
+        else if List.exists (Util.Bitset.mem claimed) nodes then
+          err "domain %d overlaps an earlier domain" id
+        else begin
+          let inside = Util.Bitset.of_list nodes in
+          let attachments =
+            List.filter
+              (fun v ->
+                List.exists
+                  (fun u -> not (Util.Bitset.mem inside u))
+                  adj.(v))
+              nodes
+          in
+          match attachments with
+          | [] | [ _ ] ->
+              List.iter (Util.Bitset.add claimed) nodes;
+              check rest
+          | _ ->
+              err
+                "domain %d attaches to the rest of the topology at %d \
+                 nodes (%a); a controller domain must meet the outside \
+                 at a single node so every session tree enters it once \
+                 — re-draw the boundary or drop the extra uplink"
+                id
+                (List.length attachments)
+                (Format.pp_print_list
+                   ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+                   Net.Addr.pp_node)
+                attachments
+        end)
+  in
+  check domains
+
+(* Transit-stub internet in the GT-ITM mold, scaled-down knobs: a ring
+   of transit routers, [stubs_per_transit] stub routers hanging off each,
+   [receivers_per_stub] receivers behind each stub router. The stub
+   uplinks alternate 500/100 Kbps so a scaled world keeps Topology A's
+   heterogeneity (ideal 4 vs 2 layers); everything else is fast. One
+   session from a source behind transit 0 to every receiver. Each stub
+   (router + its receivers) is one controller domain; transits and the
+   source belong to the federation parent's turf.
+
+   [multi_homed] additionally links each stub's first receiver straight
+   to the transit — deliberately mis-drawn domains (two attachment
+   points) for exercising the validation failure path. *)
+let transit_stub ~transits ~stubs_per_transit ~receivers_per_stub
+    ?(multi_homed = false) ?(validate = true) () =
+  if transits < 1 then invalid_arg "transit_stub: transits < 1";
+  if stubs_per_transit < 1 then
+    invalid_arg "transit_stub: stubs_per_transit < 1";
+  if receivers_per_stub < 1 then
+    invalid_arg "transit_stub: receivers_per_stub < 1";
+  let topo = Topology.create () in
+  let core_bps = fast_bps *. 10.0 in
+  let source = Topology.add_node topo in
+  let transit_nodes = Topology.add_nodes topo transits in
+  let transit = Array.of_list transit_nodes in
+  duplex topo ~a:source ~b:transit.(0) ~bandwidth_bps:core_bps;
+  for i = 0 to transits - 2 do
+    duplex topo ~a:transit.(i) ~b:transit.(i + 1) ~bandwidth_bps:core_bps
+  done;
+  if transits > 2 then
+    duplex topo ~a:transit.(transits - 1) ~b:transit.(0)
+      ~bandwidth_bps:core_bps;
+  let domains = ref [] in
+  let receivers = ref [] in
+  for i = 0 to transits - 1 do
+    for j = 0 to stubs_per_transit - 1 do
+      let stub_id = (i * stubs_per_transit) + j in
+      let stub_router = Topology.add_node topo in
+      let uplink_bps =
+        if stub_id mod 2 = 0 then Topology.kbps 500.0 else Topology.kbps 100.0
+      in
+      duplex topo ~a:transit.(i) ~b:stub_router ~bandwidth_bps:uplink_bps;
+      let rs = Topology.add_nodes topo receivers_per_stub in
+      List.iter
+        (fun r -> duplex topo ~a:stub_router ~b:r ~bandwidth_bps:fast_bps)
+        rs;
+      if multi_homed then
+        duplex topo ~a:transit.(i) ~b:(List.hd rs) ~bandwidth_bps:fast_bps;
+      domains := (stub_id, stub_router :: rs) :: !domains;
+      receivers := List.rev_append rs !receivers
+    done
+  done;
+  let domains = List.rev !domains in
+  if validate then begin
+    match validate_domains ~topology:topo ~domains with
+    | Ok () -> ()
+    | Error msg -> invalid_arg ("transit_stub: " ^ msg)
+  end;
+  {
+    spec =
+      {
+        topology = topo;
+        controller_node = source;
+        sessions = [ (source, List.rev !receivers) ];
+      };
+    domains;
+    transit_nodes;
+  }
+
 let figure1 () =
   let topo = Topology.create () in
   let source = Topology.add_node topo in

@@ -37,6 +37,53 @@ val kary : fanout:int -> depth:int -> ?cross_links:bool -> unit -> spec
     scenario and the large incremental-maintenance tests.
     @raise Invalid_argument if [fanout < 2] or [depth < 1]. *)
 
+type world = {
+  spec : spec;
+  domains : (int * Net.Addr.node_id list) list;
+      (** (domain_id, member nodes) — one domain per stub: its stub
+          router plus its receivers. Dense ids, build order. *)
+  transit_nodes : Net.Addr.node_id list;
+      (** backbone ring; together with the source, the federation
+          parent's turf (no leaf domain claims them) *)
+}
+
+val transit_stub :
+  transits:int ->
+  stubs_per_transit:int ->
+  receivers_per_stub:int ->
+  ?multi_homed:bool ->
+  ?validate:bool ->
+  unit ->
+  world
+(** Generated transit-stub world for the 10k–1M-receiver scale runs: a
+    ring of [transits] transit routers (source behind transit 0), each
+    serving [stubs_per_transit] stub routers over uplinks alternating
+    500/100 Kbps (Topology A's heterogeneity at scale), each stub router
+    fanning out to [receivers_per_stub] fast-last-hop receivers. One
+    session from the source to every receiver; one controller domain
+    per stub.
+
+    Domain assignments are checked with {!validate_domains} before the
+    world is returned (disable with [validate:false]).
+
+    [multi_homed] (default false) adds a second uplink from each stub's
+    first receiver straight to the transit, making every domain
+    two-homed — the shape {!validate_domains} exists to reject; used to
+    test the failure path.
+    @raise Invalid_argument on non-positive knobs or (unless
+    [validate:false]) an invalid domain drawing. *)
+
+val validate_domains :
+  topology:Net.Topology.t ->
+  domains:(int * Net.Addr.node_id list) list ->
+  (unit, string) result
+(** Checks that domains are non-empty, disjoint, in range, and meet the
+    rest of the topology at a single attachment node each — the static
+    guarantee that every session tree enters a domain exactly once, so
+    {!Discovery.Snapshot.restrict} cannot hit its multi-ingress error at
+    run time. The error message names the domain and its attachment
+    nodes. *)
+
 val figure1 : unit -> spec
 (** The paper's Fig. 1 illustration: source, a 64 Kbps branch serving two
     receivers (nodes 3 and 4 in the paper) and an unconstrained branch

@@ -21,6 +21,11 @@ type rig = {
 let make_rig ~spec ~traffic ~params ~seed =
   let sim = Sim.create ~seed () in
   let network = Net.Network.create ~sim spec.Builders.topology in
+  (* The recovery outcomes report damage metrics (routing recomputes,
+     affected destinations) defined over the full table set; these rigs
+     are paper-sized, so materialize every column up front to keep the
+     numbers comparable across PRs. Generated large worlds stay lazy. *)
+  Net.Routing.prefetch_all (Net.Network.routing network);
   let router = Multicast.Router.create ~network () in
   let discovery = Discovery.Service.create ~sim ~router () in
   let source, receivers =
@@ -679,6 +684,11 @@ let churn_storm ?(fanout = 4) ?(depth = 3) ?(flaps = 60) ?(churners = 24)
   let spec = Builders.kary ~fanout ~depth () in
   let sim = Sim.create ~seed ?backend () in
   let network = Net.Network.create ~sim spec.Builders.topology in
+  (* The storm measures incremental table maintenance, which needs the
+     tables to exist: with lazy columns, almost nothing would be
+     materialized (no unicast traffic runs here) and the recompute
+     counters would measure an empty table set. *)
+  Net.Routing.prefetch_all (Net.Network.routing network);
   let router = Multicast.Router.create ~network () in
   let faults = Net.Faults.create ~network () in
   let root, leaf_nodes =

@@ -98,6 +98,7 @@ let generate ?(config = default_config) ~seed () =
 type control =
   | Global
   | Per_domain
+  | Federated
 
 type receiver_outcome = {
   session : int;
@@ -115,6 +116,8 @@ type outcome = {
   controllers : int;
   suggestions_sent : int;
   events_dispatched : int;
+  summaries_received : int;
+  parent_state_entries : int;
 }
 
 let run ~world ~control ?(traffic = Experiment.Vbr 3.0)
@@ -152,6 +155,18 @@ let run ~world ~control ?(traffic = Experiment.Vbr 3.0)
      regional domain, stationed at the regional node. Every controller
      manages every session (the paper: "the topology of different
      multicast sessions in that domain"). *)
+  let parent =
+    match control with
+    | Global | Per_domain -> None
+    | Federated ->
+        (* Two-level hierarchy: the per-domain controllers additionally
+           summarize up to a parent stationed at the first source. The
+           parent holds one slot per (session, domain) — its state never
+           grows with the receiver population. *)
+        Some
+          (Toposense.Federation.create_parent ~network
+             ~node:spec.Builders.controller_node)
+  in
   let controllers =
     match control with
     | Global ->
@@ -165,6 +180,16 @@ let run ~world ~control ?(traffic = Experiment.Vbr 3.0)
             Toposense.Controller.create ~network ~discovery ~params
               ~node:ctrl_node ~domain:members ())
           world.domains
+    | Federated ->
+        List.mapi
+          (fun domain_id (ctrl_node, members) ->
+            Toposense.Controller.create ~network ~discovery ~params
+              ~node:ctrl_node ~domain:members
+              ~federation:
+                (Toposense.Federation.leaf
+                   ~parent:spec.Builders.controller_node ~domain_id)
+              ())
+          world.domains
   in
   List.iter
     (fun c ->
@@ -176,7 +201,7 @@ let run ~world ~control ?(traffic = Experiment.Vbr 3.0)
   let controller_for node =
     match control with
     | Global -> spec.Builders.controller_node
-    | Per_domain -> (
+    | Per_domain | Federated -> (
         match
           List.find_opt (fun (_, members) -> List.mem node members)
             world.domains
@@ -256,4 +281,12 @@ let run ~world ~control ?(traffic = Experiment.Vbr 3.0)
         (fun acc c -> acc + Toposense.Controller.suggestions_sent c)
         0 controllers;
     events_dispatched = Engine.Sim.events_dispatched sim;
+    summaries_received =
+      (match parent with
+      | None -> 0
+      | Some p -> Toposense.Federation.summaries_received p);
+    parent_state_entries =
+      (match parent with
+      | None -> 0
+      | Some p -> Toposense.Federation.state_entries p);
   }

@@ -39,10 +39,16 @@ type t = {
   node : Net.Addr.node_id;
   domain : Net.Addr.node_id list option;
   probe : Probe_discovery.t option;
+  federation : Federation.leaf option;
   algorithm : Algorithm.t;
   mutable sessions_rev : Traffic.Session.t list;
       (** newest first; O(1) registration, reversed at each use *)
   receivers : (int * Net.Addr.node_id, receiver_state) Hashtbl.t;
+  known : (int, Util.Bitset.t) Hashtbl.t;
+      (** per-session lease book: receivers a report was admitted from.
+          Consulted (only) under [prescribe_known_only] so the
+          controller's state and suggestion traffic scale with the
+          receivers that actually talk to it, not with tree size *)
   proto_tx : Protocol.tx;  (* prescription seq, per (session, receiver) *)
   proto_rx : Protocol.rx;  (* report/goodbye seq, per (session, receiver) *)
   proto_rng : Engine.Prng.t;
@@ -56,6 +62,8 @@ type t = {
   mutable suggestions_sent : int;
   mutable self_suppressed : int;
   mutable lease_suppressed : int;
+  mutable unknown_suppressed : int;
+  mutable summaries_sent : int;
   mutable invalid_snapshots : int;
   mutable intervals_run : int;
   mutable skipped_no_snapshot : int;
@@ -95,9 +103,18 @@ let cancel_pending t st =
       Sim.cancel (Net.Network.sim t.network) p.handle;
       st.pending <- None
 
+let known_set t ~session =
+  match Hashtbl.find_opt t.known session with
+  | Some s -> s
+  | None ->
+      let s = Util.Bitset.create () in
+      Hashtbl.add t.known session s;
+      s
+
 let on_report t ~session ~receiver ~level ~loss_rate ~bytes ~settling
     ~sustained =
   t.reports_received <- t.reports_received + 1;
+  Util.Bitset.add (known_set t ~session) receiver;
   let st = receiver_state t ~session ~node:receiver in
   let now = Sim.now (Net.Network.sim t.network) in
   (match st.status with
@@ -159,7 +176,7 @@ let on_ack t ~session ~receiver ~seq =
       | Some p when p.seq = seq -> cancel_pending t st
       | _ -> () (* ACK for a superseded prescription; the newer one stands *))
 
-let create ~network ~discovery ~params ~node ?domain ?probe () =
+let create ~network ~discovery ~params ~node ?domain ?probe ?federation () =
   let sim = Net.Network.sim network in
   let t =
     {
@@ -169,9 +186,11 @@ let create ~network ~discovery ~params ~node ?domain ?probe () =
       node;
       domain;
       probe;
+      federation;
       algorithm = Algorithm.create ~params ~rng:(Sim.rng sim ~label:"toposense");
       sessions_rev = [];
       receivers = Hashtbl.create 64;
+      known = Hashtbl.create 8;
       proto_tx = Protocol.create_tx ();
       proto_rx = Protocol.create_rx ();
       proto_rng = Sim.rng sim ~label:"toposense-protocol";
@@ -181,6 +200,8 @@ let create ~network ~discovery ~params ~node ?domain ?probe () =
       suggestions_sent = 0;
       self_suppressed = 0;
       lease_suppressed = 0;
+      unknown_suppressed = 0;
+      summaries_sent = 0;
       invalid_snapshots = 0;
       intervals_run = 0;
       skipped_no_snapshot = 0;
@@ -247,6 +268,7 @@ let remove_session t ~session =
   Hashtbl.filter_map_inplace
     (fun (s, _) st -> if s = session then None else Some st)
     t.receivers;
+  Hashtbl.remove t.known session;
   Protocol.clear_tx_session t.proto_tx ~session;
   Protocol.clear_rx_session t.proto_rx ~session;
   Algorithm.remove_session t.algorithm ~session
@@ -261,9 +283,22 @@ let set_billing t billing = t.billing <- Some billing
 let session_input t session tree =
   let id = Traffic.Session.id session in
   let members =
+    let all = Tree.members tree in
+    (* Under [prescribe_known_only] the lease-book check comes first —
+       before [receiver_state], which would otherwise allocate an entry
+       per tree member and make controller state O(receivers) in worlds
+       where only a sampled subset ever reports. *)
+    let all =
+      if not t.params.prescribe_known_only then all
+      else
+        match Hashtbl.find_opt t.known id with
+        | None -> []
+        | Some known ->
+            List.filter (fun (node, _) -> Util.Bitset.mem known node) all
+    in
     List.filter
       (fun (node, _) -> (receiver_state t ~session:id ~node).status = Active)
-      (Tree.members tree)
+      all
   in
   let settling_tbl = Hashtbl.create 8 in
   let now = Sim.now (Net.Network.sim t.network) in
@@ -294,7 +329,18 @@ let session_input t session tree =
         ((node, (loss, bytes)) :: measures, (node, snapshot_level) :: levels))
       ([], []) members
   in
+  (* The subscription walk consults [may_add] for every tree member, not
+     just the measured ones — under [prescribe_known_only] gate it on the
+     lease book before touching [receiver_state], or the walk would
+     allocate an entry per member and quietly rebuild the O(receivers)
+     footprint this mode exists to avoid. *)
   let may_add node =
+    (not t.params.prescribe_known_only
+    ||
+    match Hashtbl.find_opt t.known id with
+    | Some known -> Util.Bitset.mem known node
+    | None -> false)
+    &&
     let st = receiver_state t ~session:id ~node in
     Time.diff now st.level_changed_at >= Time.mul_span t.params.interval 2
   in
@@ -432,6 +478,20 @@ let run_interval t =
   if debug_enabled then debug_dump t inputs;
   List.iter
     (fun (p : Algorithm.prescription) ->
+      if
+        t.params.prescribe_known_only
+        && not
+             (match Hashtbl.find_opt t.known p.session with
+             | Some known -> Util.Bitset.mem known p.receiver
+             | None -> false)
+      then
+        (* Never heard from this receiver; prescribing would both waste a
+           unicast and allocate state for it. (Unreachable via
+           [session_input]'s filter today — this is the belt to its
+           braces, and it keeps the counter honest if a future algorithm
+           prescribes outside its input membership.) *)
+        t.unknown_suppressed <- t.unknown_suppressed + 1
+      else
       let st = receiver_state t ~session:p.session ~node:p.receiver in
       if st.status <> Active then
         (* The snapshot (possibly stale) still lists a member the lease
@@ -456,7 +516,38 @@ let run_interval t =
           arm_retransmit t st ~session:p.session ~receiver:p.receiver ~seq
             ~level:p.level ~attempt:0
       end)
-    prescriptions
+    prescriptions;
+  (* Federated leaf: one fixed-size per-session summary to the parent
+     per interval, describing the receivers this interval's algorithm
+     run actually saw. The parent's state is one slot per
+     (session, domain) — O(domains) however many receivers sit here. *)
+  match t.federation with
+  | None -> ()
+  | Some leaf ->
+      List.iter
+        (fun (input : Algorithm.session_input) ->
+          let n = List.length input.measures in
+          let loss_sum =
+            List.fold_left
+              (fun acc (_, (loss, _)) -> acc +. loss)
+              0.0 input.measures
+          in
+          let level_sum =
+            List.fold_left (fun acc (_, lvl) -> acc + lvl) 0 input.levels
+          in
+          let congested =
+            List.fold_left
+              (fun acc (_, (loss, _)) ->
+                if loss >= t.params.p_threshold then acc + 1 else acc)
+              0 input.measures
+          in
+          let fn = float_of_int (max 1 n) in
+          t.summaries_sent <- t.summaries_sent + 1;
+          Federation.send_summary leaf ~network:t.network ~src:t.node
+            ~session:input.Algorithm.id ~receivers:n
+            ~mean_level:(float_of_int level_sum /. fn)
+            ~mean_loss:(loss_sum /. fn) ~congested)
+        inputs
 
 let start t =
   t.running <- true;
@@ -483,6 +574,15 @@ let reports_received t = t.reports_received
 let suggestions_sent t = t.suggestions_sent
 let self_suppressed t = t.self_suppressed
 let lease_suppressed t = t.lease_suppressed
+let unknown_suppressed t = t.unknown_suppressed
+let summaries_sent t = t.summaries_sent
+
+let known_receivers t ~session =
+  match Hashtbl.find_opt t.known session with
+  | None -> 0
+  | Some s -> Util.Bitset.cardinal s
+
+let receiver_state_entries t = Hashtbl.length t.receivers
 let invalid_snapshots t = t.invalid_snapshots
 let intervals_run t = t.intervals_run
 let skipped_no_snapshot t = t.skipped_no_snapshot

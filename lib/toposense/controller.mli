@@ -35,6 +35,7 @@ val create :
   node:Net.Addr.node_id ->
   ?domain:Net.Addr.node_id list ->
   ?probe:Probe_discovery.t ->
+  ?federation:Federation.leaf ->
   unit ->
   t
 (** Installs the report handler on [node]. Call {!add_session} for every
@@ -51,7 +52,13 @@ val create :
     of the oracle service: the controller feeds it every packet it
     receives and reads its assembled snapshots, so the topology image is
     exactly as old, partial and lossy as real probing makes it.
-    {!start} also starts the prober. *)
+    {!start} also starts the prober.
+
+    With [federation], this controller is a leaf in a two-level
+    hierarchy: each interval it additionally unicasts one
+    {!Federation.Domain_summary} per session to the federation parent,
+    describing the receivers it manages. Combine with [domain] and
+    [params.prescribe_known_only] for scaled worlds. *)
 
 val add_session : t -> Traffic.Session.t -> unit
 (** The session must also be registered with the discovery service. *)
@@ -99,6 +106,23 @@ val self_suppressed : t -> int
 val lease_suppressed : t -> int
 (** Prescriptions suppressed because the (stale) snapshot still listed a
     member whose lease expired or who said goodbye. *)
+
+val unknown_suppressed : t -> int
+(** Prescriptions suppressed under [params.prescribe_known_only] because
+    the receiver never got a report through. *)
+
+val summaries_sent : t -> int
+(** {!Federation.Domain_summary} packets originated (0 without
+    [federation]). *)
+
+val known_receivers : t -> session:int -> int
+(** Size of the session's known-receiver lease book (receivers an
+    admitted report has ever arrived from). *)
+
+val receiver_state_entries : t -> int
+(** Per-receiver state entries currently allocated, across sessions —
+    the controller's footprint. Under [prescribe_known_only] this stays
+    O(reporting receivers) however large the tree is. *)
 
 val invalid_snapshots : t -> int
 (** Intervals skipped because the discovery image was not a tree (only

@@ -1,0 +1,158 @@
+module Sim = Engine.Sim
+module Time = Engine.Time
+
+type Net.Packet.payload +=
+  | Domain_summary of {
+      domain : int;
+      session : int;
+      seq : int;
+      receivers : int;
+      mean_level : float;
+      mean_loss : float;
+      congested : int;
+    }
+
+let summary_size = 56
+
+type leaf = {
+  parent : Net.Addr.node_id;
+  domain_id : int;
+  mutable next_seq : int;
+}
+
+let leaf ~parent ~domain_id =
+  if domain_id < 0 then invalid_arg "Federation.leaf: negative domain_id";
+  { parent; domain_id; next_seq = 0 }
+
+(* Latest summary for one (session, domain) pair. Overwritten in place:
+   the parent's footprint is exactly one slot per pair, independent of
+   how many receivers live behind the leaf. *)
+type slot = {
+  mutable seq : int;
+  mutable receivers : int;
+  mutable mean_level : float;
+  mutable mean_loss : float;
+  mutable congested : int;
+  mutable updated_at : Time.t;
+}
+
+type parent = {
+  network : Net.Network.t;
+  node : Net.Addr.node_id;
+  slots : (int * int, slot) Hashtbl.t;  (* (session, domain) -> latest *)
+  mutable summaries_received : int;
+  mutable stale_dropped : int;
+}
+
+type aggregate = {
+  domains : int;
+  receivers : int;
+  mean_level : float;
+  mean_loss : float;
+  congested_domains : int;
+}
+
+let on_summary t ~domain ~session ~seq ~receivers ~mean_level ~mean_loss
+    ~congested =
+  t.summaries_received <- t.summaries_received + 1;
+  let now = Sim.now (Net.Network.sim t.network) in
+  match Hashtbl.find_opt t.slots (session, domain) with
+  | Some slot when seq <= slot.seq ->
+      (* A reroute can reorder unicast summaries; the newer picture
+         already landed, so the straggler is dropped rather than rolling
+         the domain's state backwards. *)
+      t.stale_dropped <- t.stale_dropped + 1
+  | Some slot ->
+      slot.seq <- seq;
+      slot.receivers <- receivers;
+      slot.mean_level <- mean_level;
+      slot.mean_loss <- mean_loss;
+      slot.congested <- congested;
+      slot.updated_at <- now
+  | None ->
+      Hashtbl.add t.slots (session, domain)
+        { seq; receivers; mean_level; mean_loss; congested; updated_at = now }
+
+let create_parent ~network ~node =
+  let t =
+    {
+      network;
+      node;
+      slots = Hashtbl.create 16;
+      summaries_received = 0;
+      stale_dropped = 0;
+    }
+  in
+  Net.Network.add_local_handler network node (fun pkt ->
+      match pkt.Net.Packet.payload with
+      | Domain_summary
+          { domain; session; seq; receivers; mean_level; mean_loss; congested }
+        ->
+          on_summary t ~domain ~session ~seq ~receivers ~mean_level ~mean_loss
+            ~congested
+      | _ -> ());
+  t
+
+let parent_node t = t.node
+let summaries_received t = t.summaries_received
+let stale_dropped t = t.stale_dropped
+let state_entries t = Hashtbl.length t.slots
+
+let sessions t =
+  Hashtbl.fold (fun (session, _) _ acc -> session :: acc) t.slots []
+  |> List.sort_uniq Int.compare
+
+let aggregate t ~session =
+  let slots : (int * slot) list =
+    Hashtbl.fold
+      (fun (s, domain) slot acc ->
+        if s = session then (domain, slot) :: acc else acc)
+      t.slots []
+  in
+  match slots with
+  | [] -> None
+  | _ ->
+      let domains = List.length slots in
+      let receivers =
+        List.fold_left (fun acc ((_, s) : int * slot) -> acc + s.receivers) 0 slots
+      in
+      (* Receiver-weighted means, so a 10-receiver stub does not count as
+         much as a 10k-receiver one; domains that reported zero active
+         receivers contribute nothing. *)
+      let wsum f =
+        List.fold_left
+          (fun acc ((_, s) : int * slot) ->
+            acc +. (float_of_int s.receivers *. f s))
+          0.0 slots
+      in
+      let mean_level, mean_loss =
+        if receivers = 0 then (0.0, 0.0)
+        else
+          ( wsum (fun s -> s.mean_level) /. float_of_int receivers,
+            wsum (fun s -> s.mean_loss) /. float_of_int receivers )
+      in
+      let congested_domains =
+        List.fold_left
+          (fun acc ((_, s) : int * slot) ->
+            if s.congested > 0 then acc + 1 else acc)
+          0 slots
+      in
+      Some { domains; receivers; mean_level; mean_loss; congested_domains }
+
+let send_summary leaf ~network ~src ~session ~receivers ~mean_level ~mean_loss
+    ~congested =
+  let seq = leaf.next_seq in
+  leaf.next_seq <- seq + 1;
+  Net.Network.originate network ~src ~dst:(Net.Addr.Unicast leaf.parent)
+    ~size:summary_size
+    ~payload:
+      (Domain_summary
+         {
+           domain = leaf.domain_id;
+           session;
+           seq;
+           receivers;
+           mean_level;
+           mean_loss;
+           congested;
+         })

@@ -1,0 +1,85 @@
+(** Two-level controller federation for scaled worlds.
+
+    The paper's Fig. 3 places one controller per administrative domain;
+    at 10k–1M receivers a single flat controller would hold per-receiver
+    state for the whole population. The federation splits the job: each
+    {e leaf} controller prescribes for its own domain from a restricted
+    snapshot ({!Discovery.Snapshot.restrict}) and, once per TopoSense
+    interval, unicasts one fixed-size {!Domain_summary} per session to a
+    {e parent}. The parent never sees receivers — it keeps exactly one
+    slot per (session, domain) pair, so its state and the control
+    traffic it absorbs are O(domains), independent of receiver count
+    (pinned by a counter test). *)
+
+type Net.Packet.payload +=
+  | Domain_summary of {
+      domain : int;
+      session : int;
+      seq : int;  (** per-leaf, for dropping reordered stragglers *)
+      receivers : int;  (** active receivers the leaf is managing *)
+      mean_level : float;
+      mean_loss : float;
+      congested : int;  (** receivers at/above [p_threshold] loss *)
+    }
+
+val summary_size : int
+(** Wire size of one summary packet (bytes). *)
+
+(** {1 Leaf side} *)
+
+type leaf
+
+val leaf : parent:Net.Addr.node_id -> domain_id:int -> leaf
+(** Handed to {!Controller.create} via [?federation]; the controller
+    then emits one summary per session per interval.
+    @raise Invalid_argument on a negative [domain_id]. *)
+
+val send_summary :
+  leaf ->
+  network:Net.Network.t ->
+  src:Net.Addr.node_id ->
+  session:int ->
+  receivers:int ->
+  mean_level:float ->
+  mean_loss:float ->
+  congested:int ->
+  unit
+(** Originates one summary to the leaf's parent (self-addressed works:
+    the network delivers locally). Used by {!Controller}; exposed for
+    tests. *)
+
+(** {1 Parent side} *)
+
+type parent
+
+val create_parent :
+  network:Net.Network.t -> node:Net.Addr.node_id -> parent
+(** Installs a local handler at [node] consuming {!Domain_summary}
+    packets. Coexists with other local handlers (e.g. a leaf controller
+    on the same node). *)
+
+type aggregate = {
+  domains : int;  (** domains that have reported this session *)
+  receivers : int;  (** sum of the latest per-domain receiver counts *)
+  mean_level : float;  (** receiver-weighted *)
+  mean_loss : float;  (** receiver-weighted *)
+  congested_domains : int;  (** domains with at least one congested receiver *)
+}
+
+val aggregate : parent -> session:int -> aggregate option
+(** Session-wide picture folded from the latest per-domain slots;
+    [None] if no domain has reported yet. O(domains). *)
+
+val sessions : parent -> int list
+(** Sessions with at least one slot, ascending. *)
+
+val parent_node : parent -> Net.Addr.node_id
+val summaries_received : parent -> int
+
+val stale_dropped : parent -> int
+(** Reordered summaries dropped by the per-leaf sequence check. *)
+
+val state_entries : parent -> int
+(** Live (session, domain) slots — the parent's entire footprint. The
+    scale scenario asserts this stays at sessions x domains while
+    receiver counts grow 10x. *)

@@ -23,6 +23,7 @@ type t = {
   retransmit_max : Time.span;
   retransmit_attempts : int;
   rlm_fallback : bool;
+  prescribe_known_only : bool;
 }
 
 let default =
@@ -49,6 +50,7 @@ let default =
     retransmit_max = Time.span_of_sec 8;
     retransmit_attempts = 6;
     rlm_fallback = false;
+    prescribe_known_only = false;
   }
 
 let validate t =

@@ -62,6 +62,16 @@ type t = {
           RLM-style join-experiment machine (instead of the simpler
           legacy probe/shed watchdog) and resyncs when prescriptions
           resume; off by default to keep no-fault runs byte-identical *)
+  prescribe_known_only : bool;
+      (** when true, the controller only prescribes to receivers it has
+          actually heard a report from (a per-session known-receiver
+          bitset fed by report admission). At 10k–1M receivers only a
+          sampled subset runs reporting agents; without this flag the
+          controller would allocate per-receiver state and unicast
+          suggestions to every tree member it can see in the snapshot,
+          making its footprint O(receivers) instead of O(reporters).
+          Off by default — paper-scale runs prescribe from the snapshot
+          alone, byte-identical to earlier revisions *)
 }
 
 val default : t
@@ -71,7 +81,7 @@ val default : t
     timeout 3 intervals, staleness 0, deaf period 2.5 s, no sustained-loss
     filter, lease 10 intervals, unreliable prescriptions (retransmit
     250 ms → 8 s cap, 6 attempts when enabled), legacy watchdog
-    fallback. *)
+    fallback, prescriptions to all snapshot members (known-only off). *)
 
 val validate : t -> (unit, string) result
 (** Checks ranges (positive spans, thresholds in (0,1), ordered

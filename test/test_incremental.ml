@@ -154,7 +154,22 @@ let run_case ~backend ((spec, ops) : (int * int list * (int * int) list) * op li
       ok :=
         !ok
         && List.sort compare (Router.tree_edges router ~group)
-           = expected_edges live ~src:0 ~members:mems)
+           = expected_edges live ~src:0 ~members:mems;
+      (* Membership indexes (bitset-backed since PR 7) stay consistent
+         with the per-node local flags and the tree state: the members
+         view is exactly the sorted ground truth, node-level [is_member]
+         agrees with it everywhere, and every installed tree edge ends
+         in an on-tree child. *)
+      ok :=
+        !ok
+        && Router.members router ~group = List.sort compare mems
+        && List.for_all
+             (fun node ->
+               Router.is_member router ~node ~group = Hashtbl.mem members node)
+             (List.init n Fun.id)
+        && List.for_all
+             (fun (_, c) -> Router.on_tree router ~node:c ~group)
+             (Router.tree_edges router ~group))
     ops;
   !ok
 
@@ -230,6 +245,9 @@ let test_redundant_link_flap_nearly_free () =
   checkb "consecutive leaves are cross-linked" true
     (List.mem b (Topology.neighbors spec.Builders.topology a));
   let routing = Network.routing nw in
+  (* The pin below counts damage over the full table set; materialize it
+     (grafting only touched the root's column). *)
+  Routing.prefetch_all routing;
   let r0 = Routing.recomputes routing in
   let er0 = Router.edges_repaired router in
   let tree0 = List.sort compare (Router.tree_edges router ~group) in
@@ -256,6 +274,7 @@ let test_affected_destinations () =
     (fun (a, b) -> Topology.add_duplex topo ~a ~b ~bandwidth_bps:1e6 ~delay:d ())
     [ (0, 1); (1, 2); (2, 3); (3, 0) ];
   let r = Routing.compute topo in
+  Routing.prefetch_all r;
   let downed = Routing.set_link_enabled r ~a:0 ~b:1 false in
   check (Alcotest.list Alcotest.int) "down affects all, ascending" [ 0; 1; 2; 3 ]
     downed;
@@ -267,6 +286,141 @@ let test_affected_destinations () =
     (Routing.set_link_enabled r ~a:0 ~b:1 true);
   checkb "tables canonical after the flap" true
     (tables_equal ~n:4 r (Routing.compute topo))
+
+(* ---------- lazy column semantics (PR 7) ---------- *)
+
+(* Columns materialize on first query, link events maintain only what
+   exists, and a column materialized after a link change still reads
+   exactly like one maintained through it. Equal-delay ring 0-1-2-3. *)
+let test_lazy_columns () =
+  let topo = Topology.create () in
+  ignore (Topology.add_nodes topo 4);
+  let d = Time.span_of_ms 20 in
+  List.iter
+    (fun (a, b) -> Topology.add_duplex topo ~a ~b ~bandwidth_bps:1e6 ~delay:d ())
+    [ (0, 1); (1, 2); (2, 3); (3, 0) ];
+  let r = Routing.compute topo in
+  checki "nothing materialized at compute" 0 (Routing.materialized_columns r);
+  checki "query toward 2 routes via the tie-break" 1
+    (Routing.next_hop r ~from:0 ~dst:2);
+  checki "one column materialized" 1 (Routing.materialized_columns r);
+  (* Every destination's tree crosses (0,1), but only dst 2 exists. *)
+  check (Alcotest.list Alcotest.int) "down maintains only the live column"
+    [ 2 ]
+    (Routing.set_link_enabled r ~a:0 ~b:1 false);
+  checki "maintained column rerouted" 3 (Routing.next_hop r ~from:0 ~dst:2);
+  (* A column materialized now sees the disabled link from birth... *)
+  checki "late column computed against live links" 3
+    (Routing.next_hop r ~from:0 ~dst:1);
+  checki "two columns materialized" 2 (Routing.materialized_columns r);
+  (* ...and both read bit-identically to an eager table flapped the same
+     way (the remaining two materialize during the comparison). *)
+  checkb "tables equal the oracle" true
+    (tables_equal ~n:4 r (oracle_routing topo ~down:[ (0, 1) ]));
+  checki "comparison materialized the rest" 4 (Routing.materialized_columns r);
+  check (Alcotest.list Alcotest.int) "up now reports every changed column"
+    [ 0; 1; 2; 3 ]
+    (Routing.set_link_enabled r ~a:0 ~b:1 true);
+  checkb "tables canonical after the flap" true
+    (tables_equal ~n:4 r (Routing.compute topo))
+
+(* ---------- dijkstra tie-break push skip (satellite) ---------- *)
+
+(* Reference implementation with the pre-PR-7 behavior: an equality-only
+   next-hop rewrite re-pushes the node, re-relaxing its adjacency for
+   nothing. The fixed dijkstra must produce identical tables with
+   strictly fewer pushes on a tie-heavy topology. *)
+let reference_dijkstra topo dst =
+  let n = Topology.node_count topo in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (l : Topology.link_spec) ->
+      adj.(l.a) <- (l.b, l.delay) :: adj.(l.a);
+      adj.(l.b) <- (l.a, l.delay) :: adj.(l.b))
+    (Topology.links topo);
+  Array.iteri (fun i ns -> adj.(i) <- List.sort compare ns) adj;
+  let dist = Array.make n max_int in
+  let next = Array.make n (-1) in
+  let pushes = ref 0 in
+  let heap =
+    Engine.Heap.create ~cmp:(fun (da, na) (db, nb) ->
+        let c = Int.compare da db in
+        if c <> 0 then c else Int.compare na nb)
+  in
+  let push e =
+    incr pushes;
+    Engine.Heap.push heap e
+  in
+  dist.(dst) <- 0;
+  push (0, dst);
+  let rec loop () =
+    match Engine.Heap.pop heap with
+    | None -> ()
+    | Some (d, u) ->
+        if d = dist.(u) then
+          List.iter
+            (fun (m, w) ->
+              let nd = d + w in
+              if nd < dist.(m) || (nd = dist.(m) && next.(m) > u && m <> dst)
+              then begin
+                dist.(m) <- nd;
+                next.(m) <- u;
+                push (nd, m)
+              end)
+            adj.(u);
+        loop ()
+  in
+  loop ();
+  (next, dist, !pushes)
+
+(* Chain of diamonds engineered so the equality rewrite fires on every
+   diamond for every upstream destination: entry e, detour b = e+1,
+   direct a = e+2, exit x = e+3; the a-side (10+10) and b-side (15+5)
+   tie at 20 ms, a's side wins the distance race, then b — the lower id
+   — rewrites the next hop. *)
+let diamond_chain count =
+  let topo = Topology.create () in
+  ignore (Topology.add_nodes topo ((4 * count) + 1));
+  let link a b ms =
+    Topology.add_duplex topo ~a ~b ~bandwidth_bps:1e7
+      ~delay:(Time.span_of_ms ms) ()
+  in
+  for i = 0 to count - 1 do
+    let e = 4 * i in
+    let b = e + 1 and a = e + 2 and x = e + 3 in
+    link e a 10;
+    link a x 10;
+    link e b 15;
+    link b x 5;
+    if i < count - 1 then link x (e + 4) 10
+  done;
+  link (4 * (count - 1) + 3) (4 * count) 10;
+  topo
+
+let test_tie_push_skip () =
+  let topo = diamond_chain 6 in
+  let n = Topology.node_count topo in
+  let live = Routing.compute topo in
+  Routing.prefetch_all live;
+  let ref_pushes = ref 0 in
+  let ok = ref true in
+  for dst = 0 to n - 1 do
+    let next, dist, pushes = reference_dijkstra topo dst in
+    ref_pushes := !ref_pushes + pushes;
+    for from = 0 to n - 1 do
+      if from <> dst then
+        ok :=
+          !ok
+          && Routing.next_hop live ~from ~dst = next.(from)
+          && Routing.distance live ~from ~dst = dist.(from)
+    done
+  done;
+  checkb "tables equal the re-pushing reference" true !ok;
+  checkb
+    (Printf.sprintf "strictly fewer heap pushes (%d vs %d)"
+       (Routing.heap_pushes live) !ref_pushes)
+    true
+    (Routing.heap_pushes live < !ref_pushes)
 
 (* ---------- bounded repair regressions ---------- *)
 
@@ -377,6 +531,8 @@ let () =
             test_affected_destinations;
           Alcotest.test_case "redundant link flap nearly free" `Quick
             test_redundant_link_flap_nearly_free;
+          Alcotest.test_case "lazy columns" `Quick test_lazy_columns;
+          Alcotest.test_case "tie-break push skip" `Quick test_tie_push_skip;
         ] );
       ( "bounded-repair",
         [
