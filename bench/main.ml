@@ -398,7 +398,7 @@ let run_ablations () =
 
 (* ---------- bench trajectory (BENCH_*.json) ---------- *)
 
-(* Macro throughput numbers for the hot path, written to BENCH_pr7.json
+(* Macro throughput numbers for the hot path, written to BENCH_pr8.json
    so successive PRs can compare events/sec and packets/sec on fixed
    scenarios (diff two files with bench/compare.exe). Runs alone (fast)
    with BENCH_SMOKE=1 or --trajectory. *)
@@ -612,6 +612,75 @@ let churn_storm_row ~sim_s () =
       ];
   }
 
+(* Chaos storm (PR 8): a fixed fault schedule — leaf-controller outage
+   long enough to trip the liveness lease, two node crashes, two flaps,
+   a lossy control burst and a parent outage — on the federated
+   transit-stub world. The deterministic schedule pins the failover
+   counters (the CI gate bounds [failovers] so a monitor regression
+   cannot silently mark healthy domains dead), and the run aborts unless
+   every global invariant holds, so the bench doubles as an end-to-end
+   failover correctness check. *)
+let chaos_storm_row () =
+  let storm_s = 60.0 and quiet_s = 30.0 in
+  let schedule =
+    Scenarios.Chaos.
+      [
+        Ctrl_crash { domain = 0; at_s = 10.0; dur_s = 12.0 };
+        Crash { victim = 3; at_s = 15.0; dur_s = 12.0 };
+        Flap { link = 17; at_s = 20.0; dur_s = 6.0 };
+        Flap { link = 41; at_s = 28.0; dur_s = 6.0 };
+        Lossy_burst { at_s = 34.0; dur_s = 8.0; drop = 0.4 };
+        Crash { victim = 29; at_s = 38.0; dur_s = 8.0 };
+        Parent_crash { at_s = 44.0; dur_s = 6.0 };
+      ]
+  in
+  let world =
+    Scenarios.Chaos.Transit_stub
+      {
+        transits = 3;
+        stubs_per_transit = 3;
+        receivers_per_stub = 50;
+        active_domains = 4;
+        active_per_domain = 3;
+      }
+  in
+  let o, wall, gc =
+    time_wall_best (fun () ->
+        let o =
+          Scenarios.Chaos.run ~world ~schedule ~storm_s ~quiet_s ~seed:42L ()
+        in
+        if not (Scenarios.Chaos.ok o) then
+          failwith
+            ("chaos-storm: "
+            ^ String.concat "; " o.Scenarios.Chaos.violations);
+        o)
+  in
+  {
+    bname = "chaos-storm";
+    sim_s = storm_s +. quiet_s;
+    wall_s = wall;
+    events = o.Scenarios.Chaos.events_dispatched;
+    packets = 0;
+    peak_heap = o.Scenarios.Chaos.peak_heap;
+    peak_live = o.Scenarios.Chaos.peak_live;
+    minor_words = gc.minor_w;
+    major_words = gc.major_w;
+    major_cols = gc.major_cols;
+    extras =
+      [
+        ("failovers", float_of_int o.Scenarios.Chaos.failovers);
+        ("rejoins", float_of_int o.Scenarios.Chaos.rejoins);
+        ( "rehomed_prescriptions",
+          float_of_int o.Scenarios.Chaos.rehomed_prescriptions );
+        ("crash_drops", float_of_int o.Scenarios.Chaos.crash_drops);
+        ("evictions", float_of_int o.Scenarios.Chaos.evictions);
+        ("readmissions", float_of_int o.Scenarios.Chaos.readmissions);
+        ("recomputes", float_of_int o.Scenarios.Chaos.routing_recomputes);
+        ("repair_passes", float_of_int o.Scenarios.Chaos.repair_passes);
+        ("edges_repaired", float_of_int o.Scenarios.Chaos.edges_repaired);
+      ];
+  }
+
 (* Scaled transit-stub worlds (PR 7): the row's headline numbers are
    peak RSS and the materialized-column count, pinning the lazy-routing
    and O(domains)-federation state claims at 10k and 100k receivers.
@@ -658,7 +727,7 @@ let alloc_per_event r =
 
 let emit_bench_json ~path rows =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n  \"bench\": \"pr7\",\n";
+  Buffer.add_string buf "{\n  \"bench\": \"pr8\",\n";
   Printf.bprintf buf "  \"mode\": \"%s\",\n"
     (if full then "full" else "quick");
   Printf.bprintf buf "  \"scheduler\": \"%s\",\n"
@@ -734,6 +803,7 @@ let run_trajectory () =
       (fun () -> fault_flap_row ~sim_s ());
       (fun () -> fault_partition_row ~sim_s ());
       (fun () -> churn_storm_row ~sim_s ());
+      (fun () -> chaos_storm_row ());
       (fun () ->
         engine_churn_row ~name:"engine-cancel-churn" ~sim_s:(sim_s /. 5.0) ());
       (* Same workload, calendar backend pinned: the heap/calendar pair in
@@ -783,7 +853,7 @@ let run_trajectory () =
         r.major_cols (alloc_per_event r))
     rows;
   let path =
-    Option.value ~default:"BENCH_pr7.json" (Sys.getenv_opt "BENCH_OUT")
+    Option.value ~default:"BENCH_pr8.json" (Sys.getenv_opt "BENCH_OUT")
   in
   emit_bench_json ~path rows;
   Format.printf "wrote %s@." path

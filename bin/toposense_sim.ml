@@ -406,6 +406,32 @@ let print_flap (o : Recovery.flap_outcome) =
         r.final_level)
     o.receivers
 
+let print_crash (o : Recovery.crash_outcome) =
+  Format.printf
+    "router-crash: down %.0f-%.0f s; %d packets drained from the dead \
+     router (%d links downed, %d restored), %d evictions / %d readmissions, \
+     %d routing recomputes, %d tree edges repaired (%d passes), tree %s@."
+    o.crash_at_s o.recover_at_s o.crash_drops o.crash_link_downs
+    o.crash_link_ups o.evictions o.readmissions o.routing_recomputes
+    o.edges_repaired o.repair_passes
+    (if o.tree_consistent then "consistent" else "INCONSISTENT");
+  List.iter
+    (fun ((a, b), d) -> Format.printf "  link %d->%d: %d fault drops@." a b d)
+    o.per_link_fault_drops;
+  List.iter
+    (fun (r : Recovery.flap_receiver) ->
+      Format.printf
+        "  n%-3d %-5s optimal %d (during failure %d) level %d->floor %d \
+         recovery %a goodput %.0f -> %.0f kbps final %d@."
+        r.node
+        (if r.fast_branch then "fast" else "slow")
+        r.optimal r.optimal_during r.pre_failure_level r.floor_level fmt_opt_s
+        r.recovery_s
+        (r.goodput_before_bps /. 1000.0)
+        (r.goodput_during_bps /. 1000.0)
+        r.final_level)
+    o.receivers
+
 let print_outage (o : Recovery.outage_outcome) =
   Format.printf
     "controller-outage: fail %.0f s, failover %.0f s; suggestions primary \
@@ -470,7 +496,7 @@ let print_partition (o : Recovery.partition_outcome) =
         fmt_opt_s r.reconverge_s r.unilateral_actions r.final_level)
     o.receivers
 
-let recovery_json ~flap ~outage ~lossy ~partition =
+let recovery_json ~flap ~crash ~outage ~lossy ~partition =
   let buf = Buffer.create 1024 in
   let opt_f = function Some s -> Printf.sprintf "%.1f" s | None -> "null" in
   Buffer.add_string buf "{\n  \"recovery\": [\n";
@@ -510,6 +536,50 @@ let recovery_json ~flap ~outage ~lossy ~partition =
               max_recovery goodput_ratio o.routing_recomputes o.edges_repaired
               o.link_fault_drops o.tree_consistent)
           flap;
+        Option.map
+          (fun (o : Recovery.crash_outcome) ->
+            let recovered =
+              List.length
+                (List.filter
+                   (fun (r : Recovery.flap_receiver) -> r.recovery_s <> None)
+                   o.receivers)
+            in
+            let max_recovery =
+              List.fold_left
+                (fun acc (r : Recovery.flap_receiver) ->
+                  match r.recovery_s with Some s -> Float.max acc s | None -> acc)
+                0.0 o.receivers
+            in
+            let goodput_ratio =
+              let d, b =
+                List.fold_left
+                  (fun (d, b) (r : Recovery.flap_receiver) ->
+                    (d +. r.goodput_during_bps, b +. r.goodput_before_bps))
+                  (0.0, 0.0) o.receivers
+              in
+              if b > 0.0 then d /. b else 0.0
+            in
+            let per_link =
+              String.concat ", "
+                (List.map
+                   (fun ((a, b), d) ->
+                     Printf.sprintf
+                       "{\"src\": %d, \"dst\": %d, \"fault_drops\": %d}" a b d)
+                   o.per_link_fault_drops)
+            in
+            Printf.sprintf
+              "    {\"name\": \"router-crash\", \"recovered\": %d, \"total\": \
+               %d, \"max_recovery_s\": %.1f, \"goodput_ratio\": %.3f, \
+               \"crash_drops\": %d, \"crash_link_downs\": %d, \
+               \"crash_link_ups\": %d, \"evictions\": %d, \"readmissions\": \
+               %d, \"routing_recomputes\": %d, \"edges_repaired\": %d, \
+               \"tree_consistent\": %b, \"per_link_fault_drops\": [%s]}"
+              recovered
+              (List.length o.receivers)
+              max_recovery goodput_ratio o.crash_drops o.crash_link_downs
+              o.crash_link_ups o.evictions o.readmissions o.routing_recomputes
+              o.edges_repaired o.tree_consistent per_link)
+          crash;
         Option.map
           (fun (o : Recovery.outage_outcome) ->
             let resynced =
@@ -581,15 +651,18 @@ let faults_cmd =
       ( (fun s ->
           match String.lowercase_ascii s with
           | "flap" -> Ok `Flap
+          | "crash" -> Ok `Crash
           | "outage" -> Ok `Outage
           | "lossy" -> Ok `Lossy
           | "partition" -> Ok `Partition
           | "all" -> Ok `All
-          | _ -> Error (`Msg "expected flap, outage, lossy, partition or all")),
+          | _ ->
+              Error (`Msg "expected flap, crash, outage, lossy, partition or all")),
         fun ppf t ->
           Format.pp_print_string ppf
             (match t with
             | `Flap -> "flap"
+            | `Crash -> "crash"
             | `Outage -> "outage"
             | `Lossy -> "lossy"
             | `Partition -> "partition"
@@ -598,7 +671,7 @@ let faults_cmd =
   let experiment_term =
     Arg.(
       value & opt experiment_conv `All
-      & info [ "experiment" ] ~docv:"flap|outage|lossy|partition|all"
+      & info [ "experiment" ] ~docv:"flap|crash|outage|lossy|partition|all"
           ~doc:"Which fault scenario to run.")
   in
   let drop_term =
@@ -638,6 +711,14 @@ let faults_cmd =
                ())
         else None
       in
+      let crash =
+        if want `Crash then
+          Some
+            (Recovery.router_crash ~seed
+               ~duration:(Time.max duration_t (Time.of_sec 200))
+               ())
+        else None
+      in
       let outage =
         if want `Outage then
           Some
@@ -662,13 +743,15 @@ let faults_cmd =
         else None
       in
       Option.iter print_flap flap;
+      Option.iter print_crash crash;
       Option.iter print_outage outage;
       Option.iter print_lossy lossy;
       Option.iter print_partition partition;
       Option.iter
         (fun path ->
           let oc = open_out path in
-          output_string oc (recovery_json ~flap ~outage ~lossy ~partition);
+          output_string oc
+            (recovery_json ~flap ~crash ~outage ~lossy ~partition);
           close_out oc;
           Format.printf "wrote %s@." path)
         json;
@@ -678,12 +761,102 @@ let faults_cmd =
   Cmd.v
     (Cmd.info "faults"
        ~doc:
-         "Fault-injection scenarios: link flap under load, controller outage \
-          with failover, lossy control plane, controller partition.")
+         "Fault-injection scenarios: link flap under load, router crash, \
+          controller outage with failover, lossy control plane, controller \
+          partition.")
     Term.(
       ret
         (const run $ duration_term $ seed_term $ scheduler_term
        $ experiment_term $ drop_term $ reliable_term $ json_term))
+
+let chaos_cmd =
+  let world_conv =
+    Arg.conv
+      ( (fun s ->
+          match String.lowercase_ascii s with
+          | "kary" -> Ok `Kary
+          | "transit" -> Ok `Transit
+          | _ -> Error (`Msg "expected kary or transit")),
+        fun ppf t ->
+          Format.pp_print_string ppf
+            (match t with `Kary -> "kary" | `Transit -> "transit") )
+  in
+  let world_term =
+    Arg.(
+      value & opt world_conv `Kary
+      & info [ "world" ] ~docv:"kary|transit"
+          ~doc:
+            "World under test: a cross-linked k-ary tree with one flat \
+             controller, or a federated transit-stub world with per-domain \
+             leaf controllers and failover.")
+  in
+  let faults_term =
+    Arg.(
+      value & opt int 12
+      & info [ "faults" ] ~docv:"N" ~doc:"Schedule length (random faults).")
+  in
+  let storm_term =
+    Arg.(
+      value & opt float 60.0
+      & info [ "storm" ] ~docv:"SECONDS"
+          ~doc:"Fault-injection window; quiescence is measured after it.")
+  in
+  let smoke_term =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Fixed small CI configuration (kary world, 8 faults, 40 s \
+             storm) overriding --world/--faults/--storm; still honours \
+             --seed and --scheduler.")
+  in
+  let run seed scheduler world faults storm smoke =
+    if faults < 0 then `Error (true, "--faults must be >= 0")
+    else if storm < 20.0 then `Error (true, "--storm must be >= 20")
+    else begin
+      set_scheduler scheduler;
+      let world, faults, storm =
+        if smoke then (`Kary, 8, 40.0) else (world, faults, storm)
+      in
+      let world =
+        match world with
+        | `Kary -> Scenarios.Chaos.Kary { fanout = 3; depth = 3 }
+        | `Transit ->
+            Scenarios.Chaos.Transit_stub
+              {
+                transits = 3;
+                stubs_per_transit = 3;
+                receivers_per_stub = 50;
+                active_domains = 4;
+                active_per_domain = 3;
+              }
+      in
+      let seed = Int64.of_int seed in
+      let schedule =
+        Scenarios.Chaos.gen
+          ~rng:(Engine.Prng.create ~seed)
+          ~faults ~storm_s:storm
+      in
+      let o = Scenarios.Chaos.run ~world ~schedule ~storm_s:storm ~seed () in
+      Format.printf "%a@." Scenarios.Chaos.pp o;
+      if Scenarios.Chaos.ok o then `Ok ()
+      else begin
+        List.iter (Format.eprintf "violation: %s@.") o.violations;
+        `Error (false, "chaos: global invariants violated")
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Seeded chaos storm: random link flaps, node crashes, controller \
+          outages and lossy control bursts, then global invariant checks \
+          (routing vs fresh Dijkstra, trees vs fresh rebuild, lease books, \
+          bounded re-prescription). Non-zero exit on any violation.")
+    Term.(
+      ret
+        (const run $ seed_term $ scheduler_term $ world_term $ faults_term
+       $ storm_term $ smoke_term))
 
 let scale_cmd =
   let run seed scheduler receivers duration =
@@ -749,5 +922,6 @@ let () =
             tiered_cmd;
             churn_cmd;
             faults_cmd;
+            chaos_cmd;
             scale_cmd;
           ]))

@@ -55,6 +55,9 @@ type t = {
   mutable next_group : Addr.group_id;
   mutable repair_passes : int;
   mutable edges_repaired : int;
+  (* Local memberships wiped by a node crash, remembered so recovery can
+     re-issue the RPF joins that rebuild the node's group state. *)
+  crashed_locals : (Addr.node_id, Addr.group_id list) Hashtbl.t;
 }
 
 let link_key a b = if a < b then (a, b) else (b, a)
@@ -458,6 +461,7 @@ let create ~network ?(leave_latency = Time.span_of_sec 1)
       next_group = 0;
       repair_passes = 0;
       edges_repaired = 0;
+      crashed_locals = Hashtbl.create 8;
     }
   in
   for n = 0 to Network.node_count network - 1 do
@@ -498,6 +502,69 @@ let leave t ~node ~group =
   end
 
 let is_member t ~node ~group = (state t node group).local
+
+(* A node crash wipes every trace of the node from the group tables: the
+   per-link repairs the crash's link-downs triggered have already cut the
+   edges the routing change invalidated, so this is mostly membership and
+   interest bookkeeping — plus a defensive cut of any edge the repairs
+   did not reach (a crash called outside [Faults] sees them). Severed
+   children land in the detached sets as usual and re-graft through the
+   normal repair path once connectivity returns. Local memberships are
+   remembered for [recover_node]. *)
+let crash_node t ~node =
+  let wiped = ref [] in
+  for g = t.next_group - 1 downto 0 do
+    if t.src_of.(g) >= 0 then begin
+      let row = t.state_rows.(g) in
+      if Array.length row > 0 then
+        match row.(node) with
+        | None -> ()
+        | Some st ->
+            if st.local then begin
+              wiped := g :: !wiped;
+              st.local <- false;
+              remove_member t ~group:g ~node
+            end;
+            (* void any in-flight leave timer *)
+            st.leave_epoch <- st.leave_epoch + 1;
+            (* cut upstream edges (parents still forwarding to us) *)
+            (match Hashtbl.find_opt t.edges_by_group g with
+            | None -> ()
+            | Some tr ->
+                List.iter
+                  (fun p ->
+                    let pst = state t p g in
+                    let oif =
+                      Network.iface_to t.network ~node:p ~neighbor:node
+                    in
+                    Bitset.remove pst.oifs oif;
+                    remove_edge t ~group:g ~parent:p ~child:node)
+                  tr.parents.(node));
+            (* cut downstream edges (we were forwarding to children) *)
+            Bitset.iter
+              (fun oif ->
+                let c = Network.neighbor t.network ~node ~iface:oif in
+                remove_edge t ~group:g ~parent:node ~child:c)
+              st.oifs;
+            Bitset.clear st.oifs;
+            st.on_tree <- false;
+            detached_remove t ~group:g ~node
+    end
+  done;
+  Hashtbl.replace t.crashed_locals node !wiped
+
+(* Rebuild from RPF joins: by the time this runs the node's links are
+   back up, so each remembered membership re-grafts along the fresh
+   reverse path exactly as an original join would. Members elsewhere
+   whose subtrees the crash severed re-attach through [repair_event]
+   when the restored links' topology events fire — nothing here needs
+   to touch them. *)
+let recover_node t ~node =
+  match Hashtbl.find_opt t.crashed_locals node with
+  | None -> ()
+  | Some groups ->
+      Hashtbl.remove t.crashed_locals node;
+      List.iter (fun g -> join t ~node ~group:g) groups
 
 (* Both views are maintained incrementally; bitset iteration and the
    child-indexed edge collection are ascending, so the sorted lists match

@@ -57,6 +57,23 @@ val is_member : t -> node:Net.Addr.node_id -> group:Net.Addr.group_id -> bool
 (** Local membership as requested by the application (ignores pending
     leave timers). *)
 
+val crash_node : t -> node:Net.Addr.node_id -> unit
+(** Wipes every trace of [node] from the group tables — local
+    memberships (remembered for {!recover_node}), tree presence,
+    outgoing interest, recorded edges in both directions — and voids its
+    pending leave timers. Called by the fault layer's crash observers
+    after the node's links are already down, when the per-link repairs
+    have cut most of this already; the explicit wipe makes the crash
+    semantics independent of repair ordering. Severed children keep
+    their interest and re-graft through the normal repair path once
+    connectivity returns. Idempotent. *)
+
+val recover_node : t -> node:Net.Addr.node_id -> unit
+(** Re-issues a {!join} for every local membership {!crash_node} wiped
+    at [node] — the RPF joins that rebuild its group state along the
+    fresh reverse paths. Must run after the node's links are restored.
+    No-op if the node was not crashed. *)
+
 val members : t -> group:Net.Addr.group_id -> Net.Addr.node_id list
 (** Nodes with local membership, sorted. *)
 

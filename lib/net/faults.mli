@@ -40,7 +40,46 @@ val schedule_flap :
   down_at:Engine.Time.t ->
   up_at:Engine.Time.t ->
   unit
-(** One down/up cycle. @raise Invalid_argument if [up_at <= down_at]. *)
+(** One down/up cycle. Both timers capture the endpoints' crash epochs
+    at scheduling time and void themselves if a crash intervenes — a
+    stale [set_up true] can never resurrect a crashed node's link.
+    @raise Invalid_argument if [up_at <= down_at]. *)
+
+(** {2 Node crash faults}
+
+    A crash is fail-stop at the network boundary: every incident link
+    goes down atomically (each through {!Network.set_link_up}, so the
+    incremental route recompute and the multicast repair observers run
+    per link), and the packets those links were carrying or queueing are
+    drained into {!crash_drops}. The upper layers' state at the node —
+    multicast group state, a co-located controller — is wiped/stopped by
+    whoever registered a {!add_crash_observer} callback; the [net] layer
+    cannot name those layers itself. Recovery restores exactly the links
+    the crash took down (skipping any whose far endpoint is itself
+    crashed), each an incremental edge splice, leaving routing
+    bit-identical to a fresh compute. Links failed independently (e.g.
+    by a flap) are not touched. *)
+
+val crash_node : t -> node:Addr.node_id -> unit
+(** No-op if the node is already crashed. *)
+
+val recover_node : t -> node:Addr.node_id -> unit
+(** No-op if the node is not crashed. A claimed link whose far endpoint
+    is still crashed is not restored here — the claim is handed over to
+    that endpoint, so overlapping crashes converge: the link comes back
+    when its last crashed endpoint recovers. *)
+
+val node_is_crashed : t -> Addr.node_id -> bool
+
+val schedule_crash : t -> at:Engine.Time.t -> node:Addr.node_id -> unit
+val schedule_recover : t -> at:Engine.Time.t -> node:Addr.node_id -> unit
+
+val add_crash_observer : t -> (Addr.node_id -> up:bool -> unit) -> unit
+(** Observers run (in registration order) after a crash has downed the
+    node's links ([up = false]) and after a recovery has restored them
+    ([up = true]). The scenario layer uses this to wipe/rebuild the
+    node's multicast group state and to stop/restart co-located
+    controller processes. *)
 
 val set_control_plane :
   t ->
@@ -65,9 +104,24 @@ val link_downs : t -> int
 val link_ups : t -> int
 
 val topology_changes : t -> int
-(** [link_downs + link_ups]: every fault event that fired a topology
-    observer. The churn-storm scenario divides the routing work done by
-    this to show it is bounded by damage, not by events × nodes. *)
+(** [link_downs + link_ups + crash_link_downs + crash_link_ups]: every
+    fault event that fired a topology observer. The churn-storm scenario
+    divides the routing work done by this to show it is bounded by
+    damage, not by events × nodes. *)
 
 val control_dropped : t -> int
 val control_delayed : t -> int
+
+val node_crashes : t -> int
+val node_recoveries : t -> int
+
+val crash_drops : t -> int
+(** Packets drained out of a crashing node's incident links — its queued
+    and in-flight traffic at the instant of the crash. *)
+
+val crash_link_downs : t -> int
+(** Link transitions performed by crashes, kept apart from {!link_downs}
+    so link-fault-only scenarios read the same with the crash machinery
+    present. *)
+
+val crash_link_ups : t -> int

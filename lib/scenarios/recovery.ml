@@ -277,6 +277,168 @@ let link_flap ?(receivers_per_set = 2) ?(down_at_s = 60.0) ?(up_at_s = 90.0)
     peak_live = Sim.max_live_pending rig.sim;
   }
 
+(* ---------- router crash ---------- *)
+
+type crash_outcome = {
+  receivers : flap_receiver list;
+  crash_at_s : float;
+  recover_at_s : float;
+  crash_drops : int;
+  crash_link_downs : int;
+  crash_link_ups : int;
+  per_link_fault_drops : ((Net.Addr.node_id * Net.Addr.node_id) * int) list;
+  evictions : int;
+  readmissions : int;
+  routing_recomputes : int;
+  unroutable_drops : int;
+  repair_passes : int;
+  edges_repaired : int;
+  tree_consistent : bool;
+  suggestions_sent : int;
+  events_dispatched : int;
+  peak_heap : int;
+  peak_live : int;
+}
+
+(* Fail-stop crash of the fast-branch router on the flap topology. Unlike
+   the flap, this downs ALL of the router's links at once — the fast set
+   is partitioned outright (the detour dies with it), its queued packets
+   drain into the crash-drop counter, and the receivers ride the
+   unilateral fallback at floor level while their leases expire at the
+   controller. Recovery restores the links, the wiped forwarding state is
+   regrafted from the surviving members' joins, and the next reports
+   re-admit the evicted receivers. *)
+let router_crash ?(receivers_per_set = 2) ?(crash_at_s = 60.0)
+    ?(recover_at_s = 90.0) ?(duration = Time.of_sec 200) ?(seed = 42L)
+    ?(traffic = Experiment.Cbr) () =
+  if recover_at_s <= crash_at_s then
+    invalid_arg "router_crash: recover_at_s <= crash_at_s";
+  if Time.to_sec_f duration <= recover_at_s then
+    invalid_arg "router_crash: duration must extend past recover_at_s";
+  let spec, _core, branch_fast, fast_set = flap_spec ~receivers_per_set in
+  let params = Toposense.Params.default in
+  let rig = make_rig ~spec ~traffic ~params ~seed in
+  let faults = Net.Faults.create ~network:rig.network () in
+  (* the net layer cannot name the multicast layer; the observer wires
+     crash/recover through to the router's state wipe and rebuild *)
+  Net.Faults.add_crash_observer faults (fun node ~up ->
+      if up then Multicast.Router.recover_node rig.router ~node
+      else Multicast.Router.crash_node rig.router ~node);
+  let crash_at = Time.of_sec_f crash_at_s in
+  let recover_at = Time.of_sec_f recover_at_s in
+  Net.Faults.schedule_crash faults ~at:crash_at ~node:branch_fast;
+  Net.Faults.schedule_recover faults ~at:recover_at ~node:branch_fast;
+  let window_s = recover_at_s -. crash_at_s in
+  let before_start = Time.of_sec_f (Float.max 0.0 (crash_at_s -. window_s)) in
+  let bytes_before = Hashtbl.create 8 in
+  let bytes_during = Hashtbl.create 8 in
+  let bump tbl node size =
+    Hashtbl.replace tbl node
+      (size + Option.value ~default:0 (Hashtbl.find_opt tbl node))
+  in
+  List.iter
+    (fun (node, _) ->
+      Net.Network.add_local_handler rig.network node (fun pkt ->
+          match pkt.Net.Packet.payload with
+          | Net.Packet.Data _ ->
+              let now = Sim.now rig.sim in
+              if Time.(now >= before_start) && Time.(now < crash_at) then
+                bump bytes_before node pkt.size
+              else if Time.(now >= crash_at) && Time.(now < recover_at) then
+                bump bytes_during node pkt.size
+          | _ -> ()))
+    rig.agents;
+  Sim.run_until rig.sim duration;
+  let routing = Net.Network.routing rig.network in
+  let layering = Session.layering rig.session in
+  let receivers =
+    List.map
+      (fun (node, agent) ->
+        let fast_branch = List.mem node fast_set in
+        let changes = Toposense.Receiver_agent.changes agent ~session:0 in
+        let optimal =
+          Baseline.Static_oracle.optimal_level ~topology:spec.Builders.topology
+            ~routing ~layering ~sessions:spec.Builders.sessions
+            ~source:rig.source ~receiver:node
+        in
+        let pre = level_at ~changes ~at:crash_at in
+        let recovery_s =
+          if level_at ~changes ~at:recover_at >= pre then Some 0.0
+          else
+            List.fold_left
+              (fun acc (t, l) ->
+                match acc with
+                | Some _ -> acc
+                | None ->
+                    if Time.(t >= recover_at) && l >= pre then
+                      Some (Time.span_to_sec_f (Time.diff t recover_at))
+                    else None)
+              None changes
+        in
+        let bps tbl =
+          match Hashtbl.find_opt tbl node with
+          | None -> 0.0
+          | Some b -> float_of_int (8 * b) /. window_s
+        in
+        {
+          node;
+          fast_branch;
+          optimal;
+          (* the crash partitions the fast set: no detour survives, so
+             the in-failure optimum is 0 (vs the flap's detour level) *)
+          optimal_during = (if fast_branch then 0 else optimal);
+          pre_failure_level = pre;
+          floor_level = min_level_in ~changes ~window:(crash_at, recover_at);
+          recovery_s;
+          goodput_before_bps = bps bytes_before;
+          goodput_during_bps = bps bytes_during;
+          final_level = Toposense.Receiver_agent.level agent ~session:0;
+        })
+      rig.agents
+  in
+  let tree_consistent =
+    let snap =
+      Discovery.Snapshot.capture ~router:rig.router ~session:rig.session
+        ~at:(Sim.now rig.sim)
+    in
+    Discovery.Snapshot.is_tree snap
+    && List.for_all
+         (fun (e : Discovery.Snapshot.edge) ->
+           Net.Routing.next_hop_opt routing ~from:e.child ~dst:rig.source
+           = Some e.parent)
+         snap.edges
+  in
+  {
+    receivers;
+    crash_at_s;
+    recover_at_s;
+    crash_drops = Net.Faults.crash_drops faults;
+    crash_link_downs = Net.Faults.crash_link_downs faults;
+    crash_link_ups = Net.Faults.crash_link_ups faults;
+    per_link_fault_drops =
+      (let acc = ref [] in
+       for n = Net.Network.node_count rig.network - 1 downto 0 do
+         for i = Net.Network.iface_count rig.network n - 1 downto 0 do
+           let link = Net.Network.link_on_iface rig.network ~node:n ~iface:i in
+           let d = Net.Link.fault_drops link in
+           if d > 0 then
+             acc := ((Net.Link.src link, Net.Link.dst link), d) :: !acc
+         done
+       done;
+       List.sort compare !acc);
+    evictions = Toposense.Controller.evictions rig.controller;
+    readmissions = Toposense.Controller.readmissions rig.controller;
+    routing_recomputes = Net.Routing.recomputes routing;
+    unroutable_drops = Net.Network.unroutable_drops rig.network;
+    repair_passes = Multicast.Router.repair_passes rig.router;
+    edges_repaired = Multicast.Router.edges_repaired rig.router;
+    tree_consistent;
+    suggestions_sent = Toposense.Controller.suggestions_sent rig.controller;
+    events_dispatched = Sim.events_dispatched rig.sim;
+    peak_heap = Sim.max_pending rig.sim;
+    peak_live = Sim.max_live_pending rig.sim;
+  }
+
 (* ---------- controller outage + failover ---------- *)
 
 type outage_receiver = {

@@ -83,6 +83,56 @@ val link_flap :
     2+2 receivers, down at 60 s, up at 90 s, 180 s horizon, CBR.
     @raise Invalid_argument unless [down_at_s < up_at_s < duration]. *)
 
+(** {1 Router crash} *)
+
+type crash_outcome = {
+  receivers : flap_receiver list;
+      (** [optimal_during] is 0 for the fast set — the crash kills the
+          detour too, so the partition leaves no in-failure optimum;
+          [recovery_s] counts from the router's recovery *)
+  crash_at_s : float;
+  recover_at_s : float;
+  crash_drops : int;  (** packets drained from the dead router's queues *)
+  crash_link_downs : int;
+  crash_link_ups : int;
+  per_link_fault_drops : ((Net.Addr.node_id * Net.Addr.node_id) * int) list;
+      (** ((src, dst), drops) per simplex link with at least one drop,
+          sorted — where the crash (and the outage it caused) actually
+          bled packets *)
+  evictions : int;
+      (** receivers whose liveness lease expired while partitioned *)
+  readmissions : int;  (** evicted receivers re-admitted after recovery *)
+  routing_recomputes : int;
+  unroutable_drops : int;
+  repair_passes : int;
+  edges_repaired : int;
+  tree_consistent : bool;
+  suggestions_sent : int;
+  events_dispatched : int;
+  peak_heap : int;
+  peak_live : int;
+}
+
+val router_crash :
+  ?receivers_per_set:int ->
+  ?crash_at_s:float ->
+  ?recover_at_s:float ->
+  ?duration:Engine.Time.t ->
+  ?seed:int64 ->
+  ?traffic:Experiment.traffic ->
+  unit ->
+  crash_outcome
+(** Fail-stop crash of the fast-branch router on the flap topology:
+    every incident link (including the detour's second hop) goes down
+    atomically, queued packets drain into {!Net.Faults.crash_drops}, and
+    the router's forwarding state is wiped — recovery restores the links
+    and regrafts the trees from the surviving joins. The default 30 s
+    outage outlives the receivers' liveness leases, so the outcome also
+    shows the eviction/readmission cycle. Defaults: 2+2 receivers, crash
+    at 60 s, recover at 90 s, 200 s horizon, CBR.
+    @raise Invalid_argument unless [crash_at_s < recover_at_s <
+    duration]. *)
+
 (** {1 Controller outage and failover} *)
 
 type outage_receiver = {

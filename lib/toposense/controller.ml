@@ -58,6 +58,10 @@ type t = {
   mutable running : bool;
       (** between {!start}/{!stop}; a stopped controller is deaf, so a
           restart resumes from state no fresher than the outage *)
+  mutable was_stopped : bool;
+      (** a restart after a stop models a process coming back: the
+          federation leaf's summary stream is rebased so the parent can
+          tell the new incarnation from old stragglers *)
   mutable reports_received : int;
   mutable suggestions_sent : int;
   mutable self_suppressed : int;
@@ -196,6 +200,7 @@ let create ~network ~discovery ~params ~node ?domain ?probe ?federation () =
       proto_rng = Sim.rng sim ~label:"toposense-protocol";
       task = None;
       running = true;
+      was_stopped = false;
       reports_received = 0;
       suggestions_sent = 0;
       self_suppressed = 0;
@@ -551,6 +556,12 @@ let run_interval t =
 
 let start t =
   t.running <- true;
+  if t.was_stopped then begin
+    t.was_stopped <- false;
+    (* restart of a federated leaf: rebase the summary stream so the
+       parent admits the new incarnation past its old high-water seq *)
+    Option.iter Federation.rebase t.federation
+  end;
   Option.iter Probe_discovery.start t.probe;
   if t.task = None then begin
     let sim = Net.Network.sim t.network in
@@ -560,6 +571,7 @@ let start t =
 
 let stop t =
   t.running <- false;
+  t.was_stopped <- true;
   Option.iter Probe_discovery.stop t.probe;
   Hashtbl.iter (fun _ st -> cancel_pending t st) t.receivers;
   match t.task with
@@ -598,3 +610,19 @@ let receiver_active t ~session ~node =
   match Hashtbl.find_opt t.receivers (session, node) with
   | None -> false
   | Some st -> st.status = Active
+
+(* Hand a receiver back after a failover window: drop it from the lease
+   book and per-receiver state so this controller stops prescribing to
+   it the moment its home leaf rejoins — the no-double-prescribing half
+   of the rejoin contract. The protocol seq spaces are deliberately
+   kept: they must never rewind, or a later failover to the same target
+   would have its first suggestions rejected as stale. *)
+let forget_receiver t ~session ~receiver =
+  (match Hashtbl.find_opt t.known session with
+  | Some known -> Util.Bitset.remove known receiver
+  | None -> ());
+  match Hashtbl.find_opt t.receivers (session, receiver) with
+  | None -> ()
+  | Some st ->
+      cancel_pending t st;
+      Hashtbl.remove t.receivers (session, receiver)

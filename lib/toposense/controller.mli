@@ -81,7 +81,9 @@ val start : t -> unit
     now). Also restarts a stopped controller: reports are heard again and
     intervals resume, picking up from whatever stale state survived the
     outage — receivers meanwhile fall back to their unilateral
-    watchdog. *)
+    watchdog. A restart of a federated leaf also calls
+    {!Federation.rebase} on its summary stream, so the parent admits the
+    new incarnation and drops pre-restart stragglers. *)
 
 val stop : t -> unit
 (** Models a controller outage (or failover away from this instance):
@@ -157,3 +159,10 @@ val goodbyes_received : t -> int
 val receiver_active : t -> session:int -> node:Net.Addr.node_id -> bool
 (** Whether the receiver currently holds an active lease for the session
     (false if unknown, evicted or departed). *)
+
+val forget_receiver : t -> session:int -> receiver:Net.Addr.node_id -> unit
+(** Drops the receiver from the lease book and releases its per-receiver
+    state (cancelling any pending retransmission). Called on a failover
+    target when the receiver's home leaf rejoins, so exactly one
+    controller prescribes to it afterwards. The prescription seq space
+    is kept — sequences never rewind. No-op if unknown. *)

@@ -5,6 +5,7 @@ type Net.Packet.payload +=
   | Domain_summary of {
       domain : int;
       session : int;
+      epoch : int;
       seq : int;
       receivers : int;
       mean_level : float;
@@ -12,22 +13,34 @@ type Net.Packet.payload +=
       congested : int;
     }
 
+(* The epoch rides in the summary header's former padding, so the wire
+   size is unchanged — a run that never restarts a leaf is byte-identical
+   with the field present (same discipline as the always-on report
+   seqs). *)
 let summary_size = 56
 
 type leaf = {
   parent : Net.Addr.node_id;
   domain_id : int;
+  mutable epoch : int;
   mutable next_seq : int;
 }
 
 let leaf ~parent ~domain_id =
   if domain_id < 0 then invalid_arg "Federation.leaf: negative domain_id";
-  { parent; domain_id; next_seq = 0 }
+  { parent; domain_id; epoch = 0; next_seq = 0 }
+
+let rebase leaf =
+  leaf.epoch <- leaf.epoch + 1;
+  leaf.next_seq <- 0
+
+let leaf_epoch leaf = leaf.epoch
 
 (* Latest summary for one (session, domain) pair. Overwritten in place:
    the parent's footprint is exactly one slot per pair, independent of
    how many receivers live behind the leaf. *)
 type slot = {
+  mutable epoch : int;
   mutable seq : int;
   mutable receivers : int;
   mutable mean_level : float;
@@ -42,6 +55,20 @@ type parent = {
   slots : (int * int, slot) Hashtbl.t;  (* (session, domain) -> latest *)
   mutable summaries_received : int;
   mutable stale_dropped : int;
+  (* Failover state — all inert until [start_failover] arms the
+     monitor. *)
+  degraded : (int, unit) Hashtbl.t;  (* domains currently degraded *)
+  standby : (int, Net.Addr.node_id) Hashtbl.t;  (* domain -> standby leaf *)
+  mutable rehome_sent : (unit -> int) option;
+  mutable rehome_last : int;
+  mutable monitor : Sim.handle option;
+  mutable on_degraded :
+    (domain:int -> target:Net.Addr.node_id -> unit) option;
+  mutable on_rejoined : (domain:int -> unit) option;
+  mutable domains_degraded : int;
+  mutable failovers : int;
+  mutable rejoins : int;
+  mutable rehomed_prescriptions : int;
 }
 
 type aggregate = {
@@ -52,26 +79,63 @@ type aggregate = {
   congested_domains : int;
 }
 
-let on_summary t ~domain ~session ~seq ~receivers ~mean_level ~mean_loss
-    ~congested =
+(* Prescriptions the re-home target issued while at least one domain was
+   degraded. Sampled as a counter delta at every monitor tick and at
+   every rejoin, so the attribution window closes with the degradation. *)
+let sample_rehome t =
+  match t.rehome_sent with
+  | None -> ()
+  | Some sent ->
+      let cur = sent () in
+      if Hashtbl.length t.degraded > 0 then
+        t.rehomed_prescriptions <-
+          t.rehomed_prescriptions + (cur - t.rehome_last);
+      t.rehome_last <- cur
+
+let note_alive t ~domain =
+  if Hashtbl.mem t.degraded domain then begin
+    sample_rehome t;
+    Hashtbl.remove t.degraded domain;
+    t.rejoins <- t.rejoins + 1;
+    match t.on_rejoined with Some f -> f ~domain | None -> ()
+  end
+
+let on_summary t ~domain ~session ~epoch ~seq ~receivers ~mean_level
+    ~mean_loss ~congested =
   t.summaries_received <- t.summaries_received + 1;
   let now = Sim.now (Net.Network.sim t.network) in
   match Hashtbl.find_opt t.slots (session, domain) with
-  | Some slot when seq <= slot.seq ->
+  | Some slot when epoch < slot.epoch || (epoch = slot.epoch && seq <= slot.seq)
+    ->
       (* A reroute can reorder unicast summaries; the newer picture
          already landed, so the straggler is dropped rather than rolling
-         the domain's state backwards. *)
+         the domain's state backwards. A lower epoch is a straggler from
+         before the leaf's restart — the rebased stream has already
+         superseded it. *)
       t.stale_dropped <- t.stale_dropped + 1
   | Some slot ->
+      (* [epoch > slot.epoch] is the seq rebase: the first summary of a
+         restarted leaf's stream is accepted whatever its seq. *)
+      slot.epoch <- epoch;
       slot.seq <- seq;
       slot.receivers <- receivers;
       slot.mean_level <- mean_level;
       slot.mean_loss <- mean_loss;
       slot.congested <- congested;
-      slot.updated_at <- now
+      slot.updated_at <- now;
+      note_alive t ~domain
   | None ->
       Hashtbl.add t.slots (session, domain)
-        { seq; receivers; mean_level; mean_loss; congested; updated_at = now }
+        {
+          epoch;
+          seq;
+          receivers;
+          mean_level;
+          mean_loss;
+          congested;
+          updated_at = now;
+        };
+      note_alive t ~domain
 
 let create_parent ~network ~node =
   let t =
@@ -81,22 +145,105 @@ let create_parent ~network ~node =
       slots = Hashtbl.create 16;
       summaries_received = 0;
       stale_dropped = 0;
+      degraded = Hashtbl.create 8;
+      standby = Hashtbl.create 8;
+      rehome_sent = None;
+      rehome_last = 0;
+      monitor = None;
+      on_degraded = None;
+      on_rejoined = None;
+      domains_degraded = 0;
+      failovers = 0;
+      rejoins = 0;
+      rehomed_prescriptions = 0;
     }
   in
   Net.Network.add_local_handler network node (fun pkt ->
       match pkt.Net.Packet.payload with
       | Domain_summary
-          { domain; session; seq; receivers; mean_level; mean_loss; congested }
-        ->
-          on_summary t ~domain ~session ~seq ~receivers ~mean_level ~mean_loss
-            ~congested
+          {
+            domain;
+            session;
+            epoch;
+            seq;
+            receivers;
+            mean_level;
+            mean_loss;
+            congested;
+          } ->
+          on_summary t ~domain ~session ~epoch ~seq ~receivers ~mean_level
+            ~mean_loss ~congested
       | _ -> ());
   t
 
+let set_standby t ~domain ~node = Hashtbl.replace t.standby domain node
+
+let set_rehome_counter t sent =
+  t.rehome_sent <- Some sent;
+  t.rehome_last <- sent ()
+
+let start_failover t ~check_period ~silence ?on_degraded ?on_rejoined () =
+  if t.monitor <> None then
+    invalid_arg "Federation.start_failover: monitor already running";
+  if check_period <= 0 then
+    invalid_arg "Federation.start_failover: non-positive check_period";
+  if silence <= 0 then
+    invalid_arg "Federation.start_failover: non-positive silence";
+  t.on_degraded <- on_degraded;
+  t.on_rejoined <- on_rejoined;
+  let sim = Net.Network.sim t.network in
+  t.monitor <-
+    Some
+      (Sim.every sim ~period:check_period (fun () ->
+           sample_rehome t;
+           let now = Sim.now sim in
+           (* freshest summary per domain, over all its sessions *)
+           let latest = Hashtbl.create 8 in
+           Hashtbl.iter
+             (fun (_, domain) slot ->
+               match Hashtbl.find_opt latest domain with
+               | Some ts when Time.(ts >= slot.updated_at) -> ()
+               | _ -> Hashtbl.replace latest domain slot.updated_at)
+             t.slots;
+           Hashtbl.fold (fun d ts acc -> (d, ts) :: acc) latest []
+           |> List.sort compare
+           |> List.iter (fun (domain, ts) ->
+                  if
+                    (not (Hashtbl.mem t.degraded domain))
+                    && Time.(add ts silence < now)
+                  then begin
+                    (* the lease on the summary stream expired: the
+                       domain's leaf has gone silent *)
+                    Hashtbl.replace t.degraded domain ();
+                    t.domains_degraded <- t.domains_degraded + 1;
+                    t.failovers <- t.failovers + 1;
+                    let target =
+                      match Hashtbl.find_opt t.standby domain with
+                      | Some n -> n
+                      | None -> t.node
+                    in
+                    match t.on_degraded with
+                    | Some f -> f ~domain ~target
+                    | None -> ()
+                  end)))
+
+let stop_failover t =
+  match t.monitor with
+  | Some h ->
+      Sim.cancel (Net.Network.sim t.network) h;
+      t.monitor <- None
+  | None -> ()
+
+let domain_is_degraded t ~domain = Hashtbl.mem t.degraded domain
+let degraded_now t = Hashtbl.length t.degraded
 let parent_node t = t.node
 let summaries_received t = t.summaries_received
 let stale_dropped t = t.stale_dropped
 let state_entries t = Hashtbl.length t.slots
+let domains_degraded t = t.domains_degraded
+let failovers t = t.failovers
+let rejoins t = t.rejoins
+let rehomed_prescriptions t = t.rehomed_prescriptions
 
 let sessions t =
   Hashtbl.fold (fun (session, _) _ acc -> session :: acc) t.slots []
@@ -106,7 +253,12 @@ let aggregate t ~session =
   let slots : (int * slot) list =
     Hashtbl.fold
       (fun (s, domain) slot acc ->
-        if s = session then (domain, slot) :: acc else acc)
+        (* A degraded domain's slot is whatever it last said before going
+           silent; folding it in would weight the aggregate with data the
+           liveness lease has already declared dead. *)
+        if s = session && not (Hashtbl.mem t.degraded domain) then
+          (domain, slot) :: acc
+        else acc)
       t.slots []
   in
   match slots with
@@ -150,6 +302,7 @@ let send_summary leaf ~network ~src ~session ~receivers ~mean_level ~mean_loss
          {
            domain = leaf.domain_id;
            session;
+           epoch = leaf.epoch;
            seq;
            receivers;
            mean_level;

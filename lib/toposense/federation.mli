@@ -9,13 +9,24 @@
     {e parent}. The parent never sees receivers — it keeps exactly one
     slot per (session, domain) pair, so its state and the control
     traffic it absorbs are O(domains), independent of receiver count
-    (pinned by a counter test). *)
+    (pinned by a counter test).
+
+    The parent additionally holds a {e liveness lease} on every domain's
+    summary stream: a domain silent longer than the lease is marked
+    degraded and handed to a failover target (a configured standby leaf,
+    or the parent itself for direct prescriptions from the unrestricted
+    snapshot); a leaf that comes back rejoins by rebasing its sequence
+    space under a higher epoch. All of it is inert until
+    {!start_failover} arms the monitor. *)
 
 type Net.Packet.payload +=
   | Domain_summary of {
       domain : int;
       session : int;
-      seq : int;  (** per-leaf, for dropping reordered stragglers *)
+      epoch : int;
+          (** bumped by {!rebase} when the leaf restarts; lets the
+              parent tell a rebased stream from reordered stragglers *)
+      seq : int;  (** per-leaf per-epoch, for dropping reordered stragglers *)
       receivers : int;  (** active receivers the leaf is managing *)
       mean_level : float;
       mean_loss : float;
@@ -23,7 +34,9 @@ type Net.Packet.payload +=
     }
 
 val summary_size : int
-(** Wire size of one summary packet (bytes). *)
+(** Wire size of one summary packet (bytes). The epoch rides in the
+    header's former padding — adding it did not change the size, so
+    runs without leaf restarts stay byte-identical. *)
 
 (** {1 Leaf side} *)
 
@@ -33,6 +46,15 @@ val leaf : parent:Net.Addr.node_id -> domain_id:int -> leaf
 (** Handed to {!Controller.create} via [?federation]; the controller
     then emits one summary per session per interval.
     @raise Invalid_argument on a negative [domain_id]. *)
+
+val rebase : leaf -> unit
+(** Restart recovery: bumps the epoch and restarts the sequence space at
+    0. The parent accepts the first summary of the new epoch whatever
+    its seq, and drops any straggler from the old one.
+    {!Controller.start} calls this when restarting a stopped federated
+    controller. *)
+
+val leaf_epoch : leaf -> int
 
 val send_summary :
   leaf ->
@@ -59,7 +81,7 @@ val create_parent :
     on the same node). *)
 
 type aggregate = {
-  domains : int;  (** domains that have reported this session *)
+  domains : int;  (** healthy domains that have reported this session *)
   receivers : int;  (** sum of the latest per-domain receiver counts *)
   mean_level : float;  (** receiver-weighted *)
   mean_loss : float;  (** receiver-weighted *)
@@ -68,7 +90,10 @@ type aggregate = {
 
 val aggregate : parent -> session:int -> aggregate option
 (** Session-wide picture folded from the latest per-domain slots;
-    [None] if no domain has reported yet. O(domains). *)
+    [None] if no domain has reported yet. Degraded domains are excluded
+    — their slots hold data the liveness lease already declared dead, so
+    the receiver-weighted means stay consistent while a domain is dark
+    mid-interval. O(domains). *)
 
 val sessions : parent -> int list
 (** Sessions with at least one slot, ascending. *)
@@ -77,9 +102,65 @@ val parent_node : parent -> Net.Addr.node_id
 val summaries_received : parent -> int
 
 val stale_dropped : parent -> int
-(** Reordered summaries dropped by the per-leaf sequence check. *)
+(** Reordered or pre-restart summaries dropped by the per-leaf
+    epoch/sequence check. *)
 
 val state_entries : parent -> int
 (** Live (session, domain) slots — the parent's entire footprint. The
     scale scenario asserts this stays at sessions x domains while
     receiver counts grow 10x. *)
+
+(** {1 Leaf-controller failover} *)
+
+val start_failover :
+  parent ->
+  check_period:Engine.Time.span ->
+  silence:Engine.Time.span ->
+  ?on_degraded:(domain:int -> target:Net.Addr.node_id -> unit) ->
+  ?on_rejoined:(domain:int -> unit) ->
+  unit ->
+  unit
+(** Arms the liveness monitor: every [check_period] it sweeps the slots,
+    and a domain whose freshest summary is older than [silence] is
+    marked degraded. [on_degraded] fires once per degradation with the
+    failover target — the domain's configured standby
+    ({!set_standby}), or the parent's own node for direct re-homing —
+    and the scenario layer re-points the domain's receiver agents at it
+    (they ride the RLM fallback until prescriptions resume).
+    [on_rejoined] fires when a degraded domain's summaries return.
+    @raise Invalid_argument if already armed or on a non-positive
+    period/silence. *)
+
+val stop_failover : parent -> unit
+
+val set_standby : parent -> domain:int -> node:Net.Addr.node_id -> unit
+(** Configures a standby leaf node as [domain]'s failover target. *)
+
+val set_rehome_counter : parent -> (unit -> int) -> unit
+(** Registers the suggestion counter of the controller that serves
+    re-homed domains (typically
+    [fun () -> Controller.suggestions_sent c] for the parent-side
+    controller). The monitor samples it as a delta while at least one
+    domain is degraded, attributing those prescriptions to
+    {!rehomed_prescriptions}. *)
+
+val domain_is_degraded : parent -> domain:int -> bool
+
+val degraded_now : parent -> int
+(** Domains currently degraded (gauge). *)
+
+(** Failover counters (cumulative). *)
+
+val domains_degraded : parent -> int
+(** Degradation events: silent-domain detections by the monitor. *)
+
+val failovers : parent -> int
+(** Degradations for which a failover target was engaged (all of them —
+    the parent itself is the target of last resort). *)
+
+val rejoins : parent -> int
+(** Degraded domains whose summary stream came back. *)
+
+val rehomed_prescriptions : parent -> int
+(** Prescriptions the re-home controller issued during degraded
+    windows (see {!set_rehome_counter}). *)

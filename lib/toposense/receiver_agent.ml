@@ -414,6 +414,11 @@ let last_window_loss t ~session =
   | None -> 0.0
   | Some st -> st.last_window_loss
 
+let last_suggestion_at t ~session =
+  Option.map
+    (fun st -> st.last_suggestion)
+    (Hashtbl.find_opt t.sessions session)
+
 let set_controller t ~controller = t.controller <- controller
 let controller t = t.controller
 

@@ -70,6 +70,13 @@ val last_window_loss : t -> session:int -> float
 (** Loss rate of the most recent report window (0 before the first
     report); what Fig. 9's loss trace samples. *)
 
+val last_suggestion_at : t -> session:int -> Engine.Time.t option
+(** When the last {e fresh} prescription for the session was admitted
+    (subscription time before any has arrived); [None] if the session is
+    unknown. The chaos harness uses this to assert every surviving
+    receiver is re-prescribed within a bounded number of controller
+    intervals after recovery. *)
+
 val set_controller : t -> controller:Net.Addr.node_id -> unit
 (** Re-points future reports at a different controller node — the
     failover step after a controller outage. Already-sent reports are
