@@ -159,8 +159,28 @@ let assert_field_le ~row_name ~field_name ~bound path =
       | Some v ->
           Printf.printf "OK: %s %s = %.0f <= %d\n" row_name field_name v bound)
 
-(* [--assert-le ROW:FIELD=BOUND]. *)
-let assert_le spec path =
+(* Mirror image: [field_name] of the named row must be >= the bound.
+   Guards floors — an events/sec target must not silently erode. *)
+let assert_field_ge ~row_name ~field_name ~bound path =
+  let rows = load path in
+  match List.find_opt (fun r -> r.name = row_name) rows with
+  | None ->
+      Printf.eprintf "row %S not found in %s\n" row_name path;
+      exit 1
+  | Some r -> (
+      match field r field_name with
+      | None ->
+          Printf.eprintf "row %S has no %s field\n" row_name field_name;
+          exit 1
+      | Some v when int_of_float v < bound ->
+          Printf.eprintf "FAIL: %s %s = %.0f < required %d (%s)\n" row_name
+            field_name v bound path;
+          exit 1
+      | Some v ->
+          Printf.printf "OK: %s %s = %.0f >= %d\n" row_name field_name v bound)
+
+(* [--assert-le ROW:FIELD=BOUND] / [--assert-ge ROW:FIELD=BOUND]. *)
+let assert_cmp ~flag ~check spec path =
   match (String.index_opt spec ':', String.index_opt spec '=') with
   | Some colon, Some eq when colon < eq -> (
       let row_name = String.sub spec 0 colon in
@@ -168,13 +188,16 @@ let assert_le spec path =
       match
         int_of_string_opt (String.sub spec (eq + 1) (String.length spec - eq - 1))
       with
-      | Some bound -> assert_field_le ~row_name ~field_name ~bound path
+      | Some bound -> check ~row_name ~field_name ~bound path
       | None ->
-          prerr_endline "--assert-le expects an integer bound";
+          prerr_endline (flag ^ " expects an integer bound");
           exit 2)
   | _ ->
-      prerr_endline "--assert-le expects ROW:FIELD=BOUND";
+      prerr_endline (flag ^ " expects ROW:FIELD=BOUND");
       exit 2
+
+let assert_le = assert_cmp ~flag:"--assert-le" ~check:assert_field_le
+let assert_ge = assert_cmp ~flag:"--assert-ge" ~check:assert_field_ge
 
 (* [--assert-major-le ROW=BOUND], kept for compatibility: shorthand for
    [--assert-le ROW:major_collections=BOUND]. *)
@@ -198,10 +221,12 @@ let () =
   match Array.to_list Sys.argv with
   | [ _; "--assert-major-le"; spec; path ] -> assert_major_le spec path
   | [ _; "--assert-le"; spec; path ] -> assert_le spec path
+  | [ _; "--assert-ge"; spec; path ] -> assert_ge spec path
   | [ _; old_path; new_path ] -> compare_files old_path new_path
   | _ ->
       prerr_endline
         "usage: compare OLD.json NEW.json\n\
         \       compare --assert-le ROW:FIELD=BOUND FILE.json\n\
+        \       compare --assert-ge ROW:FIELD=BOUND FILE.json\n\
         \       compare --assert-major-le ROW=BOUND FILE.json";
       exit 2

@@ -55,6 +55,18 @@ let jobs =
 
 let header fmt = Format.printf "@.=== %s ===@." fmt
 
+(* --perf re-runs one named trajectory row (default: the topoB hot
+   path; pick another with --perf-row NAME) under [perf record -g]
+   attached to this process, then renders [perf report --stdio] beside
+   the data file. The capture is a separate run *after* the measured
+   rows so sampling overhead never pollutes the recorded numbers, and
+   it degrades to a note when the perf binary is absent (most
+   containers ship without it). *)
+let perf_requested = Array.exists (fun a -> a = "--perf") Sys.argv
+
+let perf_row_name =
+  Option.value ~default:"topoB-32-sessions-vbr" (argv_value "--perf-row")
+
 (* ---------- figure regeneration ---------- *)
 
 let run_table1 () =
@@ -398,7 +410,7 @@ let run_ablations () =
 
 (* ---------- bench trajectory (BENCH_*.json) ---------- *)
 
-(* Macro throughput numbers for the hot path, written to BENCH_pr8.json
+(* Macro throughput numbers for the hot path, written to BENCH_pr9.json
    so successive PRs can compare events/sec and packets/sec on fixed
    scenarios (diff two files with bench/compare.exe). Runs alone (fast)
    with BENCH_SMOKE=1 or --trajectory. *)
@@ -566,7 +578,14 @@ let engine_churn_row ?backend ~name ~sim_s () =
     minor_words = gc.minor_w;
     major_words = gc.major_w;
     major_cols = gc.major_cols;
-    extras = [];
+    (* Both 0 on the heap backend; on the calendar they pin the
+       staged-in-scratch resize path — a resize that went back to
+       allocating fresh arrays would show up as words per resize. *)
+    extras =
+      [
+        ("resizes", float_of_int (Engine.Sim.queue_resizes sim));
+        ("recycled", float_of_int (Engine.Sim.queue_recycled sim));
+      ];
   }
 
 (* Churn storm at scale (PR 6): sustained link flaps + membership churn
@@ -727,7 +746,7 @@ let alloc_per_event r =
 
 let emit_bench_json ~path rows =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n  \"bench\": \"pr8\",\n";
+  Buffer.add_string buf "{\n  \"bench\": \"pr9\",\n";
   Printf.bprintf buf "  \"mode\": \"%s\",\n"
     (if full then "full" else "quick");
   Printf.bprintf buf "  \"scheduler\": \"%s\",\n"
@@ -760,6 +779,45 @@ let emit_bench_json ~path rows =
   output_string oc (Buffer.contents buf);
   close_out oc
 
+(* One extra, unmeasured run of the chosen row with [perf record]
+   attached to this pid. SIGINT (perf's documented stop signal) flushes
+   the ring buffer; the text report lands beside perf.data so CI can
+   archive it without perf installed on the inspecting side. *)
+let run_perf_capture named_thunks =
+  match List.assoc_opt perf_row_name named_thunks with
+  | None ->
+      Format.printf "--perf-row %S: no such trajectory row (have: %s)@."
+        perf_row_name
+        (String.concat ", " (List.map fst named_thunks))
+  | Some thunk ->
+      if Sys.command "perf --version > /dev/null 2>&1" <> 0 then
+        Format.printf
+          "perf binary not found on PATH; skipping profile capture@."
+      else begin
+        header (Printf.sprintf "perf profile: %s" perf_row_name);
+        let perf_pid =
+          Unix.create_process "perf"
+            [|
+              "perf"; "record"; "-g"; "--freq"; "997"; "-o"; "perf.data";
+              "-p"; string_of_int (Unix.getpid ());
+            |]
+            Unix.stdin Unix.stdout Unix.stderr
+        in
+        (* Let perf finish attaching before the measured work starts. *)
+        Unix.sleepf 0.2;
+        ignore (thunk ());
+        Unix.kill perf_pid Sys.sigint;
+        ignore (Unix.waitpid [] perf_pid);
+        if
+          Sys.command
+            "perf report --stdio -i perf.data > perf_report.txt 2> /dev/null"
+          = 0
+        then Format.printf "wrote perf.data and perf_report.txt@."
+        else
+          Format.printf
+            "perf record finished but the report failed; perf.data kept@."
+      end
+
 let run_trajectory () =
   header "Bench trajectory (events/sec, packets/sec per scenario)";
   let sim_s = if full then 600.0 else 300.0 in
@@ -786,31 +844,40 @@ let run_trajectory () =
         | d -> d)
       (fun () -> Scenarios.Builders.topology_a ~receivers_per_set:4)
   in
+  (* Named so --perf-row can pick one out; the names double as the JSON
+     row names. *)
   let row_thunks =
     [
-      (fun () ->
-        experiment_row ~name:"topoB-32-sessions-vbr" ~spec:spec_topo_b
-          ~traffic:(Experiment.Vbr 3.0) ~sim_s ());
-      (fun () ->
-        experiment_row ~name:"topoA-16-receivers-cbr" ~spec:spec_topo_a16
-          ~traffic:Experiment.Cbr ~sim_s ());
-      (fun () ->
-        experiment_row ~name:"priority-overload" ~spec:spec_priority
-          ~traffic:(Experiment.Vbr 6.0) ~sim_s ());
-      (fun () ->
-        experiment_row ~name:"red-burst" ~spec:spec_red
-          ~traffic:(Experiment.Vbr 6.0) ~sim_s ());
-      (fun () -> fault_flap_row ~sim_s ());
-      (fun () -> fault_partition_row ~sim_s ());
-      (fun () -> churn_storm_row ~sim_s ());
-      (fun () -> chaos_storm_row ());
-      (fun () ->
-        engine_churn_row ~name:"engine-cancel-churn" ~sim_s:(sim_s /. 5.0) ());
+      ( "topoB-32-sessions-vbr",
+        fun () ->
+          experiment_row ~name:"topoB-32-sessions-vbr" ~spec:spec_topo_b
+            ~traffic:(Experiment.Vbr 3.0) ~sim_s () );
+      ( "topoA-16-receivers-cbr",
+        fun () ->
+          experiment_row ~name:"topoA-16-receivers-cbr" ~spec:spec_topo_a16
+            ~traffic:Experiment.Cbr ~sim_s () );
+      ( "priority-overload",
+        fun () ->
+          experiment_row ~name:"priority-overload" ~spec:spec_priority
+            ~traffic:(Experiment.Vbr 6.0) ~sim_s () );
+      ( "red-burst",
+        fun () ->
+          experiment_row ~name:"red-burst" ~spec:spec_red
+            ~traffic:(Experiment.Vbr 6.0) ~sim_s () );
+      ("fault-link-flap", fun () -> fault_flap_row ~sim_s ());
+      ("fault-partition", fun () -> fault_partition_row ~sim_s ());
+      ("churn-storm", fun () -> churn_storm_row ~sim_s ());
+      ("chaos-storm", fun () -> chaos_storm_row ());
+      ( "engine-cancel-churn",
+        fun () ->
+          engine_churn_row ~name:"engine-cancel-churn" ~sim_s:(sim_s /. 5.0) ()
+      );
       (* Same workload, calendar backend pinned: the heap/calendar pair in
          one JSON is the speedup record for this scenario. *)
-      (fun () ->
-        engine_churn_row ~name:"engine-cancel-churn-calendar"
-          ~backend:Engine.Event_queue.Calendar ~sim_s:(sim_s /. 5.0) ());
+      ( "engine-cancel-churn-calendar",
+        fun () ->
+          engine_churn_row ~name:"engine-cancel-churn-calendar"
+            ~backend:Engine.Event_queue.Calendar ~sim_s:(sim_s /. 5.0) () );
     ]
   in
   (* Scale rows run serially, before everything else in this trajectory:
@@ -837,7 +904,8 @@ let run_trajectory () =
     [ r10k; r100k ]
   in
   let rows =
-    scale_rows @ Scenarios.Sweep.run ~jobs (fun thunk -> thunk ()) row_thunks
+    scale_rows
+    @ Scenarios.Sweep.run ~jobs (fun (_, thunk) -> thunk ()) row_thunks
   in
   List.iter
     (fun r ->
@@ -853,10 +921,11 @@ let run_trajectory () =
         r.major_cols (alloc_per_event r))
     rows;
   let path =
-    Option.value ~default:"BENCH_pr8.json" (Sys.getenv_opt "BENCH_OUT")
+    Option.value ~default:"BENCH_pr9.json" (Sys.getenv_opt "BENCH_OUT")
   in
   emit_bench_json ~path rows;
-  Format.printf "wrote %s@." path
+  Format.printf "wrote %s@." path;
+  if perf_requested then run_perf_capture row_thunks
 
 (* ---------- bechamel micro-benchmarks ---------- *)
 

@@ -81,11 +81,16 @@ let create ~network ~router ~node ~session
       tasks = [];
     }
   in
+  let arena = Net.Network.arena network in
   Net.Network.add_local_handler network node (fun pkt ->
-      match pkt.Net.Packet.payload with
-      | Net.Packet.Data { session = s; layer; seq } when s = session_id t ->
-          Stats.on_data t.stats ~session:s ~layer ~seq ~size:pkt.Net.Packet.size
-      | _ -> ());
+      if Net.Packet.is_data arena pkt then begin
+        let s = Net.Packet.session arena pkt in
+        if s = session_id t then
+          Stats.on_data t.stats ~session:s
+            ~layer:(Net.Packet.layer arena pkt)
+            ~seq:(Net.Packet.seq arena pkt)
+            ~size:(Net.Packet.size arena pkt)
+      end);
   set_level t initial_level;
   t
 

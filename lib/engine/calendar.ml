@@ -174,7 +174,16 @@ type 'a t = {
   mutable width : int;  (* day length in key units, >= 1 *)
   mutable size : int;
   mutable lastkey : int;  (* lower bound on every pending key *)
-  mutable head : 'a option;  (* cached minimum, so peek-then-pop scans once *)
+  mutable head : 'a;
+      (* cached minimum, physically [dummy] when invalid — an option
+         would re-box the cache on every refill, a per-pop allocation *)
+  mutable sort_scratch : 'a array;
+      (* resize staging, reused across resizes: holding every pending
+         element briefly is unavoidable, but a fresh O(n) array per
+         resize is not. Only the live prefix is sorted (see
+         [sort_prefix]); the tail keeps [dummy] and the prefix is
+         scrubbed back to [dummy] after the rebuild. *)
+  gap_scratch : int array;  (* width_for's gap sample, reused *)
   mutable spares : 'a vec array array;
       (* Retired bucket generations, scrubbed and parked one per size
          class (slot = log2 of the bucket count, [||] = empty slot).
@@ -186,11 +195,14 @@ type 'a t = {
          resizes from fresh [Array.make]s into pointer swaps (with every
          per-bucket capacity grown in a previous life kept). *)
   mutable recycled : int;  (* resizes served from [spares]; telemetry/tests *)
+  mutable resizes : int;  (* total resizes; telemetry/tests *)
 }
 
 (* Size classes are powers of two from 2 up to next_pow2 (2 * max_size):
    62 slots over-covers any int-indexed population. *)
 let spare_slots = 62
+
+let max_gap_sample = 25
 
 let log2i n =
   let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
@@ -205,15 +217,19 @@ let create ~cmp ~key ~dummy =
     width = 1;
     size = 0;
     lastkey = 0;
-    head = None;
+    head = dummy;
+    sort_scratch = [||];
+    gap_scratch = Array.make max_gap_sample 0;
     spares = Array.make spare_slots [||];
     recycled = 0;
+    resizes = 0;
   }
 
 let length t = t.size
 let is_empty t = t.size = 0
 let capacity t = Array.length t.buckets
 let recycled t = t.recycled
+let resizes t = t.resizes
 
 let bucket_of t k = k / t.width land (Array.length t.buckets - 1)
 
@@ -226,14 +242,13 @@ let rec next_pow2 n = if n <= 2 then 2 else 2 * next_pow2 ((n + 1) / 2)
    at any width) would collapse the span to zero, so gaps are taken
    between *distinct* keys, and a sample that straddles the edge of a
    dense band picks up a huge jump to the sparse tail, which the second
-   pass discards. Keeps the current width when the sample is degenerate. *)
-let max_gap_sample = 25
-
-let width_for t sorted =
-  let n = Array.length sorted in
+   pass discards. Keeps the current width when the sample is degenerate.
+   [sorted] is read on its live prefix [0, n) only — the reusable scratch
+   behind it is longer, and its tail holds dummies. *)
+let width_for t sorted n =
   if n < 2 then t.width
   else begin
-    let gaps = Array.make max_gap_sample 0 in
+    let gaps = t.gap_scratch in
     let ngaps = ref 0 and last = ref (t.key sorted.(0)) and i = ref 1 in
     while !i < n && !ngaps < max_gap_sample do
       let k = t.key sorted.(!i) in
@@ -262,16 +277,49 @@ let width_for t sorted =
     end
   end
 
+(* In-place heapsort of the prefix [a.(0 .. len-1)], ascending under
+   [cmp]. [Array.sort] cannot be used on the reusable scratch: it sorts
+   the whole array, and the dummies past the live prefix would be
+   shuffled in. Heapsort is allocation-free and, [cmp] being a total
+   order (the event queue's unique (time, seq) keys), its instability
+   cannot produce ties to break differently. *)
+let sort_prefix cmp a len =
+  let rec down i n =
+    let l = (2 * i) + 1 in
+    if l < n then begin
+      let r = l + 1 in
+      let c = if r < n && cmp a.(r) a.(l) > 0 then r else l in
+      if cmp a.(c) a.(i) > 0 then begin
+        let tmp = a.(i) in
+        a.(i) <- a.(c);
+        a.(c) <- tmp;
+        down c n
+      end
+    end
+  in
+  for i = (len / 2) - 1 downto 0 do
+    down i len
+  done;
+  for n = len - 1 downto 1 do
+    let tmp = a.(0) in
+    a.(0) <- a.(n);
+    a.(n) <- tmp;
+    down 0 n
+  done
+
 let resize t =
-  let sorted = Array.make t.size t.dummy in
+  t.resizes <- t.resizes + 1;
+  if Array.length t.sort_scratch < t.size then
+    t.sort_scratch <- Array.make (next_pow2 (max 16 t.size)) t.dummy;
+  let sorted = t.sort_scratch in
   let i = ref 0 in
   Array.iter
     (vec_iter (fun x ->
          sorted.(!i) <- x;
          incr i))
     t.buckets;
-  Array.sort t.cmp sorted;
-  t.width <- width_for t sorted;
+  sort_prefix t.cmp sorted t.size;
+  t.width <- width_for t sorted t.size;
   let nbuckets = next_pow2 (max 2 (2 * t.size)) in
   let retired = t.buckets in
   let slot = log2i nbuckets in
@@ -289,10 +337,14 @@ let resize t =
   Array.iter (vec_reset t.dummy) retired;
   t.spares.(log2i (Array.length retired)) <- retired;
   (* Ascending order makes every insert a tail append: O(n) rebuild. *)
-  Array.iter
-    (fun x -> vec_insert t.dummy t.cmp t.buckets.(bucket_of t (t.key x)) x)
-    sorted;
-  t.head <- (if t.size = 0 then None else Some sorted.(0))
+  for j = 0 to t.size - 1 do
+    let x = sorted.(j) in
+    vec_insert t.dummy t.cmp t.buckets.(bucket_of t (t.key x)) x
+  done;
+  t.head <- (if t.size = 0 then t.dummy else sorted.(0));
+  (* The scratch parks until the next resize; it must not retain this
+     population (or the packets their thunks capture) meanwhile. *)
+  Array.fill sorted 0 t.size t.dummy
 
 let maybe_grow t = if t.size > 2 * Array.length t.buckets then resize t
 
@@ -304,9 +356,7 @@ let push t x =
   let k = t.key x in
   if k < 0 then invalid_arg "Calendar.push: negative key";
   if k < t.lastkey then t.lastkey <- k;
-  (match t.head with
-  | Some h when t.cmp x h < 0 -> t.head <- Some x
-  | Some _ | None -> ());
+  if t.head != t.dummy && t.cmp x t.head < 0 then t.head <- x;
   vec_insert t.dummy t.cmp t.buckets.(bucket_of t k) x;
   t.size <- t.size + 1;
   maybe_grow t
@@ -345,27 +395,60 @@ let find_min t =
 
 let peek_min_exn t =
   if t.size = 0 then invalid_arg "Calendar.peek_min_exn: empty";
-  match t.head with
-  | Some x -> x
-  | None ->
-      let x = find_min t in
-      t.head <- Some x;
-      x
+  if t.head != t.dummy then t.head
+  else begin
+    let x = find_min t in
+    t.head <- x;
+    x
+  end
 
 let peek_min t = if t.size = 0 then None else Some (peek_min_exn t)
 
+(* Equal-key run fast path shared by [pop_min_exn] and [pop_if_key]:
+   after removing the minimum with key [k], any remaining key-[k]
+   element heads the same bucket (equal keys always share a bucket, and
+   the bucket is sorted), and key monotonicity makes it the next global
+   minimum — so the head cache refills without a day scan. Discrete-event
+   workloads dispatch long such runs (simultaneous arrivals, timer
+   grids). *)
+let refill_head_after_pop t v k =
+  t.head <-
+    (if v.len > 0 && t.key (vec_head v) = k then vec_head v else t.dummy)
+
 let pop_min_exn t =
   let x = peek_min_exn t in
-  let v = t.buckets.(bucket_of t (t.key x)) in
+  let k = t.key x in
+  let v = t.buckets.(bucket_of t k) in
   assert (t.cmp (vec_head v) x = 0);
   ignore (vec_pop_front t.dummy v);
-  t.head <- None;
   t.size <- t.size - 1;
-  t.lastkey <- t.key x;
+  t.lastkey <- k;
+  refill_head_after_pop t v k;
   maybe_shrink t;
   x
 
 let pop_min t = if t.size = 0 then None else Some (pop_min_exn t)
+
+(* [pop_if_key t ~key ~none]: pop the minimum iff its key is exactly
+   [key], in O(1) — one bucket-head probe, no day scan. Only sound when
+   [key] is a lower bound on every pending key, which the caller
+   guarantees by passing the key of the element it just popped
+   ([lastkey]); any other call returns [none]. The batched dispatch loop
+   uses this to drain an equal-timestamp run without re-entering the
+   general scheduler path per event. *)
+let pop_if_key t ~key:k ~none =
+  if t.size = 0 || k <> t.lastkey then none
+  else begin
+    let v = t.buckets.(bucket_of t k) in
+    if v.len > 0 && t.key (vec_head v) = k then begin
+      let x = vec_pop_front t.dummy v in
+      t.size <- t.size - 1;
+      refill_head_after_pop t v k;
+      maybe_shrink t;
+      x
+    end
+    else none
+  end
 
 let filter t keep =
   let kept = ref 0 in
@@ -377,7 +460,7 @@ let filter t keep =
   t.size <- !kept;
   (* The cached minimum may just have been dropped. [lastkey] stays a
      valid lower bound: removals never introduce smaller keys. *)
-  t.head <- None;
+  t.head <- t.dummy;
   maybe_shrink t
 
 let clear t =
@@ -385,7 +468,8 @@ let clear t =
   t.width <- 1;
   t.size <- 0;
   t.lastkey <- 0;
-  t.head <- None;
+  t.head <- t.dummy;
+  t.sort_scratch <- [||];
   Array.fill t.spares 0 spare_slots [||]
 
 let to_list t =

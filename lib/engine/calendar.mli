@@ -40,6 +40,14 @@ val pop_min_exn : 'a t -> 'a
 (** As [peek_min]/[pop_min] without the option wrapper.
     @raise Invalid_argument when empty. *)
 
+val pop_if_key : 'a t -> key:int -> none:'a -> 'a
+(** [pop_if_key t ~key ~none] pops and returns the minimum element iff
+    its bucketing key is exactly [key]; [none] (physically, so the
+    caller tests with [==]) otherwise. O(1) — one bucket-head probe, no
+    day scan, no allocation. Only sound when [key] lower-bounds every
+    pending key: pass the key of the element just popped. The simulator's
+    batched dispatch drains equal-timestamp runs with it. *)
+
 val filter : 'a t -> ('a -> bool) -> unit
 (** Keeps only the elements satisfying the predicate, in O(n); used for
     lazy-deletion compaction of cancelled events. May shrink the bucket
@@ -55,6 +63,12 @@ val recycled : 'a t -> int
     are kept one per size class, so an oscillating population that
     revisits the same bucket counts recycles on every cycle after the
     first; for tests and telemetry. *)
+
+val resizes : 'a t -> int
+(** Total bucket-array resizes (grow and shrink) since creation. Each
+    resize stages the population in a reusable scratch array rather than
+    a fresh O(n) allocation; for tests and the bench's allocation
+    telemetry. *)
 
 val clear : 'a t -> unit
 

@@ -36,6 +36,15 @@ module type S = sig
   (** Option-free variants so the per-event hot loop allocates nothing.
       @raise Invalid_argument when empty. *)
 
+  val pop_if_key : 'a t -> key:int -> none:'a -> 'a
+  (** [pop_if_key q ~key ~none] pops and returns the minimum element iff
+      its bucketing key is exactly [key]; returns [none] (physically —
+      the caller tests with [==]) otherwise. Only sound when [key]
+      lower-bounds every pending key, which holds for the key of the
+      element just popped. O(1) with no day scan on the calendar, a peek
+      on the heap; backs the simulator's batched dispatch of
+      equal-timestamp event runs. *)
+
   val filter : 'a t -> ('a -> bool) -> unit
   (** Keeps only elements satisfying the predicate, in O(n); the
       simulator's tombstone sweep. *)
@@ -47,7 +56,10 @@ module type S = sig
   val to_list : 'a t -> 'a list
 end
 
-module Heap_backend : S with type 'a t = 'a Heap.t
+module Heap_backend : S
+(** {!Heap} plus the stored bucketing key that [pop_if_key] consults;
+    the type equation with ['a Heap.t] is gone for that reason. *)
+
 module Calendar_backend : S with type 'a t = 'a Calendar.t
 
 type backend = Heap | Calendar

@@ -29,7 +29,10 @@ type timer = { mutable cur : event }
    heap's hot path free of indirect calls. *)
 type queue =
   | Q_heap of event Heap.t
-  | Q_calendar of event Calendar.t
+  | Q_calendar of event Calendar.t * event
+      (* the calendar's dummy sentinel rides along: [pop_if_key] returns
+         it (physically) for "no equal-key successor", so the batched
+         run loop tests with [==] instead of allocating an option *)
 
 type t = {
   mutable clock : Time.t;
@@ -40,6 +43,11 @@ type t = {
   mutable max_pending : int;
   mutable max_live_pending : int;
   mutable cancelled_pending : int;
+  mutable batch_runs : bool;
+      (* drain equal-timestamp runs with one clock write (default);
+         off = the one-event-at-a-time reference loop. Observably
+         identical either way — the toggle exists so the equivalence
+         property can check exactly that. *)
 }
 
 let cmp_event a b =
@@ -62,7 +70,7 @@ let create ?(seed = 42L) ?backend () =
           { at = Time.zero; seq = -1; thunk = ignore; cancelled = true;
             queued = false; successor = None }
         in
-        Q_calendar (Calendar.create ~cmp:cmp_event ~key:key_event ~dummy)
+        Q_calendar (Calendar.create ~cmp:cmp_event ~key:key_event ~dummy, dummy)
   in
   {
     clock = Time.zero;
@@ -73,6 +81,7 @@ let create ?(seed = 42L) ?backend () =
     max_pending = 0;
     max_live_pending = 0;
     cancelled_pending = 0;
+    batch_runs = true;
   }
 
 let backend t =
@@ -80,31 +89,38 @@ let backend t =
   | Q_heap _ -> Event_queue.Heap
   | Q_calendar _ -> Event_queue.Calendar
 
+let set_batch_runs t b = t.batch_runs <- b
+let batch_runs t = t.batch_runs
+
 let q_length t =
-  match t.queue with Q_heap q -> Heap.length q | Q_calendar q -> Calendar.length q
+  match t.queue with
+  | Q_heap q -> Heap.length q
+  | Q_calendar (q, _) -> Calendar.length q
 
 let q_is_empty t =
   match t.queue with
   | Q_heap q -> Heap.is_empty q
-  | Q_calendar q -> Calendar.is_empty q
+  | Q_calendar (q, _) -> Calendar.is_empty q
 
 let q_push t ev =
-  match t.queue with Q_heap q -> Heap.push q ev | Q_calendar q -> Calendar.push q ev
+  match t.queue with
+  | Q_heap q -> Heap.push q ev
+  | Q_calendar (q, _) -> Calendar.push q ev
 
 let q_peek_exn t =
   match t.queue with
   | Q_heap q -> Heap.peek_exn q
-  | Q_calendar q -> Calendar.peek_min_exn q
+  | Q_calendar (q, _) -> Calendar.peek_min_exn q
 
 let q_pop_exn t =
   match t.queue with
   | Q_heap q -> Heap.pop_exn q
-  | Q_calendar q -> Calendar.pop_min_exn q
+  | Q_calendar (q, _) -> Calendar.pop_min_exn q
 
 let q_filter t keep =
   match t.queue with
   | Q_heap q -> Heap.filter q keep
-  | Q_calendar q -> Calendar.filter q keep
+  | Q_calendar (q, _) -> Calendar.filter q keep
 
 let now t = t.clock
 
@@ -263,14 +279,20 @@ let every t ?start ?jitter ~period f =
   if cell.cancelled then tombstone t tm.cur;
   H cell
 
-let dispatch t ev =
-  t.clock <- ev.at;
+(* Dispatch an event that is NOT the first of its time-run: the clock
+   was already set by the run opener, so only the bookkeeping and the
+   thunk remain. *)
+let dispatch_in_run t ev =
   ev.queued <- false;
   if ev.cancelled then t.cancelled_pending <- max 0 (t.cancelled_pending - 1)
   else begin
     t.dispatched <- t.dispatched + 1;
     ev.thunk ()
   end
+
+let dispatch t ev =
+  t.clock <- ev.at;
+  dispatch_in_run t ev
 
 let step t =
   if q_is_empty t then false
@@ -279,14 +301,88 @@ let step t =
     true
   end
 
-let run_until t horizon =
+(* The reference loop: one generic pop, one clock write, one horizon
+   check per event. Kept callable (batch_runs = false) as the oracle the
+   batched loops are property-tested against. *)
+let run_until_unbatched t horizon =
   let rec loop () =
     if (not (q_is_empty t)) && Time.((q_peek_exn t).at <= horizon) then begin
       dispatch t (q_pop_exn t);
       loop ()
     end
   in
-  loop ();
+  loop ()
+
+(* Batched loops: events at equal timestamps form a run, and a run is
+   drained with a single clock write and a single horizon check — the
+   rest of the run cannot cross a horizon its opener did not. Each loop
+   is monomorphic in its backend, so the per-event cost also sheds the
+   [queue]-variant dispatch the generic helpers pay. Thunks may schedule
+   new events at the current instant; the per-iteration peek picks them
+   up, exactly as the reference loop would. Dispatch order is (time,
+   seq) in both — batching changes which loop pops, never what. *)
+let run_until_heap t q horizon =
+  let continue = ref true in
+  while !continue do
+    if Heap.is_empty q then continue := false
+    else begin
+      let ev = Heap.peek_exn q in
+      if Time.(ev.at <= horizon) then begin
+        ignore (Heap.pop_exn q : event);
+        (* The run key must be read before the thunk runs: dispatching a
+           reusable timer may re-arm it, which mutates [ev.at] in place
+           to the *next* firing time. *)
+        let at = ev.at in
+        dispatch t ev;
+        let in_run = ref true in
+        while !in_run do
+          if Heap.is_empty q then in_run := false
+          else begin
+            let nxt = Heap.peek_exn q in
+            if Time.equal nxt.at at then begin
+              ignore (Heap.pop_exn q : event);
+              dispatch_in_run t nxt
+            end
+            else in_run := false
+          end
+        done
+      end
+      else continue := false
+    end
+  done
+
+let run_until_calendar t q dummy horizon =
+  let continue = ref true in
+  while !continue do
+    if Calendar.is_empty q then continue := false
+    else begin
+      let ev = Calendar.peek_min_exn q in
+      if Time.(ev.at <= horizon) then begin
+        ignore (Calendar.pop_min_exn q : event);
+        (* Key read before the thunk runs — dispatching a reusable timer
+           re-arms it by mutating [ev.at] in place. The pop set the
+           calendar's lastkey to this run's key, which is exactly the
+           precondition [pop_if_key] needs: each equal-key successor
+           comes off the head of one sorted bucket in O(1), no day
+           scan. *)
+        let k = Time.to_ns ev.at in
+        dispatch t ev;
+        let in_run = ref true in
+        while !in_run do
+          let nxt = Calendar.pop_if_key q ~key:k ~none:dummy in
+          if nxt == dummy then in_run := false else dispatch_in_run t nxt
+        done
+      end
+      else continue := false
+    end
+  done
+
+let run_until t horizon =
+  (if not t.batch_runs then run_until_unbatched t horizon
+   else
+     match t.queue with
+     | Q_heap q -> run_until_heap t q horizon
+     | Q_calendar (q, dummy) -> run_until_calendar t q dummy horizon);
   t.clock <- Time.max t.clock horizon
 
 let pending t = q_length t
@@ -298,3 +394,12 @@ let max_pending t = t.max_pending
 let max_live_pending t = t.max_live_pending
 
 let events_dispatched t = t.dispatched
+
+(* Backend telemetry for the bench rows: the calendar's resize traffic
+   is the allocation suspect its scratch-reuse work targets; the heap
+   reports zeros. *)
+let queue_resizes t =
+  match t.queue with Q_heap _ -> 0 | Q_calendar (q, _) -> Calendar.resizes q
+
+let queue_recycled t =
+  match t.queue with Q_heap _ -> 0 | Q_calendar (q, _) -> Calendar.recycled q

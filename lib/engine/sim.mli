@@ -84,7 +84,24 @@ val every :
 
 val run_until : t -> Time.t -> unit
 (** Dispatch events in order until the queue is empty or the next event is
-    after the horizon; the clock ends at the horizon. *)
+    after the horizon; the clock ends at the horizon.
+
+    Events sharing a timestamp form a {e run}, and by default the loop
+    drains a whole run batched: one clock write and one horizon check
+    for the run, with the remaining events popped on a backend fast path
+    (the calendar's equal-key bucket head in O(1); a heap peek-ahead).
+    Batched and unbatched dispatch are observably identical — same
+    [(time, seq)] order, same clock values seen by thunks, same
+    counters; see {!set_batch_runs}. *)
+
+val set_batch_runs : t -> bool -> unit
+(** Toggle batched run dispatch in {!run_until} (default [true]).
+    [false] selects the one-event-at-a-time reference loop; the
+    equivalence property in the test suite runs both and asserts
+    identical traces, which is the only intended use. *)
+
+val batch_runs : t -> bool
+(** Whether {!run_until} currently batches equal-timestamp runs. *)
 
 val step : t -> bool
 (** Dispatch the single next event. Returns [false] when the queue is
@@ -110,3 +127,12 @@ val max_live_pending : t -> int
 
 val events_dispatched : t -> int
 (** Total events fired since creation; for tests and reporting. *)
+
+val queue_resizes : t -> int
+(** Calendar-backend bucket-array resizes so far; [0] on the heap. The
+    bench's engine rows record it so the resize-allocation trim stays
+    pinned. *)
+
+val queue_recycled : t -> int
+(** Calendar-backend resizes served from a parked bucket generation;
+    [0] on the heap. *)

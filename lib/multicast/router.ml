@@ -26,7 +26,12 @@ type tree = {
 
 type t = {
   network : Network.t;
+  arena : Net.Packet.arena;
   node_count : int;
+  mutable oif_scratch : int array;
+      (** reusable fan-out buffer: [handle] spills a group's outgoing
+          interface set here so forwarding iterates a flat array instead
+          of allocating a per-packet closure over the bitset *)
   leave_latency : Time.span;
   expedited_leave : bool;
   (* Group ids are dense (allocated by [fresh_group]), so the per-packet
@@ -171,36 +176,61 @@ let source t ~group =
 let count_delivery t group =
   t.delivered_by_group.(group) <- t.delivered_by_group.(group) + 1
 
-(* Data-plane forwarding, installed on every node. *)
+(* Data-plane forwarding, installed on every node; owns the packet
+   handle. Local delivery borrows it; the fan-out sends a copy per
+   outgoing interface except the last, which gets the original — so
+   exactly one send consumes it, and a packet nobody wants is freed. *)
 let handle t node (pkt : Net.Packet.t) ~in_iface =
-  match pkt.dst with
-  | Addr.Unicast _ -> ()
-  | Addr.Multicast group ->
-      let src = source t ~group in
-      (* RPF: the packet must arrive over the interface on the unicast
-         shortest path toward the source. Comparing neighbor ids avoids a
-         neighbor->interface lookup on the per-packet path. *)
-      let rpf_ok =
-        match in_iface with
-        | None -> node = src
-        | Some i ->
-            node <> src
-            && Network.neighbor t.network ~node ~iface:i
-               = Net.Routing.next_hop (Network.routing t.network) ~from:node
-                   ~dst:src
-      in
-      if rpf_ok then begin
-        let st = state t node group in
-        if st.local then begin
-          count_delivery t group;
-          Network.deliver_local t.network node pkt
-        end;
-        Bitset.iter
-          (fun oif ->
-            if in_iface <> Some oif then
-              Network.send_on_iface t.network ~node ~iface:oif pkt)
-          st.oifs
-      end
+  if not (Net.Packet.dst_is_multicast t.arena pkt) then
+    Net.Packet.free t.arena pkt
+  else begin
+    let group = Net.Packet.dst_group t.arena pkt in
+    let src = source t ~group in
+    (* RPF: the packet must arrive over the interface on the unicast
+       shortest path toward the source. Comparing neighbor ids avoids a
+       neighbor->interface lookup on the per-packet path. *)
+    let rpf_ok =
+      match in_iface with
+      | None -> node = src
+      | Some i ->
+          node <> src
+          && Network.neighbor t.network ~node ~iface:i
+             = Net.Routing.next_hop (Network.routing t.network) ~from:node
+                 ~dst:src
+    in
+    if not rpf_ok then Net.Packet.free t.arena pkt
+    else begin
+      let st = state t node group in
+      if st.local then begin
+        count_delivery t group;
+        Network.deliver_local t.network node pkt
+      end;
+      let inf = match in_iface with None -> -1 | Some i -> i in
+      let card = Bitset.cardinal st.oifs in
+      if Array.length t.oif_scratch < card then
+        t.oif_scratch <- Array.make (max 8 (2 * card)) 0;
+      let n = Bitset.fill_into st.oifs t.oif_scratch in
+      let eligible = ref 0 in
+      for k = 0 to n - 1 do
+        if t.oif_scratch.(k) <> inf then incr eligible
+      done;
+      if !eligible = 0 then Net.Packet.free t.arena pkt
+      else
+        (* ascending interface order, as [Bitset.iter] walked it; copies
+           keep the packet id, so traces see the same wire packet on
+           every branch *)
+        for k = 0 to n - 1 do
+          let oif = t.oif_scratch.(k) in
+          if oif <> inf then begin
+            decr eligible;
+            let p =
+              if !eligible = 0 then pkt else Net.Packet.copy t.arena pkt
+            in
+            Network.send_on_iface t.network ~node ~iface:oif p
+          end
+        done
+    end
+  end
 
 let leave_latency t = t.leave_latency
 let expedited_leave t = t.expedited_leave
@@ -447,7 +477,9 @@ let create ~network ?(leave_latency = Time.span_of_sec 1)
   let t =
     {
       network;
+      arena = Network.arena network;
       node_count = Network.node_count network;
+      oif_scratch = Array.make 8 0;
       leave_latency;
       expedited_leave;
       src_of = [||];

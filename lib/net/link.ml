@@ -1,32 +1,19 @@
 module Sim = Engine.Sim
 module Time = Engine.Time
 
-(* Placeholder for the empty slot of a released cell: a released cell
-   must not keep the last real packet (and its payload) alive. Shared
-   and immutable, so it costs nothing. *)
-let dummy_packet : Packet.t =
-  {
-    id = -1;
-    src = 0;
-    dst = Addr.Unicast 0;
-    size = 0;
-    payload = Packet.Data { session = -1; layer = -1; seq = -1 };
-    sent_at = Time.zero;
-  }
-
 let no_deliver (_ : Packet.t) = failwith "Link: deliver callback not installed"
 
 type stage = Ser | Prop
 
 (* One in-flight transmission. The cell carries the per-hop state the
    old implementation packed into two closures (serialization, then
-   propagation): the packet, the epoch at which it entered service, and
-   which leg it is on. Its reusable timer is created once, when the cell
-   first enters the pool, so a steady-state hop allocates nothing — the
-   cell flips from [Ser] to [Prop] in place and re-arms the same event
-   record. Cells are recycled through a free list; the pool only grows
-   when the number of simultaneously in-flight packets on this link
-   exceeds its previous maximum. *)
+   propagation): the packet handle, the epoch at which it entered
+   service, and which leg it is on. Its reusable timer is created once,
+   when the cell first enters the pool, so a steady-state hop allocates
+   nothing — the cell flips from [Ser] to [Prop] in place and re-arms
+   the same event record. Cells are recycled through a free list; the
+   pool only grows when the number of simultaneously in-flight packets
+   on this link exceeds its previous maximum. *)
 type cell = {
   mutable pkt : Packet.t;
   mutable cepoch : int;
@@ -37,6 +24,7 @@ type cell = {
 
 type t = {
   sim : Sim.t;
+  arena : Packet.arena;
   src : Addr.node_id;
   dst : Addr.node_id;
   bandwidth_bps : float;
@@ -61,10 +49,11 @@ type t = {
   mutable ser_span : Time.span;
 }
 
-let create ~sim ~src ~dst ~bandwidth_bps ~prop_delay ~queue =
+let create ~sim ~arena ~src ~dst ~bandwidth_bps ~prop_delay ~queue =
   if bandwidth_bps <= 0.0 then invalid_arg "Link.create: bandwidth <= 0";
   {
     sim;
+    arena;
     src;
     dst;
     bandwidth_bps;
@@ -85,16 +74,16 @@ let create ~sim ~src ~dst ~bandwidth_bps ~prop_delay ~queue =
 
 let set_deliver t f = t.deliver <- f
 
-let serialization_span t (pkt : Packet.t) =
-  if pkt.size <> t.ser_size then begin
-    t.ser_size <- pkt.size;
+let serialization_span t ~size =
+  if size <> t.ser_size then begin
+    t.ser_size <- size;
     t.ser_span <-
-      Time.span_of_sec_f (float_of_int (pkt.size * 8) /. t.bandwidth_bps)
+      Time.span_of_sec_f (float_of_int (size * 8) /. t.bandwidth_bps)
   end;
   t.ser_span
 
 let release t c =
-  c.pkt <- dummy_packet;
+  c.pkt <- Packet.none;
   c.next_free <- t.free;
   t.free <- Some c
 
@@ -106,50 +95,62 @@ let rec acquire t =
       c
   | None ->
       let c =
-        { pkt = dummy_packet; cepoch = 0; stage = Ser;
+        { pkt = Packet.none; cepoch = 0; stage = Ser;
           tmr = Sim.timer t.sim ignore; next_free = None }
       in
       c.tmr <- Sim.timer t.sim (fun () -> fire t c);
       t.pool_cells <- t.pool_cells + 1;
       c
 
-and transmit t (pkt : Packet.t) =
+and transmit t pkt =
   t.busy <- true;
   let c = acquire t in
   c.pkt <- pkt;
   c.cepoch <- t.epoch;
   c.stage <- Ser;
-  Sim.arm_after t.sim c.tmr (serialization_span t pkt)
+  Sim.arm_after t.sim c.tmr (serialization_span t ~size:(Packet.size t.arena pkt))
 
 and fire t c =
   match c.stage with
   | Ser ->
-      if t.epoch <> c.cepoch then
+      if t.epoch <> c.cepoch then begin
         (* The link failed mid-serialization; the packet (already counted
            lost by [set_up]) and this firing are void. *)
+        Packet.free t.arena c.pkt;
         release t c
+      end
       else begin
         t.tx_packets <- t.tx_packets + 1;
-        t.tx_bytes <- t.tx_bytes + c.pkt.size;
+        t.tx_bytes <- t.tx_bytes + Packet.size t.arena c.pkt;
         (* Same cell, same timer: the serialization leg becomes the
            propagation leg in place. The arm precedes the poll so the
            arrival keeps a lower [seq] than the next packet's
            serialization, exactly as the closure pipeline scheduled. *)
         c.stage <- Prop;
         Sim.arm_after t.sim c.tmr t.prop_delay;
-        match Queue_discipline.poll t.queue with
-        | Some next -> transmit t next
-        | None -> t.busy <- false
+        let next = Queue_discipline.poll t.queue in
+        if next <> Packet.none then transmit t next else t.busy <- false
       end
   | Prop ->
       let pkt = c.pkt in
       let live = t.epoch = c.cepoch in
       release t c;
-      if live then t.deliver pkt else t.fault_drops <- t.fault_drops + 1
+      if live then t.deliver pkt
+      else begin
+        Packet.free t.arena pkt;
+        t.fault_drops <- t.fault_drops + 1
+      end
 
+(* [send] consumes the packet on every path: delivered downstream,
+   queued, or dropped (and then freed here or by the queue). *)
 let send t pkt =
-  if not t.up then t.fault_drops <- t.fault_drops + 1
-  else if t.busy then ignore (Queue_discipline.offer t.queue pkt)
+  if not t.up then begin
+    Packet.free t.arena pkt;
+    t.fault_drops <- t.fault_drops + 1
+  end
+  else if t.busy then begin
+    if not (Queue_discipline.offer t.queue pkt) then Packet.free t.arena pkt
+  end
   else transmit t pkt
 
 let set_up t up =
@@ -165,11 +166,12 @@ let set_up t up =
       t.busy <- false
     end;
     let rec drain () =
-      match Queue_discipline.poll t.queue with
-      | Some _ ->
-          t.fault_drops <- t.fault_drops + 1;
-          drain ()
-      | None -> ()
+      let pkt = Queue_discipline.poll t.queue in
+      if pkt <> Packet.none then begin
+        Packet.free t.arena pkt;
+        t.fault_drops <- t.fault_drops + 1;
+        drain ()
+      end
     in
     drain ()
   end

@@ -11,6 +11,7 @@ type t
 
 val create :
   sim:Engine.Sim.t ->
+  arena:Packet.arena ->
   src:Addr.node_id ->
   dst:Addr.node_id ->
   bandwidth_bps:float ->
@@ -22,11 +23,13 @@ val create :
 val set_deliver : t -> (Packet.t -> unit) -> unit
 (** Installs the arrival callback (fired at the destination node,
     propagation delay after serialization completes). Must be set before
-    the first {!send}. *)
+    the first {!send}. The callback takes ownership of the packet
+    handle. *)
 
 val send : t -> Packet.t -> unit
-(** Offer a packet to the link. Silently dropped (and counted) when the
-    queue is full, or counted as a fault drop when the link is down. *)
+(** Offer a packet to the link; consumes the handle on every path.
+    Silently dropped (freed and counted) when the queue is full, or
+    counted as a fault drop when the link is down. *)
 
 val set_up : t -> bool -> unit
 (** Fails or restores the link. Taking it down loses the in-service

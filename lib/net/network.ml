@@ -40,6 +40,7 @@ type topology_event = {
 
 type t = {
   sim : Sim.t;
+  arena : Packet.arena;
   routing : Routing.t;
   nodes : node array;
   mutable next_packet_id : int;
@@ -54,6 +55,7 @@ type t = {
 }
 
 let sim t = t.sim
+let arena t = t.arena
 let routing t = t.routing
 let node_count t = Array.length t.nodes
 
@@ -73,25 +75,34 @@ let deliver_local t n (pkt : Packet.t) =
   done
 
 (* Forwarding at [node] for a packet arriving from the wire or originated
-   locally. Unicast is handled here; multicast is the plugged handler's
-   responsibility (RPF checks, group state). The observer loops are
-   written out rather than going through [Dyn.iter] so the per-packet
-   path allocates no iteration closure. *)
+   locally; owns the packet handle (every path forwards it, hands it to
+   the multicast handler, or frees it). Unicast is handled here;
+   multicast is the plugged handler's responsibility (RPF checks, group
+   state). The observer loops are written out rather than going through
+   [Dyn.iter] so the per-packet path allocates no iteration closure. *)
 let rec handle t ~node ~in_iface (pkt : Packet.t) =
   let obs = t.observers in
   for i = 0 to obs.Dyn.count - 1 do
     obs.Dyn.items.(i) pkt ~at:node ~in_iface
   done;
-  match pkt.dst with
-  | Addr.Unicast d when d = node -> deliver_local t node pkt
-  | Addr.Unicast d -> (
+  if Packet.dst_is_multicast t.arena pkt then begin
+    match t.nodes.(node).mcast_handler with
+    | Some f -> f pkt ~in_iface
+    | None -> Packet.free t.arena pkt
+  end
+  else begin
+    let d = Packet.dst_node t.arena pkt in
+    if d = node then begin
+      deliver_local t node pkt;
+      Packet.free t.arena pkt
+    end
+    else
       match Routing.next_hop t.routing ~from:node ~dst:d with
-      | -1 -> t.unroutable_drops <- t.unroutable_drops + 1
-      | nh -> send_to_neighbor t ~node ~neighbor:nh pkt)
-  | Addr.Multicast _ -> (
-      match t.nodes.(node).mcast_handler with
-      | Some f -> f pkt ~in_iface
-      | None -> ())
+      | -1 ->
+          t.unroutable_drops <- t.unroutable_drops + 1;
+          Packet.free t.arena pkt
+      | nh -> send_to_neighbor t ~node ~neighbor:nh pkt
+  end
 
 and send_to_neighbor t ~node ~neighbor pkt =
   let nd = t.nodes.(node) in
@@ -105,6 +116,7 @@ let create ~sim topo =
   let t =
     {
       sim;
+      arena = Packet.create_arena ();
       routing;
       nodes;
       next_packet_id = 0;
@@ -131,14 +143,14 @@ let create ~sim topo =
   let cursor = Array.make (Array.length nodes) 0 in
   let attach ~src ~dst (spec : Topology.link_spec) =
     let queue =
-      Queue_discipline.create spec.discipline ~clock
+      Queue_discipline.create spec.discipline ~clock ~arena:t.arena
         ~service_time_s:
           (8.0 *. float_of_int Packet.data_size /. spec.bandwidth_bps)
         ~rng:(Sim.rng sim ~label:(Printf.sprintf "queue-%d-%d" src dst))
     in
     let link =
-      Link.create ~sim ~src ~dst ~bandwidth_bps:spec.bandwidth_bps
-        ~prop_delay:spec.delay ~queue
+      Link.create ~sim ~arena:t.arena ~src ~dst
+        ~bandwidth_bps:spec.bandwidth_bps ~prop_delay:spec.delay ~queue
     in
     let n = nodes.(src) in
     if Array.length n.out_links = 0 then begin
@@ -220,29 +232,38 @@ let set_local_handler t n f = Dyn.reset_to t.nodes.(n).local_handlers f
 let add_local_handler t n f = Dyn.push t.nodes.(n).local_handlers f
 let set_mcast_handler t n f = t.nodes.(n).mcast_handler <- Some f
 
-let originate t ~src ~dst ~size ~payload =
-  if size <= 0 then invalid_arg "Network.originate: size <= 0";
-  let pkt =
-    {
-      Packet.id = t.next_packet_id;
-      src;
-      dst;
-      size;
-      payload;
-      sent_at = Sim.now t.sim;
-    }
-  in
-  t.next_packet_id <- t.next_packet_id + 1;
+let inject t ~src pkt =
   match t.origination_filter with
   | None -> handle t ~node:src ~in_iface:None pkt
   | Some f -> (
       match f pkt with
       | `Deliver -> handle t ~node:src ~in_iface:None pkt
-      | `Drop -> t.filtered_drops <- t.filtered_drops + 1
+      | `Drop ->
+          t.filtered_drops <- t.filtered_drops + 1;
+          Packet.free t.arena pkt
       | `Delay span ->
           ignore
             (Sim.schedule_after t.sim span (fun () ->
                  handle t ~node:src ~in_iface:None pkt)))
+
+let originate t ~src ~dst ~size ~payload =
+  if size <= 0 then invalid_arg "Network.originate: size <= 0";
+  let pkt =
+    Packet.alloc t.arena ~id:t.next_packet_id ~src ~dst ~size
+      ~sent_at:(Sim.now t.sim) ~payload
+  in
+  t.next_packet_id <- t.next_packet_id + 1;
+  inject t ~src pkt
+
+(* The media fast path: no boxed payload, no [Addr.dest], no packet
+   record — three array writes and an immediate handle. *)
+let originate_data t ~src ~group ~size ~session ~layer ~seq =
+  let pkt =
+    Packet.alloc_data t.arena ~id:t.next_packet_id ~src ~group ~size
+      ~sent_at:(Sim.now t.sim) ~session ~layer ~seq
+  in
+  t.next_packet_id <- t.next_packet_id + 1;
+  inject t ~src pkt
 
 let send_on_iface t ~node ~iface pkt =
   Link.send t.nodes.(node).out_links.(iface) pkt

@@ -14,6 +14,11 @@ val create : sim:Engine.Sim.t -> Topology.t -> t
 (** @raise Invalid_argument if the topology is not connected. *)
 
 val sim : t -> Engine.Sim.t
+
+val arena : t -> Packet.arena
+(** The packet arena every packet of this network lives in; field
+    accessors ({!Packet.src}, {!Packet.is_data}, …) take it. *)
+
 val routing : t -> Routing.t
 val node_count : t -> int
 
@@ -97,11 +102,13 @@ val fault_drops : t -> int
 val set_mcast_handler :
   t -> Addr.node_id -> (Packet.t -> in_iface:int option -> unit) -> unit
 (** Called for every multicast packet seen at this node; [in_iface] is
-    [None] when the node itself originated the packet. Without a handler,
-    multicast packets are dropped silently. *)
+    [None] when the node itself originated the packet. The handler takes
+    ownership of the handle (it must forward, copy-and-forward, or free
+    it). Without a handler, multicast packets are freed silently. *)
 
 val deliver_local : t -> Addr.node_id -> Packet.t -> unit
-(** Invokes the node's local handler (used by the multicast forwarder). *)
+(** Invokes the node's local handlers (used by the multicast forwarder).
+    Handlers borrow the packet; the caller keeps ownership. *)
 
 val originate :
   t ->
@@ -115,9 +122,22 @@ val originate :
     locally and immediately); multicast packets go to the multicast
     handler. @raise Invalid_argument if [size <= 0]. *)
 
+val originate_data :
+  t ->
+  src:Addr.node_id ->
+  group:Addr.group_id ->
+  size:int ->
+  session:int ->
+  layer:int ->
+  seq:int ->
+  unit
+(** {!originate} specialised to media packets bound for a group: the
+    payload ints go straight into the arena, so a steady-state emission
+    allocates nothing. *)
+
 val send_on_iface : t -> node:Addr.node_id -> iface:int -> Packet.t -> unit
-(** Pushes a packet onto one outgoing link; used by the multicast
-    forwarder. *)
+(** Pushes a packet onto one outgoing link (consuming the handle); used
+    by the multicast forwarder. *)
 
 val link_on_iface : t -> node:Addr.node_id -> iface:int -> Link.t
 (** The outgoing simplex link on an interface (for tests and metrics). *)

@@ -13,26 +13,31 @@ type event = {
 
 type t = { ring : event Engine.Trace.t }
 
-let kind_of (pkt : Packet.t) =
-  match pkt.payload with
-  | Packet.Data { session; layer; _ } -> Printf.sprintf "data s%d/l%d" session layer
-  | _ -> "ctrl"
+let kind_of arena pkt =
+  if Packet.is_data arena pkt then
+    Printf.sprintf "data s%d/l%d" (Packet.session arena pkt)
+      (Packet.layer arena pkt)
+  else "ctrl"
 
 let attach ~network ?(capacity = 4096) ?(filter = fun _ -> true) () =
   let t = { ring = Engine.Trace.create ~capacity } in
   let sim = Network.sim network in
+  let arena = Network.arena network in
   Network.add_transit_observer network (fun pkt ~at ~in_iface ->
       if filter pkt then
+        (* The event materializes the packet's fields: the handle is only
+           valid while the packet is in flight, but the trace outlives
+           it. *)
         Engine.Trace.record t.ring (Engine.Sim.now sim)
           {
             at = Engine.Sim.now sim;
             node = at;
             in_iface;
-            packet_id = pkt.Packet.id;
-            src = pkt.Packet.src;
-            dst = pkt.Packet.dst;
-            size = pkt.Packet.size;
-            kind = kind_of pkt;
+            packet_id = Packet.id arena pkt;
+            src = Packet.src arena pkt;
+            dst = Packet.dst arena pkt;
+            size = Packet.size arena pkt;
+            kind = kind_of arena pkt;
           });
   t
 

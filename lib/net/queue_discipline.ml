@@ -31,27 +31,16 @@ let validate_spec = function
       else if not (0.0 < wq && wq <= 1.0) then Error "wq must be in (0,1]"
       else Ok ()
 
-(* Fills vacated ring slots so polled packets can be reclaimed. *)
-type Packet.payload += Vacant
-
-let vacant : Packet.t =
-  {
-    Packet.id = -1;
-    src = 0;
-    dst = Addr.Unicast 0;
-    size = 1;
-    payload = Vacant;
-    sent_at = Engine.Time.zero;
-  }
-
 type t = {
   spec : spec;
   is_red : bool;  (* gates the idle-time bookkeeping out of poll *)
+  arena : Packet.arena;
   rng : Engine.Prng.t;
   clock : unit -> float;  (* seconds; drives RED's idle decay *)
   service_s : float;  (* typical packet transmission time, seconds *)
-  (* Fixed-capacity ring buffer: capacity is the discipline's [limit], so
-     enqueue and poll are O(1) with no allocation per operation. *)
+  (* Fixed-capacity ring buffer of packet handles: capacity is the
+     discipline's [limit], so enqueue and poll are O(1) with no
+     allocation per operation. [Packet.none] fills vacated slots. *)
   buf : Packet.t array;
   mutable head : int;
   mutable len : int;
@@ -64,7 +53,7 @@ type t = {
 let limit_of = function
   | Drop_tail { limit } | Priority { limit } | Red { limit; _ } -> limit
 
-let create ?(clock = fun () -> 0.0) ?(service_time_s = 1e-3) spec ~rng =
+let create ?(clock = fun () -> 0.0) ?(service_time_s = 1e-3) spec ~arena ~rng =
   (match validate_spec spec with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Queue_discipline.create: " ^ msg));
@@ -73,10 +62,11 @@ let create ?(clock = fun () -> 0.0) ?(service_time_s = 1e-3) spec ~rng =
   {
     spec;
     is_red = (match spec with Red _ -> true | _ -> false);
+    arena;
     rng;
     clock;
     service_s = service_time_s;
-    buf = Array.make (limit_of spec) vacant;
+    buf = Array.make (limit_of spec) Packet.none;
     head = 0;
     len = 0;
     drops = 0;
@@ -100,9 +90,12 @@ let enqueue t pkt =
 (* Media importance: the base layer matters most; anything that is not
    media (reports, suggestions, probes) outranks all media. Smaller =
    more important. *)
-let importance (pkt : Packet.t) =
-  match pkt.payload with Packet.Data { layer; _ } -> layer | _ -> -1
+let importance t pkt =
+  if Packet.is_data t.arena pkt then Packet.layer t.arena pkt else -1
 
+(* A rejected arrival is NOT freed here: [offer] returning [false] means
+   the caller still owns the packet. A packet evicted from the ring by a
+   priority drop, however, is owned by the queue and freed in place. *)
 let offer_priority t limit pkt =
   if t.len < limit then begin
     enqueue t pkt;
@@ -114,9 +107,9 @@ let offer_priority t limit pkt =
        it only if some queued packet is strictly less important than the
        arrival. *)
     let worst_idx = ref (-1) in
-    let worst_imp = ref (importance pkt) in
+    let worst_imp = ref (importance t pkt) in
     for i = 0 to t.len - 1 do
-      let imp = importance t.buf.(slot t i) in
+      let imp = importance t t.buf.(slot t i) in
       if imp > !worst_imp then begin
         worst_imp := imp;
         worst_idx := i
@@ -125,11 +118,12 @@ let offer_priority t limit pkt =
     t.drops <- t.drops + 1;
     if !worst_idx < 0 then false
     else begin
+      Packet.free t.arena t.buf.(slot t !worst_idx);
       (* Close the gap, keeping FIFO order of the survivors. *)
       for i = !worst_idx to t.len - 2 do
         t.buf.(slot t i) <- t.buf.(slot t (i + 1))
       done;
-      t.buf.(slot t (t.len - 1)) <- vacant;
+      t.buf.(slot t (t.len - 1)) <- Packet.none;
       t.len <- t.len - 1;
       enqueue t pkt;
       true
@@ -190,17 +184,17 @@ let offer t pkt =
       offer_red t ~limit ~min_th ~max_th ~max_p ~wq pkt
 
 let poll t =
-  if t.len = 0 then None
+  if t.len = 0 then Packet.none
   else begin
     let pkt = t.buf.(t.head) in
-    t.buf.(t.head) <- vacant;
+    t.buf.(t.head) <- Packet.none;
     t.head <- (if t.head + 1 = Array.length t.buf then 0 else t.head + 1);
     t.len <- t.len - 1;
     if t.len = 0 then begin
       if t.is_red then t.idle_since <- t.clock ();
       t.head <- 0
     end;
-    Some pkt
+    pkt
   end
 
 let length t = t.len

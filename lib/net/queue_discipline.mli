@@ -38,11 +38,13 @@ val create :
   ?clock:(unit -> float) ->
   ?service_time_s:float ->
   spec ->
+  arena:Packet.arena ->
   rng:Engine.Prng.t ->
   t
 (** @raise Invalid_argument on an invalid spec or non-positive
-    [service_time_s]. The [rng] drives RED's random early drops (unused
-    by the other disciplines).
+    [service_time_s]. The [arena] resolves packet importance and frees
+    priority-evicted packets; the [rng] drives RED's random early drops
+    (unused by the other disciplines).
 
     [clock] (seconds, monotone within a run) and [service_time_s] (the
     typical packet transmission time on the outgoing link) drive RED's
@@ -54,12 +56,15 @@ val create :
 val spec : t -> spec
 
 val offer : t -> Packet.t -> bool
-(** Enqueue if the discipline admits the packet; [false] counts a drop.
-    Under [Priority] an admitted arrival can instead evict a queued
-    lower-priority packet (the eviction is counted as the drop). *)
+(** Enqueue if the discipline admits the packet; [false] counts a drop
+    and leaves ownership (and the duty to free) with the caller. Under
+    [Priority] an admitted arrival can instead evict a queued
+    lower-priority packet (the eviction is counted as the drop and the
+    evicted packet is freed here). *)
 
-val poll : t -> Packet.t option
-(** Removes the head of the queue. *)
+val poll : t -> Packet.t
+(** Removes and returns the head of the queue ({!Packet.none} when
+    empty); ownership transfers to the caller. *)
 
 val length : t -> int
 val drops : t -> int

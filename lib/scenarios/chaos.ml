@@ -84,8 +84,10 @@ let gen ~rng ~faults ~storm_s =
 (* The control plane, including the federation's summaries — the same
    classifier as [Recovery.is_control] plus [Domain_summary], so a lossy
    burst can also starve the parent's liveness lease. *)
-let is_control (pkt : Net.Packet.t) =
-  match pkt.Net.Packet.payload with
+let is_control arena (pkt : Net.Packet.t) =
+  (not (Net.Packet.is_data arena pkt))
+  &&
+  match Net.Packet.payload arena pkt with
   | Reports.Rtcp.Report _ -> true
   | Toposense.Controller.Suggestion _ -> true
   | Toposense.Protocol.Ack _ | Toposense.Protocol.Goodbye _ -> true
@@ -365,7 +367,8 @@ let run ~world ~schedule ?(storm_s = 60.0) ?(quiet_s = 30.0) ?(seed = 42L)
           incr n_bursts;
           schedule_at_s at (fun () ->
               incr burst_depth;
-              Net.Faults.set_control_plane faults ~classify:is_control
+              Net.Faults.set_control_plane faults
+                ~classify:(is_control (Net.Network.arena network))
                 ~drop_fraction:drop ());
           schedule_at_s end_at (fun () ->
               decr burst_depth;

@@ -187,14 +187,14 @@ let link_flap ?(receivers_per_set = 2) ?(down_at_s = 60.0) ?(up_at_s = 90.0)
   List.iter
     (fun (node, _) ->
       Net.Network.add_local_handler rig.network node (fun pkt ->
-          match pkt.Net.Packet.payload with
-          | Net.Packet.Data _ ->
-              let now = Sim.now rig.sim in
-              if Time.(now >= before_start) && Time.(now < down_at) then
-                bump bytes_before node pkt.size
-              else if Time.(now >= down_at) && Time.(now < up_at) then
-                bump bytes_during node pkt.size
-          | _ -> ()))
+          if Net.Packet.is_data (Net.Network.arena rig.network) pkt then begin
+            let size = Net.Packet.size (Net.Network.arena rig.network) pkt in
+            let now = Sim.now rig.sim in
+            if Time.(now >= before_start) && Time.(now < down_at) then
+              bump bytes_before node size
+            else if Time.(now >= down_at) && Time.(now < up_at) then
+              bump bytes_during node size
+          end))
     rig.agents;
   Sim.run_until rig.sim duration;
   let routing = Net.Network.routing rig.network in
@@ -339,14 +339,14 @@ let router_crash ?(receivers_per_set = 2) ?(crash_at_s = 60.0)
   List.iter
     (fun (node, _) ->
       Net.Network.add_local_handler rig.network node (fun pkt ->
-          match pkt.Net.Packet.payload with
-          | Net.Packet.Data _ ->
-              let now = Sim.now rig.sim in
-              if Time.(now >= before_start) && Time.(now < crash_at) then
-                bump bytes_before node pkt.size
-              else if Time.(now >= crash_at) && Time.(now < recover_at) then
-                bump bytes_during node pkt.size
-          | _ -> ()))
+          if Net.Packet.is_data (Net.Network.arena rig.network) pkt then begin
+            let size = Net.Packet.size (Net.Network.arena rig.network) pkt in
+            let now = Sim.now rig.sim in
+            if Time.(now >= before_start) && Time.(now < crash_at) then
+              bump bytes_before node size
+            else if Time.(now >= crash_at) && Time.(now < recover_at) then
+              bump bytes_during node size
+          end))
     rig.agents;
   Sim.run_until rig.sim duration;
   let routing = Net.Network.routing rig.network in
@@ -584,8 +584,10 @@ type lossy_outcome = {
 (* The control plane, as the net layer cannot name it itself: receiver
    reports, controller suggestions, protocol ACKs/goodbyes and discovery
    probe traffic. *)
-let is_control (pkt : Net.Packet.t) =
-  match pkt.Net.Packet.payload with
+let is_control arena (pkt : Net.Packet.t) =
+  (not (Net.Packet.is_data arena pkt))
+  &&
+  match Net.Packet.payload arena pkt with
   | Reports.Rtcp.Report _ -> true
   | Toposense.Controller.Suggestion _ -> true
   | Toposense.Protocol.Ack _ | Toposense.Protocol.Goodbye _ -> true
@@ -604,7 +606,8 @@ let lossy_control ?(receivers_per_set = 2) ?(drop_fraction = 0.3)
   in
   let rig = make_rig ~spec ~traffic ~params ~seed in
   let faults = Net.Faults.create ~network:rig.network () in
-  Net.Faults.set_control_plane faults ~classify:is_control ~drop_fraction
+  Net.Faults.set_control_plane faults
+    ~classify:(is_control (Net.Network.arena rig.network)) ~drop_fraction
     ~delay_fraction ~delay ();
   Sim.run_until rig.sim duration;
   let routing = Net.Network.routing rig.network in

@@ -209,10 +209,10 @@ type lossy_outcome = {
   stale_suppressed : int;
 }
 
-val is_control : Net.Packet.t -> bool
-(** The classifier handed to {!Net.Faults.set_control_plane}: receiver
-    reports, controller suggestions, protocol ACKs/goodbyes and
-    discovery probe traffic. *)
+val is_control : Net.Packet.arena -> Net.Packet.t -> bool
+(** The classifier handed to {!Net.Faults.set_control_plane} (partially
+    applied to the network's arena): receiver reports, controller
+    suggestions, protocol ACKs/goodbyes and discovery probe traffic. *)
 
 val lossy_control :
   ?receivers_per_set:int ->

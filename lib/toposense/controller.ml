@@ -49,6 +49,14 @@ type t = {
           Consulted (only) under [prescribe_known_only] so the
           controller's state and suggestion traffic scale with the
           receivers that actually talk to it, not with tree size *)
+  settling_scratch : (int, unit) Hashtbl.t;
+      (** interval-lived scratch behind [session_input]'s [frozen]
+          closures, keyed [(node lsl 21) lor session] (node ids stay
+          well under 2^42, session ids under 2^21). Shared across the
+          interval's sessions — the closures are all consulted inside
+          the same [Algorithm.step] — and cleared once per interval, so
+          the per-session [Hashtbl.create] is off the steady-state
+          allocation profile. *)
   proto_tx : Protocol.tx;  (* prescription seq, per (session, receiver) *)
   proto_rx : Protocol.rx;  (* report/goodbye seq, per (session, receiver) *)
   proto_rng : Engine.Prng.t;
@@ -195,6 +203,7 @@ let create ~network ~discovery ~params ~node ?domain ?probe ?federation () =
       sessions_rev = [];
       receivers = Hashtbl.create 64;
       known = Hashtbl.create 8;
+      settling_scratch = Hashtbl.create 64;
       proto_tx = Protocol.create_tx ();
       proto_rx = Protocol.create_rx ();
       proto_rng = Sim.rng sim ~label:"toposense-protocol";
@@ -220,11 +229,12 @@ let create ~network ~discovery ~params ~node ?domain ?probe ?federation () =
       billing = None;
     }
   in
+  let arena = Net.Network.arena network in
   Net.Network.add_local_handler network node (fun pkt ->
-      if not t.running then ()
+      if (not t.running) || Net.Packet.is_data arena pkt then ()
       else begin
       Option.iter (fun p -> Probe_discovery.handle_packet p pkt) t.probe;
-      match pkt.Net.Packet.payload with
+      match Net.Packet.payload arena pkt with
       | Reports.Rtcp.Report r -> (
           match
             Protocol.admit t.proto_rx ~session:r.session ~node:r.receiver
@@ -305,7 +315,8 @@ let session_input t session tree =
       (fun (node, _) -> (receiver_state t ~session:id ~node).status = Active)
       all
   in
-  let settling_tbl = Hashtbl.create 8 in
+  let settling_tbl = t.settling_scratch in
+  let settling_key node = (node lsl 21) lor id in
   let now = Sim.now (Net.Network.sim t.network) in
   let measures, levels =
     List.fold_left
@@ -325,7 +336,8 @@ let session_input t session tree =
               in
               st.fresh <- None;
               st.last_loss <- loss;
-              if a.settling then Hashtbl.replace settling_tbl node ();
+              if a.settling then
+                Hashtbl.replace settling_tbl (settling_key node) ();
               (loss, a.bytes)
           | None -> (st.last_loss, 0)
         in
@@ -356,7 +368,7 @@ let session_input t session tree =
     measures;
     levels;
     may_add;
-    frozen = (fun node -> Hashtbl.mem settling_tbl node);
+    frozen = (fun node -> Hashtbl.mem settling_tbl (settling_key node));
   }
 
 let debug_enabled = Sys.getenv_opt "TOPOSENSE_DEBUG" <> None
@@ -439,6 +451,9 @@ let run_interval t =
   let sim = Net.Network.sim t.network in
   let now = Sim.now sim in
   sweep_leases t ~now;
+  (* Last interval's settling marks are dead — their [frozen] closures
+     were only ever consulted inside that interval's [Algorithm.step]. *)
+  Hashtbl.clear t.settling_scratch;
   let inputs =
     List.filter_map
       (fun session ->
@@ -531,27 +546,27 @@ let run_interval t =
   | Some leaf ->
       List.iter
         (fun (input : Algorithm.session_input) ->
-          let n = List.length input.measures in
-          let loss_sum =
-            List.fold_left
-              (fun acc (_, (loss, _)) -> acc +. loss)
-              0.0 input.measures
-          in
-          let level_sum =
-            List.fold_left (fun acc (_, lvl) -> acc + lvl) 0 input.levels
-          in
-          let congested =
-            List.fold_left
-              (fun acc (_, (loss, _)) ->
-                if loss >= t.params.p_threshold then acc + 1 else acc)
-              0 input.measures
-          in
+          (* One pass per list, with the loss total in a float array
+             cell: unboxed storage, where three separate
+             [List.fold_left]s re-boxed a float accumulator per
+             element. *)
+          let n = ref 0 and congested = ref 0 in
+          let loss_sum = [| 0.0 |] in
+          List.iter
+            (fun (_, (loss, _)) ->
+              incr n;
+              loss_sum.(0) <- loss_sum.(0) +. loss;
+              if loss >= t.params.p_threshold then incr congested)
+            input.measures;
+          let level_sum = ref 0 in
+          List.iter (fun (_, lvl) -> level_sum := !level_sum + lvl) input.levels;
+          let n = !n and congested = !congested in
           let fn = float_of_int (max 1 n) in
           t.summaries_sent <- t.summaries_sent + 1;
           Federation.send_summary leaf ~network:t.network ~src:t.node
             ~session:input.Algorithm.id ~receivers:n
-            ~mean_level:(float_of_int level_sum /. fn)
-            ~mean_loss:(loss_sum /. fn) ~congested)
+            ~mean_level:(float_of_int !level_sum /. fn)
+            ~mean_loss:(loss_sum.(0) /. fn) ~congested)
         inputs
 
 let start t =

@@ -59,6 +59,9 @@ type parent = {
      monitor. *)
   degraded : (int, unit) Hashtbl.t;  (* domains currently degraded *)
   standby : (int, Net.Addr.node_id) Hashtbl.t;  (* domain -> standby leaf *)
+  monitor_scratch : (int, Time.t) Hashtbl.t;
+      (* tick-lived freshest-summary-per-domain map, cleared and refilled
+         on every monitor firing rather than reallocated *)
   mutable rehome_sent : (unit -> int) option;
   mutable rehome_last : int;
   mutable monitor : Sim.handle option;
@@ -147,6 +150,7 @@ let create_parent ~network ~node =
       stale_dropped = 0;
       degraded = Hashtbl.create 8;
       standby = Hashtbl.create 8;
+      monitor_scratch = Hashtbl.create 8;
       rehome_sent = None;
       rehome_last = 0;
       monitor = None;
@@ -158,8 +162,11 @@ let create_parent ~network ~node =
       rehomed_prescriptions = 0;
     }
   in
+  let arena = Net.Network.arena network in
   Net.Network.add_local_handler network node (fun pkt ->
-      match pkt.Net.Packet.payload with
+      if Net.Packet.is_data arena pkt then ()
+      else
+      match Net.Packet.payload arena pkt with
       | Domain_summary
           {
             domain;
@@ -198,7 +205,8 @@ let start_failover t ~check_period ~silence ?on_degraded ?on_rejoined () =
            sample_rehome t;
            let now = Sim.now sim in
            (* freshest summary per domain, over all its sessions *)
-           let latest = Hashtbl.create 8 in
+           let latest = t.monitor_scratch in
+           Hashtbl.clear latest;
            Hashtbl.iter
              (fun (_, domain) slot ->
                match Hashtbl.find_opt latest domain with

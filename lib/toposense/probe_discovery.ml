@@ -49,11 +49,15 @@ let create ~network ~node ?(period = Time.span_of_sec 2)
     }
   in
   (* The mtrace stand-in: every router a probe response crosses appends
-     itself to the response's hop list. *)
+     itself to the response's hop list. The observer sees every packet at
+     every hop, so it must branch on the unboxed tag before touching the
+     payload side table (reconstructing a media payload would allocate). *)
+  let arena = Net.Network.arena network in
   Net.Network.add_transit_observer network (fun pkt ~at ~in_iface:_ ->
-      match pkt.Net.Packet.payload with
-      | Probe_response { hops; _ } -> hops := !hops @ [ at ]
-      | _ -> ());
+      if not (Net.Packet.is_data arena pkt) then
+        match Net.Packet.payload arena pkt with
+        | Probe_response { hops; _ } -> hops := !hops @ [ at ]
+        | _ -> ());
   t
 
 let now t = Sim.now (Net.Network.sim t.network)
@@ -61,7 +65,7 @@ let now t = Sim.now (Net.Network.sim t.network)
 let fresh t at = Time.diff (now t) at <= t.expiry
 
 let handle_packet t (pkt : Net.Packet.t) =
-  match pkt.payload with
+  match Net.Packet.payload (Net.Network.arena t.network) pkt with
   | Reports.Rtcp.Report r ->
       (* A report doubles as registration: this receiver exists and wants
          to be probed. *)

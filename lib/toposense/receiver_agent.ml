@@ -22,6 +22,7 @@ type session_state = {
 
 type t = {
   network : Net.Network.t;
+  arena : Net.Packet.arena;
   router : Multicast.Router.t;
   params : Params.t;
   node : Net.Addr.node_id;
@@ -172,70 +173,80 @@ let send_ack t ~session ~seq ~dst =
     ~size:Protocol.ack_size
     ~payload:(Protocol.Ack { session; receiver = t.node; seq })
 
+(* The media fast path branches on the unboxed tag and never touches the
+   boxed payload side table; control packets (rare) reconstruct theirs. *)
 let on_packet t (pkt : Net.Packet.t) =
-  match pkt.payload with
-  | Net.Packet.Data { session; layer; seq } ->
-      Stats.on_data t.stats ~session ~layer ~seq ~size:pkt.size
-  | Probe_discovery.Probe_query { probe_id; session } -> (
-      (* Answer the discovery probe; routers fill in the hop list on the
-         way back to the controller. *)
-      match Hashtbl.find_opt t.sessions session with
-      | None -> ()
-      | Some st when st.unsubscribed -> ()
-      | Some _ ->
-          Net.Network.originate t.network ~src:t.node
-            ~dst:(Net.Addr.Unicast pkt.src) ~size:Probe_discovery.probe_size
-            ~payload:
-              (Probe_discovery.Probe_response
-                 {
-                   probe_id;
-                   session;
-                   receiver = t.node;
-                   level = level t ~session;
-                   hops = ref [];
-                 }))
-  | Controller.Suggestion { session; level = suggested; seq } -> (
-      match Hashtbl.find_opt t.sessions session with
-      | None -> ()
-      | Some st when st.unsubscribed ->
-          (* A lingering prescription computed from a stale snapshot
-             after we said goodbye; obeying it would resurrect the
-             membership. *)
-          t.stray_suggestions <- t.stray_suggestions + 1
-      | Some st -> (
-          t.suggestions_received <- t.suggestions_received + 1;
-          match Protocol.admit t.proto_rx ~session ~node:pkt.src ~seq with
-          | Protocol.Stale ->
-              t.stale_suggestions <- t.stale_suggestions + 1
-          | Protocol.Duplicate ->
-              (* Already applied; the ACK must have been lost — re-ACK,
-                 never re-apply. *)
-              t.dup_suggestions <- t.dup_suggestions + 1;
-              if t.params.reliable_prescriptions then
-                send_ack t ~session ~seq ~dst:pkt.src
-          | Protocol.Fresh ->
-              if t.params.reliable_prescriptions then
-                send_ack t ~session ~seq ~dst:pkt.src;
-              let now = Sim.now (sim t) in
-              st.last_suggestion <- now;
-              if st.fb_active then resync t session st ~suggested ~now
-              else begin
-                (* The controller's view of our level lags by a report;
-                   obey drops verbatim but climb at most one layer at a
-                   time. *)
-                let current = level t ~session in
-                let target =
-                  if suggested > current then current + 1 else suggested
-                in
-                set_level t ~session ~level:target
-              end))
-  | _ -> ()
+  if Net.Packet.is_data t.arena pkt then
+    Stats.on_data t.stats
+      ~session:(Net.Packet.session t.arena pkt)
+      ~layer:(Net.Packet.layer t.arena pkt)
+      ~seq:(Net.Packet.seq t.arena pkt)
+      ~size:(Net.Packet.size t.arena pkt)
+  else
+    match Net.Packet.payload t.arena pkt with
+    | Probe_discovery.Probe_query { probe_id; session } -> (
+        (* Answer the discovery probe; routers fill in the hop list on the
+           way back to the controller. *)
+        match Hashtbl.find_opt t.sessions session with
+        | None -> ()
+        | Some st when st.unsubscribed -> ()
+        | Some _ ->
+            Net.Network.originate t.network ~src:t.node
+              ~dst:(Net.Addr.Unicast (Net.Packet.src t.arena pkt))
+              ~size:Probe_discovery.probe_size
+              ~payload:
+                (Probe_discovery.Probe_response
+                   {
+                     probe_id;
+                     session;
+                     receiver = t.node;
+                     level = level t ~session;
+                     hops = ref [];
+                   }))
+    | Controller.Suggestion { session; level = suggested; seq } -> (
+        match Hashtbl.find_opt t.sessions session with
+        | None -> ()
+        | Some st when st.unsubscribed ->
+            (* A lingering prescription computed from a stale snapshot
+               after we said goodbye; obeying it would resurrect the
+               membership. *)
+            t.stray_suggestions <- t.stray_suggestions + 1
+        | Some st -> (
+            t.suggestions_received <- t.suggestions_received + 1;
+            let from = Net.Packet.src t.arena pkt in
+            match Protocol.admit t.proto_rx ~session ~node:from ~seq with
+            | Protocol.Stale ->
+                t.stale_suggestions <- t.stale_suggestions + 1
+            | Protocol.Duplicate ->
+                (* Already applied; the ACK must have been lost — re-ACK,
+                   never re-apply. *)
+                t.dup_suggestions <- t.dup_suggestions + 1;
+                if t.params.reliable_prescriptions then
+                  send_ack t ~session ~seq ~dst:from
+            | Protocol.Fresh ->
+                if t.params.reliable_prescriptions then
+                  send_ack t ~session ~seq ~dst:from;
+                let now = Sim.now (sim t) in
+                st.last_suggestion <- now;
+                if st.fb_active then resync t session st ~suggested ~now
+                else begin
+                  (* The controller's view of our level lags by a report;
+                     obey drops verbatim but climb at most one layer at a
+                     time. *)
+                  let current = level t ~session in
+                  let target =
+                    if suggested > current then current + 1 else suggested
+                  in
+                  set_level t ~session ~level:target
+                end))
+    | _ -> ()
 
 let create ~network ~router ~params ~node ~controller () =
   let sim = Net.Network.sim network in
   let t =
     {
       network;
+      arena = Net.Network.arena network;
       router;
       params;
       node;

@@ -65,11 +65,9 @@ let start_sources ~network t ~rng =
       let seq = ref 0 in
       let rec tick () =
         if sender.running then begin
-          Net.Network.originate network ~src:t.source
-            ~dst:(Addr.Multicast t.groups.(stream))
-            ~size:Net.Packet.data_size
-            ~payload:
-              (Net.Packet.Data { session = t.id; layer = stream; seq = !seq });
+          Net.Network.originate_data network ~src:t.source
+            ~group:t.groups.(stream) ~size:Net.Packet.data_size
+            ~session:t.id ~layer:stream ~seq:!seq;
           incr seq;
           sender.sent <- sender.sent + 1;
           ignore (Engine.Sim.schedule_after sim gap tick)

@@ -22,17 +22,17 @@ let packet_bits = Net.Packet.data_size * 8
 let emit t ~layer =
   let session_id = Session.id t.session in
   let group = Session.group_for_layer t.session ~layer in
-  Net.Network.originate t.network
+  Net.Network.originate_data t.network
     ~src:(Session.source t.session)
-    ~dst:(Net.Addr.Multicast group) ~size:Net.Packet.data_size
-    ~payload:(Net.Packet.Data { session = session_id; layer; seq = t.seq.(layer) });
+    ~group ~size:Net.Packet.data_size ~session:session_id ~layer
+    ~seq:t.seq.(layer);
   t.seq.(layer) <- t.seq.(layer) + 1;
   t.sent.(layer) <- t.sent.(layer) + 1;
   t.bytes <- t.bytes + Net.Packet.data_size
 
 (* Every emit loop below runs on reusable timers (allocated once per
    layer at kickoff, re-armed in place), so steady-state traffic
-   allocates only the immutable [Packet.t] per emission. The timer
+   allocates nothing per emission (the packet lives in the arena). The timer
    callback needs its own timer to re-arm; OCaml's recursive-value
    restriction forbids [let rec] through the opaque [Sim.timer], so each
    loop threads the timer through a ref filled right after creation. *)

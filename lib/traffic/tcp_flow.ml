@@ -170,15 +170,20 @@ let start ~network ~src ~dst ?(flow_id = 0) ?(initial_ssthresh = 64.0) () =
     }
   in
   (* The receiver owns its node; the sender listens for ACKs on its own
-     node's handler. *)
+     node's handler. TCP payloads are boxed control packets, so the
+     [is_data] guard keeps the media fast path from touching the side
+     table. *)
+  let arena = Net.Network.arena network in
   Net.Network.add_local_handler network dst (fun pkt ->
-      match pkt.Net.Packet.payload with
-      | Tcp_data { flow; seq } when flow = flow_id -> on_data t seq
-      | _ -> ());
+      if not (Net.Packet.is_data arena pkt) then
+        match Net.Packet.payload arena pkt with
+        | Tcp_data { flow; seq } when flow = flow_id -> on_data t seq
+        | _ -> ());
   Net.Network.add_local_handler network src (fun pkt ->
-      match pkt.Net.Packet.payload with
-      | Tcp_ack { flow; ack } when flow = flow_id -> on_ack t ack
-      | _ -> ());
+      if not (Net.Packet.is_data arena pkt) then
+        match Net.Packet.payload arena pkt with
+        | Tcp_ack { flow; ack } when flow = flow_id -> on_ack t ack
+        | _ -> ());
   t.rto_tmr <- Sim.timer (Net.Network.sim network) (fun () ->
       if t.running then on_timeout t);
   pump t;

@@ -83,6 +83,27 @@ let iter f t =
     done
   done
 
+(* Write the elements (ascending) into [buf] starting at 0; returns the
+   element count. [buf] must have room for [cardinal t] — the caller
+   keeps a reusable scratch array, so per-packet iteration (the
+   multicast fan-out) allocates no closure. *)
+let fill_into t buf =
+  let words = t.words in
+  let n = ref 0 in
+  for w = 0 to Array.length words - 1 do
+    let word = ref words.(w) in
+    let i = ref (w * bits_per_word) in
+    while !word <> 0 do
+      if !word land 1 <> 0 then begin
+        buf.(!n) <- !i;
+        incr n
+      end;
+      word := !word lsr 1;
+      incr i
+    done
+  done;
+  !n
+
 let fold f t acc =
   let acc = ref acc in
   iter (fun i -> acc := f i !acc) t;

@@ -32,6 +32,12 @@ val union_into : into:t -> t -> unit
 val iter : (int -> unit) -> t -> unit
 (** Ascending order. The callback must not mutate the set. *)
 
+val fill_into : t -> int array -> int
+(** Writes the elements, ascending, into the array starting at index 0
+    and returns the count. The array must have room for [cardinal t].
+    Lets a hot loop (the multicast fan-out) iterate a set into a
+    reusable scratch buffer without allocating an iteration closure. *)
+
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
 (** Ascending order. *)
 

@@ -112,7 +112,7 @@ let test_agent_reports_flow () =
   let ((sim, nw, _, _) as w) = world () in
   let reports = ref 0 in
   Network.set_local_handler nw 0 (fun pkt ->
-      match pkt.Packet.payload with
+      match Packet.payload (Network.arena nw) pkt with
       | Reports.Rtcp.Report r when r.session = 0 -> incr reports
       | _ -> ());
   let _a = mk_agent w in
@@ -125,7 +125,7 @@ let test_agent_settling_flag_after_drop () =
   let ((sim, nw, _, _) as w) = world () in
   let settling_seen = ref false and clear_seen = ref false in
   Network.set_local_handler nw 0 (fun pkt ->
-      match pkt.Packet.payload with
+      match Packet.payload (Network.arena nw) pkt with
       | Reports.Rtcp.Report r ->
           if r.settling then settling_seen := true else clear_seen := true
       | _ -> ());
@@ -142,7 +142,7 @@ let test_agent_stop_silences () =
   let ((sim, nw, _, _) as w) = world () in
   let reports = ref 0 in
   Network.set_local_handler nw 0 (fun pkt ->
-      match pkt.Packet.payload with
+      match Packet.payload (Network.arena nw) pkt with
       | Reports.Rtcp.Report _ -> incr reports
       | _ -> ());
   let a = mk_agent w in

@@ -35,7 +35,8 @@ let test_observer_sees_every_hop () =
   let sim, nw = line () in
   let seen = ref [] in
   Network.add_transit_observer nw (fun pkt ~at ~in_iface ->
-      if pkt.Packet.id = 0 then seen := (at, in_iface = None) :: !seen);
+      if Packet.id (Network.arena nw) pkt = 0 then
+        seen := (at, in_iface = None) :: !seen);
   Network.originate nw ~src:0 ~dst:(Addr.Unicast 3) ~size:100
     ~payload:(Probe_pay 1);
   Sim.run_until sim (Time.of_sec 1);
@@ -82,7 +83,9 @@ let test_packet_trace_filter_and_cap () =
   let tr =
     Net.Packet_trace.attach ~network:nw ~capacity:5
       ~filter:(fun pkt ->
-        match pkt.Packet.payload with Probe_pay n -> n mod 2 = 0 | _ -> false)
+        match Packet.payload (Network.arena nw) pkt with
+        | Probe_pay n -> n mod 2 = 0
+        | _ -> false)
       ()
   in
   for i = 1 to 10 do

@@ -265,6 +265,36 @@ let test_calendar_bucket_recycling () =
   checkb "drains sorted after recycling" true
     (cal_drain q = List.init 100 (fun i -> (7 * i, i)))
 
+let test_calendar_pop_if_key () =
+  let q = cal_create () in
+  let none = (-1, -1) in
+  checkb "empty queue declines" true (Calendar.pop_if_key q ~key:0 ~none == none);
+  List.iteri (fun s k -> Calendar.push q (k, s)) [ 100; 100; 100; 200 ];
+  checkb "first of the run" true (Calendar.pop_min_exn q = (100, 0));
+  (* The two remaining key-100 elements drain through the fast path in
+     FIFO order; the key-200 element must not. *)
+  checkb "second of the run" true (Calendar.pop_if_key q ~key:100 ~none = (100, 1));
+  checkb "third of the run" true (Calendar.pop_if_key q ~key:100 ~none = (100, 2));
+  checkb "run exhausted" true (Calendar.pop_if_key q ~key:100 ~none == none);
+  checkb "later key untouched" true (Calendar.pop_min_exn q = (200, 3));
+  (* A refused pop leaves the queue fully intact. *)
+  List.iteri (fun s k -> Calendar.push q (k, s)) [ 300; 400 ];
+  ignore (Calendar.pop_min_exn q);
+  checkb "wrong key refused" true (Calendar.pop_if_key q ~key:300 ~none == none);
+  checki "nothing lost" 1 (Calendar.length q);
+  checkb "normal pop still works" true (Calendar.pop_min_exn q = (400, 1))
+
+let test_calendar_resize_counter () =
+  let q = cal_create () in
+  checki "fresh queue has not resized" 0 (Calendar.resizes q);
+  for s = 0 to 999 do
+    Calendar.push q (s * 1000, s)
+  done;
+  checkb "growth counted" true (Calendar.resizes q > 0);
+  let grown = Calendar.resizes q in
+  ignore (cal_drain q);
+  checkb "shrinks counted too" true (Calendar.resizes q > grown)
+
 let prop_calendar_matches_heap =
   QCheck.Test.make ~name:"calendar drains exactly like a heap" ~count:200
     QCheck.(list (int_bound 100_000))
@@ -318,8 +348,9 @@ let sim_op_arb =
     ~print:(Format.asprintf "%a" (Format.pp_print_list pp_sim_op))
     QCheck.Gen.(list_size (1 -- 30) sim_op_gen)
 
-let run_ops backend ops =
+let run_ops ?(batch = true) backend ops =
   let sim = Sim.create ~backend () in
+  Sim.set_batch_runs sim batch;
   let trace = ref [] in
   let mark id () = trace := (Time.to_ns (Sim.now sim), id) :: !trace in
   let handles = ref [] in
@@ -356,6 +387,22 @@ let prop_backends_equivalent =
     ~count:100 sim_op_arb
     (fun ops ->
       run_ops Event_queue.Heap ops = run_ops Event_queue.Calendar ops)
+
+(* Batched run dispatch must be a pure speed change: the one-event
+   reference loop and the batched loop see the same traces — including
+   the clock value each thunk observes — and the same counters, on both
+   backends. The generator's driver events (one per millisecond) plus
+   Burst put several events on equal instants, so runs of length > 1 are
+   exercised, as are thunks that schedule new work at the current
+   instant mid-run. *)
+let prop_batching_invisible =
+  QCheck.Test.make ~name:"batched dispatch matches the reference loop"
+    ~count:100 sim_op_arb
+    (fun ops ->
+      run_ops ~batch:true Event_queue.Heap ops
+      = run_ops ~batch:false Event_queue.Heap ops
+      && run_ops ~batch:true Event_queue.Calendar ops
+         = run_ops ~batch:false Event_queue.Calendar ops)
 
 (* ---------- reusable timers ---------- *)
 
@@ -861,6 +908,10 @@ let () =
             test_calendar_interleaved_lower_key;
           Alcotest.test_case "bucket recycling" `Quick
             test_calendar_bucket_recycling;
+          Alcotest.test_case "pop_if_key fast path" `Quick
+            test_calendar_pop_if_key;
+          Alcotest.test_case "resize counter" `Quick
+            test_calendar_resize_counter;
         ] );
       qsuite "calendar-props" [ prop_calendar_matches_heap ];
       ( "heap",
@@ -912,6 +963,7 @@ let () =
         [
           prop_sim_events_in_time_order;
           prop_backends_equivalent;
+          prop_batching_invisible;
           prop_timers_equivalent;
         ];
       ( "stats",

@@ -20,33 +20,35 @@ let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
 
 type Packet.payload += Probe of int
 
+(* A standalone arena for the queue-discipline unit tests (everywhere
+   else the network owns one). Packets the queue rejects are simply
+   leaked here; the arena is test-local. *)
+let arena = Packet.create_arena ()
+
 let mk_pkt ?(payload = Probe 0) ?(size = 1000) id =
-  {
-    Packet.id;
-    src = 0;
-    dst = Addr.Unicast 1;
-    size;
-    payload;
-    sent_at = Time.zero;
-  }
+  Packet.alloc arena ~id ~src:0 ~dst:(Addr.Unicast 1) ~size
+    ~sent_at:Time.zero ~payload
 
 let media ~layer seq = Packet.Data { session = 0; layer; seq }
 
 (* ---------- queue disciplines ---------- *)
 
 let test_drop_tail_still_works () =
-  let q = Qd.create (Qd.Drop_tail { limit = 2 }) ~rng:(Engine.Prng.create ~seed:1L) in
+  let q =
+    Qd.create (Qd.Drop_tail { limit = 2 }) ~arena
+      ~rng:(Engine.Prng.create ~seed:1L)
+  in
   checkb "1 in" true (Qd.offer q (mk_pkt 1));
   checkb "2 in" true (Qd.offer q (mk_pkt 2));
   checkb "3 rejected" false (Qd.offer q (mk_pkt 3));
   checki "drops" 1 (Qd.drops q);
-  checki "fifo head" 1 (Option.get (Qd.poll q)).Packet.id
+  checki "fifo head" 1 (Packet.id arena (Qd.poll q))
 
 let test_red_early_drops () =
   let q =
     Qd.create
       (Qd.Red { limit = 100; min_th = 2.0; max_th = 10.0; max_p = 1.0; wq = 1.0 })
-      ~rng:(Engine.Prng.create ~seed:1L)
+      ~arena ~rng:(Engine.Prng.create ~seed:1L)
   in
   (* wq = 1 makes avg track the instantaneous length; above max_th every
      arrival drops even though the queue is far from its limit. *)
@@ -60,7 +62,8 @@ let test_red_early_drops () =
 
 let test_red_light_load_no_drops () =
   let q =
-    Qd.create (Qd.default_red ~limit:50) ~rng:(Engine.Prng.create ~seed:1L)
+    Qd.create (Qd.default_red ~limit:50) ~arena
+      ~rng:(Engine.Prng.create ~seed:1L)
   in
   for i = 1 to 5 do
     checkb "admitted" true (Qd.offer q (mk_pkt i));
@@ -82,24 +85,27 @@ let test_red_spec_validation () =
     ]
 
 let test_priority_evicts_enhancement_layers () =
-  let q = Qd.create (Qd.Priority { limit = 3 }) ~rng:(Engine.Prng.create ~seed:1L) in
+  let q =
+    Qd.create (Qd.Priority { limit = 3 }) ~arena
+      ~rng:(Engine.Prng.create ~seed:1L)
+  in
   checkb "l5 in" true (Qd.offer q (mk_pkt ~payload:(media ~layer:5 0) 1));
   checkb "l4 in" true (Qd.offer q (mk_pkt ~payload:(media ~layer:4 0) 2));
   checkb "l3 in" true (Qd.offer q (mk_pkt ~payload:(media ~layer:3 0) 3));
   (* Base-layer arrival evicts the layer-5 packet. *)
   checkb "base admitted" true (Qd.offer q (mk_pkt ~payload:(media ~layer:0 0) 4));
   checki "one drop" 1 (Qd.drops q);
-  let remaining = List.init 3 (fun _ -> Option.get (Qd.poll q)) in
+  let remaining = List.init 3 (fun _ -> Qd.poll q) in
   checkb "layer-5 gone" true
     (List.for_all
-       (fun p ->
-         match p.Packet.payload with
-         | Packet.Data { layer; _ } -> layer <> 5
-         | _ -> true)
+       (fun p -> (not (Packet.is_data arena p)) || Packet.layer arena p <> 5)
        remaining)
 
 let test_priority_rejects_least_important_arrival () =
-  let q = Qd.create (Qd.Priority { limit = 2 }) ~rng:(Engine.Prng.create ~seed:1L) in
+  let q =
+    Qd.create (Qd.Priority { limit = 2 }) ~arena
+      ~rng:(Engine.Prng.create ~seed:1L)
+  in
   ignore (Qd.offer q (mk_pkt ~payload:(media ~layer:1 0) 1));
   ignore (Qd.offer q (mk_pkt ~payload:(media ~layer:2 0) 2));
   (* A layer-5 arrival is itself the least important: rejected. *)
@@ -107,12 +113,16 @@ let test_priority_rejects_least_important_arrival () =
   checki "len unchanged" 2 (Qd.length q)
 
 let test_priority_control_packets_win () =
-  let q = Qd.create (Qd.Priority { limit = 1 }) ~rng:(Engine.Prng.create ~seed:1L) in
+  let q =
+    Qd.create (Qd.Priority { limit = 1 }) ~arena
+      ~rng:(Engine.Prng.create ~seed:1L)
+  in
   ignore (Qd.offer q (mk_pkt ~payload:(media ~layer:0 0) 1));
   checkb "control evicts even base" true
     (Qd.offer q (mk_pkt ~payload:(Probe 9) 2));
-  match Qd.poll q with
-  | Some { Packet.payload = Probe 9; _ } -> ()
+  let p = Qd.poll q in
+  match if p = Packet.none then None else Some (Packet.payload arena p) with
+  | Some (Probe 9) -> ()
   | _ -> Alcotest.fail "control packet should remain"
 
 let test_red_idle_decay () =
@@ -127,7 +137,7 @@ let test_red_idle_decay () =
   in
   let now = ref 0.0 in
   let mk () =
-    Qd.create spec
+    Qd.create spec ~arena
       ~clock:(fun () -> !now)
       ~service_time_s:0.001
       ~rng:(Engine.Prng.create ~seed:1L)
@@ -137,7 +147,7 @@ let test_red_idle_decay () =
       ignore (Qd.offer q (mk_pkt i))
     done;
     checkb "burst forced drops" true (Qd.drops q > 0);
-    while Qd.poll q <> None do
+    while Qd.poll q <> Packet.none do
       ()
     done
   in
@@ -157,7 +167,7 @@ let test_red_idle_decay () =
    packets, lengths and drop counts. *)
 let prop_ring_matches_deque =
   let imp (p : Packet.t) =
-    match p.Packet.payload with Packet.Data { layer; _ } -> layer | _ -> -1
+    if Packet.is_data arena p then Packet.layer arena p else -1
   in
   QCheck.Test.make ~name:"ring buffer matches two-list deque model" ~count:300
     QCheck.(
@@ -166,7 +176,7 @@ let prop_ring_matches_deque =
       let spec =
         if prio then Qd.Priority { limit } else Qd.Drop_tail { limit }
       in
-      let q = Qd.create spec ~rng:(Engine.Prng.create ~seed:1L) in
+      let q = Qd.create spec ~arena ~rng:(Engine.Prng.create ~seed:1L) in
       let model = ref [] and mdrops = ref 0 and next_id = ref 0 in
       let model_offer pkt =
         if List.length !model < limit then begin
@@ -216,9 +226,8 @@ let prop_ring_matches_deque =
             end
             else
               match (Qd.poll q, model_poll ()) with
-              | None, None -> true
-              | Some a, Some b -> a.Packet.id = b.Packet.id
-              | _ -> false
+              | a, None -> a = Packet.none
+              | a, Some b -> a = b
           in
           step_ok
           && Qd.length q = List.length !model
@@ -557,9 +566,8 @@ let test_onoff_mean_rate () =
   Sim.run_until sim (Time.of_sec 2);
   let count = ref 0 in
   Network.set_local_handler nw 1 (fun pkt ->
-      match pkt.Packet.payload with
-      | Packet.Data { layer = 0; _ } -> incr count
-      | _ -> ());
+      let a = Network.arena nw in
+      if Packet.is_data a pkt && Packet.layer a pkt = 0 then incr count);
   let src =
     Traffic.Source.start ~network:nw ~session
       ~kind:(Traffic.Source.On_off { mean_on_s = 2.0; mean_off_s = 2.0 })
@@ -631,9 +639,9 @@ let test_simulcast_delivery () =
   Sim.run_until sim (Time.of_sec 2);
   let count = ref 0 in
   Network.set_local_handler nw 4 (fun pkt ->
-      match pkt.Packet.payload with
-      | Packet.Data { session = 7; layer = 1; _ } -> incr count
-      | _ -> ());
+      let a = Network.arena nw in
+      if Packet.is_data a pkt && Packet.session a pkt = 7 && Packet.layer a pkt = 1
+      then incr count);
   let senders =
     Traffic.Simulcast.start_sources ~network:nw sc
       ~rng:(Sim.rng sim ~label:"sc")

@@ -469,7 +469,8 @@ let test_reliable_recovers_99pct_under_20pct_drop () =
       [ 1; 2; 3 ]
   in
   let faults = Faults.create ~network:nw () in
-  Faults.set_control_plane faults ~classify:Recovery.is_control
+  Faults.set_control_plane faults
+    ~classify:(Recovery.is_control (Network.arena nw))
     ~drop_fraction:0.2 ();
   Sim.run_until sim (Time.of_sec 300);
   let sent = Toposense.Controller.suggestions_sent c in

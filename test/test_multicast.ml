@@ -33,7 +33,9 @@ let star () =
 
 let count_deliveries nw node counter =
   Network.set_local_handler nw node (fun pkt ->
-      match pkt.Packet.payload with Media _ -> incr counter | _ -> ())
+      match Packet.payload (Network.arena nw) pkt with
+      | Media _ -> incr counter
+      | _ -> ())
 
 let send nw ~src ~group n =
   for i = 1 to n do
@@ -244,7 +246,7 @@ let prop_delivery_matches_membership =
       let counters = Array.make n 0 in
       for node = 0 to n - 1 do
         Network.set_local_handler nw node (fun pkt ->
-            match pkt.Packet.payload with
+            match Packet.payload (Network.arena nw) pkt with
             | Media _ -> counters.(node) <- counters.(node) + 1
             | _ -> ())
       done;

@@ -287,7 +287,7 @@ let test_link_pool_no_resurrection () =
   let nw = Network.create ~sim topo in
   let delivered = ref [] in
   Network.set_local_handler nw 1 (fun pkt ->
-      match pkt.Packet.payload with
+      match Packet.payload (Network.arena nw) pkt with
       | Probe i -> delivered := i :: !delivered
       | _ -> ());
   let link = Network.link_on_iface nw ~node:0 ~iface:0 in
@@ -341,7 +341,8 @@ let test_unicast_multihop () =
   let sim = Sim.create () in
   let nw = Network.create ~sim (line 5) in
   let got = ref None in
-  Network.set_local_handler nw 4 (fun pkt -> got := Some pkt.Packet.src);
+  Network.set_local_handler nw 4 (fun pkt ->
+      got := Some (Packet.src (Network.arena nw) pkt));
   Network.originate nw ~src:0 ~dst:(Addr.Unicast 4) ~size:100
     ~payload:(Probe 7);
   Sim.run_until sim (Time.of_sec 1);
@@ -392,7 +393,8 @@ let test_packet_ids_unique () =
   let sim = Sim.create () in
   let nw = Network.create ~sim (line 2) in
   let ids = ref [] in
-  Network.set_local_handler nw 1 (fun pkt -> ids := pkt.Packet.id :: !ids);
+  Network.set_local_handler nw 1 (fun pkt ->
+      ids := Packet.id (Network.arena nw) pkt :: !ids);
   for i = 1 to 5 do
     Network.originate nw ~src:0 ~dst:(Addr.Unicast 1) ~size:100
       ~payload:(Probe i)
@@ -400,6 +402,86 @@ let test_packet_ids_unique () =
   Sim.run_until sim (Time.of_sec 1);
   checki "unique ids" 5 (List.length (List.sort_uniq Int.compare !ids));
   checki "counter" 5 (Network.packets_created nw)
+
+(* ---------- packet arena ---------- *)
+
+(* Random alloc/copy/free interleavings against a model: a handle freed
+   once must never be seen again — a later allocation reusing its slot
+   carries a bumped generation, so the stale handle is dead ([is_live]
+   false, [free] raises) and every fresh handle differs from every
+   handle ever freed. This is the whole safety story for unchecked
+   accessors: aliasing a recycled slot is the only way a stale handle
+   could silently read another packet's fields. *)
+type arena_op = A_alloc | A_copy of int | A_free of int
+
+let arena_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, return A_alloc);
+        (2, map (fun i -> A_copy i) (int_bound 1000));
+        (3, map (fun i -> A_free i) (int_bound 1000));
+      ])
+
+let pp_arena_op ppf = function
+  | A_alloc -> Format.fprintf ppf "Alloc"
+  | A_copy i -> Format.fprintf ppf "Copy %d" i
+  | A_free i -> Format.fprintf ppf "Free %d" i
+
+let arena_op_arb =
+  QCheck.make
+    ~print:(Format.asprintf "%a" (Format.pp_print_list pp_arena_op))
+    QCheck.Gen.(list_size (1 -- 120) arena_op_gen)
+
+let prop_arena_no_stale_aliasing =
+  QCheck.Test.make ~name:"freed handles never alias later allocations"
+    ~count:100 arena_op_arb
+    (fun ops ->
+      (* Tiny initial size so slot recycling and growth both happen. *)
+      let arena = Packet.create_arena ~initial:2 () in
+      let live = ref [] and stale = ref [] in
+      let next_id = ref 0 in
+      let fresh h =
+        incr next_id;
+        (* A fresh handle must collide with nothing we have ever freed
+           (generation guard) and nothing currently live (slot
+           uniqueness). *)
+        if List.memq h !stale then failwith "fresh handle aliases a freed one";
+        if List.memq h !live then failwith "fresh handle aliases a live one";
+        live := h :: !live
+      in
+      List.iter
+        (fun op ->
+          match op with
+          | A_alloc ->
+              fresh
+                (Packet.alloc_data arena ~id:!next_id ~src:0 ~group:7
+                   ~size:Packet.data_size ~sent_at:Time.zero ~session:0
+                   ~layer:0 ~seq:!next_id)
+          | A_copy k -> (
+              match !live with
+              | [] -> ()
+              | hs -> fresh (Packet.copy arena (List.nth hs (k mod List.length hs))))
+          | A_free k -> (
+              match !live with
+              | [] -> ()
+              | hs ->
+                  let h = List.nth hs (k mod List.length hs) in
+                  Packet.free arena h;
+                  live := List.filter (fun x -> x <> h) !live;
+                  stale := h :: !stale))
+        ops;
+      (* Every stale handle is dead: invisible to [is_live] and rejected
+         by [free] (double free / stale free both raise). *)
+      List.iter
+        (fun h ->
+          if Packet.is_live arena h then failwith "stale handle looks live";
+          match Packet.free arena h with
+          | () -> failwith "double free accepted"
+          | exception Invalid_argument _ -> ())
+        !stale;
+      List.for_all (fun h -> Packet.is_live arena h) !live
+      && Packet.live_count arena = List.length !live)
 
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
@@ -435,6 +517,7 @@ let () =
           Alcotest.test_case "pool no resurrection" `Quick
             test_link_pool_no_resurrection;
         ] );
+      qsuite "arena-props" [ prop_arena_no_stale_aliasing ];
       ( "network",
         [
           Alcotest.test_case "multihop" `Quick test_unicast_multihop;

@@ -180,7 +180,7 @@ let test_report_travels () =
   let nw = Network.create ~sim topo in
   let got = ref None in
   Network.set_local_handler nw 0 (fun pkt ->
-      match pkt.Packet.payload with
+      match Net.Packet.payload (Network.arena nw) pkt with
       | Rtcp.Report r -> got := Some (r.receiver, r.session, r.level, r.loss_rate)
       | _ -> ());
   let stats = Stats.create () in

@@ -124,12 +124,12 @@ let run_source ~kind ~layer ~seconds =
   Session.set_subscription_level s ~router ~node:2 ~level:6;
   Sim.run_until sim (Time.of_sec 1);
   let count = ref 0 and bytes = ref 0 in
+  let arena = Network.arena nw in
   Network.set_local_handler nw 2 (fun pkt ->
-      match pkt.Packet.payload with
-      | Packet.Data d when d.layer = layer ->
-          incr count;
-          bytes := !bytes + pkt.Packet.size
-      | _ -> ());
+      if Packet.is_data arena pkt && Packet.layer arena pkt = layer then begin
+        incr count;
+        bytes := !bytes + Packet.size arena pkt
+      end);
   let rng = Sim.rng sim ~label:"source" in
   let src = Source.start ~network:nw ~session:s ~kind ~rng () in
   Sim.run_until sim (Time.add (Sim.now sim) (Time.span_of_sec seconds));
@@ -168,13 +168,13 @@ let test_vbr_is_bursty () =
   Session.set_subscription_level s ~router ~node:2 ~level:6;
   Sim.run_until sim (Time.of_sec 1);
   let per_second = Hashtbl.create 64 in
+  let arena = Network.arena nw in
   Network.set_local_handler nw 2 (fun pkt ->
-      match pkt.Packet.payload with
-      | Packet.Data d when d.layer = 3 ->
-          let sec = int_of_float (Time.to_sec_f (Sim.now sim)) in
-          Hashtbl.replace per_second sec
-            (1 + Option.value ~default:0 (Hashtbl.find_opt per_second sec))
-      | _ -> ());
+      if Packet.is_data arena pkt && Packet.layer arena pkt = 3 then begin
+        let sec = int_of_float (Time.to_sec_f (Sim.now sim)) in
+        Hashtbl.replace per_second sec
+          (1 + Option.value ~default:0 (Hashtbl.find_opt per_second sec))
+      end);
   let rng = Sim.rng sim ~label:"source" in
   let src =
     Source.start ~network:nw ~session:s
@@ -195,8 +195,9 @@ let test_source_stop_stops () =
   Session.set_subscription_level s ~router ~node:2 ~level:1;
   Sim.run_until sim (Time.of_sec 1);
   let count = ref 0 in
+  let arena = Network.arena nw in
   Network.set_local_handler nw 2 (fun pkt ->
-      match pkt.Packet.payload with Packet.Data _ -> incr count | _ -> ());
+      if Packet.is_data arena pkt then incr count);
   let rng = Sim.rng sim ~label:"source" in
   let src = Source.start ~network:nw ~session:s ~kind:Source.Cbr ~rng () in
   Sim.run_until sim (Time.of_sec 5);
@@ -223,10 +224,10 @@ let test_seq_numbers_dense () =
   Session.set_subscription_level s ~router ~node:2 ~level:1;
   Sim.run_until sim (Time.of_sec 1);
   let seqs = ref [] in
+  let arena = Network.arena nw in
   Network.set_local_handler nw 2 (fun pkt ->
-      match pkt.Packet.payload with
-      | Packet.Data d when d.layer = 0 -> seqs := d.seq :: !seqs
-      | _ -> ());
+      if Packet.is_data arena pkt && Packet.layer arena pkt = 0 then
+        seqs := Packet.seq arena pkt :: !seqs);
   let rng = Sim.rng sim ~label:"source" in
   let src = Source.start ~network:nw ~session:s ~kind:Source.Cbr ~rng () in
   Sim.run_until sim (Time.of_sec 6);
