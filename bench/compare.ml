@@ -140,13 +140,21 @@ let compare_files old_path new_path =
     (List.rev !missing)
 
 (* Assert that [field_name] of the named row is <= an integer bound —
-   the generic form behind the CI gates. *)
+   the generic form behind the CI gates.
+
+   A missing ROW is a SKIP, not a failure: bench files regenerate on a
+   cadence of their own (quick vs full mode, older generations), so a
+   gate list shared across generations must tolerate rows that are not
+   in this file — the gate pins the value *when the row exists*. A
+   missing FIELD on a row that does exist stays fatal: that is the
+   emitter and the gate disagreeing about the row's shape, which is
+   exactly the regression the assertion should catch. *)
 let assert_field_le ~row_name ~field_name ~bound path =
   let rows = load path in
   match List.find_opt (fun r -> r.name = row_name) rows with
   | None ->
-      Printf.eprintf "row %S not found in %s\n" row_name path;
-      exit 1
+      Printf.printf "SKIP: row %S not in %s (nothing to assert)\n" row_name
+        path
   | Some r -> (
       match field r field_name with
       | None ->
@@ -165,8 +173,8 @@ let assert_field_ge ~row_name ~field_name ~bound path =
   let rows = load path in
   match List.find_opt (fun r -> r.name = row_name) rows with
   | None ->
-      Printf.eprintf "row %S not found in %s\n" row_name path;
-      exit 1
+      Printf.printf "SKIP: row %S not in %s (nothing to assert)\n" row_name
+        path
   | Some r -> (
       match field r field_name with
       | None ->

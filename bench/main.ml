@@ -410,7 +410,7 @@ let run_ablations () =
 
 (* ---------- bench trajectory (BENCH_*.json) ---------- *)
 
-(* Macro throughput numbers for the hot path, written to BENCH_pr9.json
+(* Macro throughput numbers for the hot path, written to BENCH_pr10.json
    so successive PRs can compare events/sec and packets/sec on fixed
    scenarios (diff two files with bench/compare.exe). Runs alone (fast)
    with BENCH_SMOKE=1 or --trajectory. *)
@@ -706,8 +706,17 @@ let chaos_storm_row () =
    One run, not best-of-N: VmHWM is a process-wide high-water mark, so
    repeats measure nothing new and these rows must run first (10k before
    100k) for their RSS figures to mean what they say. *)
-let scale_row ~name ~config () =
-  let o, wall, gc = time_wall (fun () -> Scenarios.Scale.run ~config ()) in
+let scale_row ~name ~config ?(shards = 1) ?baseline_wall () =
+  (* Build/run seam ([Scale.prepare]/[execute]): world construction is
+     timed into the setup_seconds extra, so wall_seconds — and with it
+     events_per_sec and the alloc_per_event gate — covers only the
+     simulation itself. [baseline_wall] (a sequential row's run-phase
+     wall) turns a sharded replay into a speedup record: speedup_pct =
+     100 * baseline / this row's wall, so 100 is parity. *)
+  let p, setup_w, _ =
+    time_wall (fun () -> Scenarios.Scale.prepare ~config ~shards ())
+  in
+  let o, wall, gc = time_wall (fun () -> Scenarios.Scale.execute p) in
   {
     bname = name;
     sim_s = Time.to_sec_f config.Scenarios.Scale.duration;
@@ -720,7 +729,12 @@ let scale_row ~name ~config () =
     major_words = gc.major_w;
     major_cols = gc.major_cols;
     extras =
-      [
+      (("setup_seconds", setup_w)
+      :: (match baseline_wall with
+         | Some b -> [ ("speedup_pct", 100.0 *. b /. wall) ]
+         | None -> []))
+      @ [
+        ("shards", float_of_int o.Scenarios.Scale.shards);
         ("receivers", float_of_int o.Scenarios.Scale.receivers);
         ("domains", float_of_int o.Scenarios.Scale.domains);
         ("peak_rss_kb", float_of_int o.Scenarios.Scale.peak_rss_kb);
@@ -746,7 +760,7 @@ let alloc_per_event r =
 
 let emit_bench_json ~path rows =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n  \"bench\": \"pr9\",\n";
+  Buffer.add_string buf "{\n  \"bench\": \"pr10\",\n";
   Printf.bprintf buf "  \"mode\": \"%s\",\n"
     (if full then "full" else "quick");
   Printf.bprintf buf "  \"scheduler\": \"%s\",\n"
@@ -770,7 +784,11 @@ let emit_bench_json ~path rows =
         r.peak_heap r.peak_live r.minor_words r.major_words r.major_cols
         (alloc_per_event r);
       List.iter
-        (fun (k, v) -> Printf.bprintf buf ", \"%s\": %.0f" k v)
+        (fun (k, v) ->
+          (* Counters are integral; the timing/ratio extras
+             (setup_seconds, speedup_pct) need their fraction. *)
+          if Float.is_integer v then Printf.bprintf buf ", \"%s\": %.0f" k v
+          else Printf.bprintf buf ", \"%s\": %.3f" k v)
         r.extras;
       Printf.bprintf buf "}%s\n" (if i = n - 1 then "" else ","))
     rows;
@@ -901,7 +919,23 @@ let run_trajectory () =
         ~config:(with_duration Scenarios.Scale.config_100k d100)
         ()
     in
-    [ r10k; r100k ]
+    (* Sharded replays of the 100k row: the same world partitioned under
+       Engine.Shard's conservative runner, with speedup_pct against the
+       sequential row just measured. On a single-core host the domains
+       time-slice, so speedup_pct reads as parallel overhead (< 100);
+       genuine speedup needs cores >= shards. Their peak_rss_kb extras
+       are process high-water marks already raised by the runs above —
+       only the 10k row's RSS means anything as a gate. *)
+    let shard_rows =
+      List.map
+        (fun shards ->
+          scale_row
+            ~name:(Printf.sprintf "scale-100k-shards%d" shards)
+            ~config:(with_duration Scenarios.Scale.config_100k d100)
+            ~shards ~baseline_wall:r100k.wall_s ())
+        [ 2; 4; 8 ]
+    in
+    [ r10k; r100k ] @ shard_rows
   in
   let rows =
     scale_rows
@@ -921,7 +955,7 @@ let run_trajectory () =
         r.major_cols (alloc_per_event r))
     rows;
   let path =
-    Option.value ~default:"BENCH_pr9.json" (Sys.getenv_opt "BENCH_OUT")
+    Option.value ~default:"BENCH_pr10.json" (Sys.getenv_opt "BENCH_OUT")
   in
   emit_bench_json ~path rows;
   Format.printf "wrote %s@." path;

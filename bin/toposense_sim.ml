@@ -810,9 +810,16 @@ let chaos_cmd =
              storm) overriding --world/--faults/--storm; still honours \
              --seed and --scheduler.")
   in
-  let run seed scheduler world faults storm smoke =
+  let run seed scheduler world faults storm smoke shards =
     if faults < 0 then `Error (true, "--faults must be >= 0")
     else if storm < 20.0 then `Error (true, "--storm must be >= 20")
+    else if shards > 1 then
+      `Error
+        ( false,
+          "chaos: --shards > 1 is not supported — fault injection mutates \
+           the topology, and sharded runs rely on static region boundaries \
+           and routing (see DESIGN.md, Sharded simulation)" )
+    else if shards < 1 then `Error (true, "--shards must be >= 1")
     else begin
       set_scheduler scheduler;
       let world, faults, storm =
@@ -856,17 +863,26 @@ let chaos_cmd =
     Term.(
       ret
         (const run $ seed_term $ scheduler_term $ world_term $ faults_term
-       $ storm_term $ smoke_term))
+       $ storm_term $ smoke_term
+       $ Arg.(
+           value & opt int 1
+           & info [ "shards" ] ~docv:"N"
+               ~doc:
+                 "Accepted for CLI symmetry with $(b,scale); only 1 is \
+                  valid — chaos faults mutate the topology, which sharded \
+                  runs forbid.")))
 
 let scale_cmd =
-  let run seed scheduler receivers duration =
+  let run seed scheduler receivers duration shards =
     set_scheduler scheduler;
     match
-      match receivers with
-      | 10_000 -> Ok Scenarios.Scale.config_10k
-      | 100_000 -> Ok Scenarios.Scale.config_100k
-      | 1_000_000 -> Ok Scenarios.Scale.config_1m
-      | _ -> Error "supported --receivers values: 10000, 100000, 1000000"
+      if shards < 1 then Error "--shards must be >= 1"
+      else
+        match receivers with
+        | 10_000 -> Ok Scenarios.Scale.config_10k
+        | 100_000 -> Ok Scenarios.Scale.config_100k
+        | 1_000_000 -> Ok Scenarios.Scale.config_1m
+        | _ -> Error "supported --receivers values: 10000, 100000, 1000000"
     with
     | Error msg -> `Error (false, msg)
     | Ok base ->
@@ -876,7 +892,7 @@ let scale_cmd =
           | None -> config
           | Some s -> { config with Scenarios.Scale.duration = Time.of_sec s }
         in
-        let o = Scenarios.Scale.run ~config () in
+        let o = Scenarios.Scale.run ~config ~shards () in
         Format.printf "%a@." Scenarios.Scale.pp o;
         `Ok ()
   in
@@ -893,13 +909,25 @@ let scale_cmd =
       & info [ "duration" ] ~docv:"SECONDS"
           ~doc:"Simulated seconds (default: the preset's).")
   in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Partition the run into N regions executed by N domains under \
+             conservative barrier epochs (1 = sequential, the default). \
+             Aggregated protocol counters are identical to the sequential \
+             run.")
+  in
   Cmd.v
     (Cmd.info "scale"
        ~doc:
          "Scaled transit-stub world: full population on bitset membership, \
           lazy routing columns, per-stub controllers federated under an \
           O(domains) parent. Prints state counters, events/s and peak RSS.")
-    Term.(ret (const run $ seed_term $ scheduler_term $ receivers $ duration))
+    Term.(
+      ret
+        (const run $ seed_term $ scheduler_term $ receivers $ duration $ shards))
 
 let () =
   let info =

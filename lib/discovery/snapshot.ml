@@ -67,31 +67,45 @@ let nodes t =
   S.elements s
 
 let is_tree t =
-  let module S = Set.Make (Int) in
   (* each child has exactly one parent *)
   let childs = List.map (fun e -> e.child) t.edges in
   let unique = List.sort_uniq Int.compare childs in
   List.length unique = List.length childs
   && (not (List.exists (fun e -> e.child = t.source) t.edges))
   &&
-  (* all edges reachable from the source *)
-  let rec reach frontier seen =
-    match frontier with
-    | [] -> seen
-    | n :: rest ->
-        let cs = children t n in
-        let fresh = List.filter (fun c -> not (S.mem c seen)) cs in
-        reach (fresh @ rest) (List.fold_left (fun s c -> S.add c s) seen fresh)
+  (* all edges reachable from the source; pre-index children so the walk
+     is O(edges), not O(nodes * edges) *)
+  let kids : (Addr.node_id, Addr.node_id list) Hashtbl.t =
+    Hashtbl.create (List.length t.edges + 1)
   in
-  let reachable = reach [ t.source ] (S.singleton t.source) in
-  List.for_all (fun e -> S.mem e.parent reachable) t.edges
+  List.iter
+    (fun e ->
+      Hashtbl.replace kids e.parent
+        (e.child :: Option.value ~default:[] (Hashtbl.find_opt kids e.parent)))
+    t.edges;
+  let seen : (Addr.node_id, unit) Hashtbl.t =
+    Hashtbl.create (List.length t.edges + 1)
+  in
+  Hashtbl.replace seen t.source ();
+  let rec reach = function
+    | [] -> ()
+    | n :: rest ->
+        let cs = Option.value ~default:[] (Hashtbl.find_opt kids n) in
+        let fresh = List.filter (fun c -> not (Hashtbl.mem seen c)) cs in
+        List.iter (fun c -> Hashtbl.replace seen c ()) fresh;
+        reach (List.rev_append fresh rest)
+  in
+  reach [ t.source ];
+  List.for_all (fun e -> Hashtbl.mem seen e.parent) t.edges
 
 let restrict t ~domain =
-  let module S = Set.Make (Int) in
-  let dom = S.of_list domain in
-  if S.is_empty dom then None
+  if domain = [] then None
   else begin
-    let inside n = S.mem n dom in
+    let dom : (Addr.node_id, unit) Hashtbl.t =
+      Hashtbl.create (List.length domain)
+    in
+    List.iter (fun n -> Hashtbl.replace dom n ()) domain;
+    let inside n = Hashtbl.mem dom n in
     let edges_in = List.filter (fun e -> inside e.child && inside e.parent) t.edges in
     (* Ingresses: domain nodes entered from outside, plus the source. *)
     let entered =

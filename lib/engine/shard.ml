@@ -1,0 +1,191 @@
+(* Conservative parallel discrete-event simulation (roadmap item 1).
+
+   One partitioned run executes as [n] region simulators, each owned by
+   one OCaml domain, synchronized by barrier epochs. Cross-region
+   messages ride per-(src,dst) outboxes; link propagation delay on
+   boundary links is the lookahead bound L that makes the epochs safe:
+
+   - Let M be the global minimum next-event time after every buffered
+     message has been admitted. Every event processed this epoch fires
+     at some s >= M, so any message it posts arrives at s + delay >=
+     M + L. Processing up to the horizon H = M + L - 1 (capped at
+     [until]) therefore cannot miss a message from the concurrent past —
+     the conservative PDES argument, with H computed from the published
+     per-region minima instead of per-channel null messages (the barrier
+     plays the null-message role; an empty region publishes "infinity"
+     and releases everyone early).
+
+   - Determinism: each region keeps its own (time, seq) total order;
+     messages carry (arrival time, origin region, origin sequence) and
+     are admitted in that lexicographic order, so the local sequence
+     numbers they pick up — and hence every same-instant interleaving —
+     are reproducible run to run, independent of domain scheduling.
+
+   Epoch protocol per region (two barriers per epoch):
+
+     barrier               all previous posts visible
+     drain inboxes         admit messages in deterministic merge order
+     publish next_at       conservative: tombstones included
+     barrier               all minima visible
+     M := min over regions; stop if M = infinity or M > until
+     run_until (min until (M + L - 1))    thunks post into outboxes
+
+   Every region computes M from the same published array, so the epoch
+   sequence — including termination — is itself deterministic. *)
+
+(* Outbox for one (src, dst) pair: only src's domain appends during an
+   epoch, only dst's domain drains between barriers, and the barrier's
+   mutex provides the happens-before edge in between. Items are
+   (arrival ns, origin region, origin seq, payload), newest first. *)
+type 'm box = { mutable items : (int * int * int * 'm) list }
+
+type barrier = {
+  m : Mutex.t;
+  cv : Condition.t;
+  parties : int;
+  mutable arrived : int;
+  mutable phase : int;
+  mutable failed : exn option;
+}
+
+type 'm t = {
+  n : int;
+  look_ns : int;
+  out : 'm box array array;  (* out.(src).(dst) *)
+  seqs : int array;  (* per-src origin sequence counter *)
+  next_ns : int array;  (* published per-region minima; max_int = empty *)
+  b : barrier;
+  mutable epochs : int;
+}
+
+let create ~regions ~lookahead =
+  if regions < 1 then invalid_arg "Shard.create: regions < 1";
+  let look_ns : Time.span = lookahead in
+  if look_ns < 1 then invalid_arg "Shard.create: lookahead < 1 ns";
+  {
+    n = regions;
+    look_ns;
+    out =
+      Array.init regions (fun _ -> Array.init regions (fun _ -> { items = [] }));
+    seqs = Array.make regions 0;
+    next_ns = Array.make regions max_int;
+    b =
+      {
+        m = Mutex.create ();
+        cv = Condition.create ();
+        parties = regions;
+        arrived = 0;
+        phase = 0;
+        failed = None;
+      };
+    epochs = 0;
+  }
+
+let regions t = t.n
+let epochs t = t.epochs
+
+let post t ~src ~dst ~at m =
+  if src = dst then invalid_arg "Shard.post: src = dst";
+  let s = t.seqs.(src) in
+  t.seqs.(src) <- s + 1;
+  let box = t.out.(src).(dst) in
+  box.items <- (Time.to_ns at, src, s, m) :: box.items
+
+(* Returns false when another region failed — the caller unwinds without
+   doing further work. A successful pass provides the epoch's
+   happens-before edge for the outbox and minima arrays. *)
+let barrier_wait b =
+  Mutex.lock b.m;
+  let ok =
+    if b.failed <> None then false
+    else begin
+      let ph = b.phase in
+      b.arrived <- b.arrived + 1;
+      if b.arrived = b.parties then begin
+        b.arrived <- 0;
+        b.phase <- ph + 1;
+        Condition.broadcast b.cv
+      end
+      else
+        while b.phase = ph && b.failed = None do
+          Condition.wait b.cv b.m
+        done;
+      b.failed = None
+    end
+  in
+  Mutex.unlock b.m;
+  ok
+
+let record_failure b e =
+  Mutex.lock b.m;
+  if b.failed = None then b.failed <- Some e;
+  Condition.broadcast b.cv;
+  Mutex.unlock b.m
+
+(* Messages merge in (time, origin, seq) order before admission, so the
+   destination simulator assigns them locally increasing seqs in a
+   deterministic order even when several arrive at one instant. *)
+let cmp_msg (at0, o0, s0, _) (at1, o1, s1, _) =
+  let c = Int.compare at0 at1 in
+  if c <> 0 then c
+  else
+    let c = Int.compare o0 o1 in
+    if c <> 0 then c else Int.compare s0 s1
+
+let drain t ~deliver w =
+  let acc = ref [] in
+  for src = 0 to t.n - 1 do
+    if src <> w then begin
+      let box = t.out.(src).(w) in
+      match box.items with
+      | [] -> ()
+      | l ->
+          box.items <- [];
+          acc := List.rev_append l !acc
+    end
+  done;
+  match !acc with
+  | [] -> ()
+  | msgs ->
+      List.iter
+        (fun (at_ns, _, _, m) -> deliver w ~at:(Time.of_ns at_ns) m)
+        (List.sort cmp_msg msgs)
+
+let worker t ~sims ~deliver ~until w =
+  let sim = sims.(w) in
+  let until_ns = Time.to_ns until in
+  let continue = ref true in
+  while !continue do
+    if not (barrier_wait t.b) then continue := false
+    else begin
+      drain t ~deliver w;
+      t.next_ns.(w) <-
+        (match Sim.next_at sim with Some at -> Time.to_ns at | None -> max_int);
+      if not (barrier_wait t.b) then continue := false
+      else begin
+        let m = Array.fold_left min max_int t.next_ns in
+        if m > until_ns then continue := false
+        else begin
+          if w = 0 then t.epochs <- t.epochs + 1;
+          let h = min until_ns (m + t.look_ns - 1) in
+          Sim.run_until sim (Time.of_ns h)
+        end
+      end
+    end
+  done;
+  (* Leave every clock at the requested horizon, as a sequential
+     [run_until until] would. *)
+  if t.b.failed = None then Sim.run_until sim until
+
+let run t ~sims ~deliver ~until =
+  if Array.length sims <> t.n then invalid_arg "Shard.run: wrong sim count";
+  let guarded w () =
+    try worker t ~sims ~deliver ~until w
+    with e -> record_failure t.b e
+  in
+  let domains =
+    Array.init (t.n - 1) (fun i -> Domain.spawn (guarded (i + 1)))
+  in
+  guarded 0 ();
+  Array.iter Domain.join domains;
+  match t.b.failed with Some e -> raise e | None -> ()

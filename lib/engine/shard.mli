@@ -1,0 +1,65 @@
+(** Conservative parallel simulation: one run, sharded across domains.
+
+    A sharded run partitions the model into [regions] disjoint pieces,
+    each owning a private {!Sim.t} (its own clock, event queue and PRNG
+    streams) executed by its own OCaml domain. Regions interact only
+    through flat timestamped messages posted into per-(src, dst)
+    outboxes; the minimum boundary latency [lookahead] is what makes
+    optimistic-free parallelism safe.
+
+    Execution proceeds in barrier epochs. Each epoch, every region
+    drains its inboxes (admitting messages in a deterministic
+    [(time, origin region, origin seq)] merge order), publishes its
+    earliest pending event time, and then all regions advance to the
+    shared horizon [min until (M + lookahead - 1)] where [M] is the
+    global minimum — the classic conservative PDES bound: an event at
+    time [s >= M] can only post messages arriving at
+    [s + lookahead > H], so nothing inside the horizon is missed.
+    Because every region computes [M] from the same published array,
+    the epoch sequence and every message interleaving are deterministic
+    for a given model, independent of domain scheduling.
+
+    The runner is generic in the message type ['m]: the model layers
+    decide what crosses a boundary (flattened packets, tree-protocol
+    grafts/prunes — see {!Net.Network.set_shard_boundary} and the
+    multicast router's shard bridge) and how to apply it on arrival. *)
+
+type 'm t
+
+val create : regions:int -> lookahead:Time.span -> 'm t
+(** A runner for [regions] regions with conservative lookahead
+    [lookahead] — a lower bound on the model-time latency of {e every}
+    cross-region interaction (for network models: the minimum
+    propagation delay over boundary links).
+    @raise Invalid_argument if [regions < 1] or [lookahead < 1ns]. *)
+
+val regions : 'm t -> int
+
+val post : 'm t -> src:int -> dst:int -> at:Time.t -> 'm -> unit
+(** Buffer a message from region [src] to region [dst], to be applied at
+    absolute time [at] (which must be at least [lookahead] after the
+    poster's current time — the boundary-latency contract). Call only
+    from [src]'s domain while it is inside its epoch (or from the
+    spawning thread before {!run}). @raise Invalid_argument if
+    [src = dst]. *)
+
+val run :
+  'm t ->
+  sims:Sim.t array ->
+  deliver:(int -> at:Time.t -> 'm -> unit) ->
+  until:Time.t ->
+  unit
+(** Run all regions to [until]: spawns one domain per region beyond the
+    caller's (which executes region 0), loops barrier epochs until no
+    region has work inside the horizon, and leaves every clock at
+    [until]. [deliver w ~at m] applies an inbound message in region
+    [w]'s domain — typically [Sim.schedule_at sims.(w) at (fun () ->
+    ...)]; it is called in the deterministic merge order.
+
+    If any region's events raise, all regions stop at the next barrier,
+    the domains are joined, and the first recorded exception is
+    re-raised in the caller. @raise Invalid_argument if
+    [Array.length sims] differs from [regions]. *)
+
+val epochs : 'm t -> int
+(** Barrier epochs executed so far (for tests and reporting). *)

@@ -12,11 +12,13 @@
     run's trace — and therefore every figure and metric — is independent
     of the backend chosen; only wall time changes.
 
-    The simulator is single-threaded by design: the workloads in this
-    project are bound by event dispatch, not by per-event computation, and
-    determinism is a hard requirement for the experiments. Parallelism
-    lives one level up, in {!Scenarios.Sweep}, which fans whole
-    independent simulations across domains. *)
+    Each simulator instance is single-threaded by design: the workloads
+    in this project are bound by event dispatch, not by per-event
+    computation, and determinism is a hard requirement for the
+    experiments. Parallelism lives one level up — {!Scenarios.Sweep}
+    fans whole independent simulations across domains, and
+    {!Engine.Shard} runs one partitioned simulation as a set of
+    per-region simulators synchronized by conservative barrier epochs. *)
 
 type t
 
@@ -106,6 +108,12 @@ val batch_runs : t -> bool
 val step : t -> bool
 (** Dispatch the single next event. Returns [false] when the queue is
     empty. *)
+
+val next_at : t -> Time.t option
+(** Timestamp of the earliest queued event, or [None] on an empty queue.
+    Cancelled tombstones are included, so the answer can be earlier than
+    the next event that will actually fire — a conservative bound, which
+    is what the shard runner's lookahead horizon needs. *)
 
 val pending : t -> int
 (** Number of events still queued, {e including} cancelled tombstones

@@ -17,17 +17,26 @@ let of_snapshot (snap : Discovery.Snapshot.t) =
     (fun (e : Discovery.Snapshot.edge) ->
       Hashtbl.replace parent e.child e.parent;
       let cs = Option.value ~default:[] (Hashtbl.find_opt children e.parent) in
-      Hashtbl.replace children e.parent (cs @ [ e.child ]))
+      Hashtbl.replace children e.parent (e.child :: cs))
     snap.edges;
-  (* BFS from the source keeps only the reachable component. *)
+  (* Sibling lists were built by prepending; one reverse each restores
+     snapshot edge order (appending instead is quadratic in fan-out). *)
+  Hashtbl.filter_map_inplace (fun _ cs -> Some (List.rev cs)) children;
+  (* BFS from the source keeps only the reachable component. Two-list
+     queue: pushing on [back] and reversing when [front] drains visits
+     nodes in exactly the order a naive [rest @ cs] would, without the
+     O(frontier) append per node. *)
   let top_down = ref [] in
-  let rec bfs = function
-    | [] -> ()
-    | n :: rest ->
+  let rec bfs front back =
+    match (front, back) with
+    | [], [] -> ()
+    | [], back -> bfs (List.rev back) []
+    | n :: rest, back ->
         top_down := n :: !top_down;
-        bfs (rest @ Option.value ~default:[] (Hashtbl.find_opt children n))
+        let cs = Option.value ~default:[] (Hashtbl.find_opt children n) in
+        bfs rest (List.fold_left (fun b c -> c :: b) back cs)
   in
-  bfs [ snap.source ];
+  bfs [ snap.source ] [];
   let top_down = List.rev !top_down in
   let present = Hashtbl.create 32 in
   List.iter (fun n -> Hashtbl.replace present n ()) top_down;

@@ -671,6 +671,61 @@ let test_sim_horizon_excludes_later () =
   Sim.run_until sim (Time.of_sec 5);
   checkb "now" true !fired
 
+(* Horizon edge under batched dispatch (the equal-timestamp run
+   optimization): an event at exactly the horizon fires in that
+   [run_until] call; a run of equal instants at the horizon fires whole,
+   including same-instant work its own thunks add mid-run; a run
+   straddling two [run_until] calls at the same horizon neither drops
+   nor double-fires; and the first event past the horizon stays put.
+   Checked on both backends, batched and reference loop. *)
+let sim_horizon_edge ~batch backend () =
+  let sim = Sim.create ~backend () in
+  Sim.set_batch_runs sim batch;
+  let h = Time.of_sec 5 in
+  let log = ref [] in
+  let mark tag () = log := (tag, Time.to_ns (Sim.now sim)) :: !log in
+  ignore (Sim.schedule_at sim (Time.of_sec 4) (mark "before"));
+  ignore (Sim.schedule_at sim h (mark "at1"));
+  ignore
+    (Sim.schedule_at sim h (fun () ->
+         mark "spawner" ();
+         (* Same-instant work added mid-run joins this run. *)
+         ignore (Sim.schedule_after sim (Time.span_of_ms 0) (mark "spawned"))));
+  ignore (Sim.schedule_at sim h (mark "at3"));
+  ignore (Sim.schedule_at sim (Time.of_ns (Time.to_ns h + 1)) (mark "after"));
+  Sim.run_until sim h;
+  let ns = Time.to_ns h in
+  check
+    Alcotest.(list (pair string int))
+    "run at horizon fires whole"
+    [
+      ("before", Time.to_ns (Time.of_sec 4));
+      ("at1", ns); ("spawner", ns); ("at3", ns); ("spawned", ns);
+    ]
+    (List.rev !log);
+  checki "clock at horizon" ns (Time.to_ns (Sim.now sim));
+  (* Re-running to the same horizon dispatches nothing twice. *)
+  let fired = Sim.events_dispatched sim in
+  Sim.run_until sim h;
+  checki "no re-dispatch" fired (Sim.events_dispatched sim);
+  (* The equal-timestamp run straddles run_until calls: more work lands
+     at the same instant after the first call returned. *)
+  log := [];
+  ignore (Sim.schedule_at sim h (mark "late1"));
+  ignore (Sim.schedule_at sim h (mark "late2"));
+  Sim.run_until sim h;
+  check
+    Alcotest.(list (pair string int))
+    "straddling run completes" [ ("late1", ns); ("late2", ns) ]
+    (List.rev !log);
+  (* One nanosecond further releases the held-back event, exactly once. *)
+  log := [];
+  Sim.run_until sim (Time.of_ns (ns + 1));
+  check
+    Alcotest.(list (pair string int))
+    "past-horizon event released" [ ("after", ns + 1) ]
+    (List.rev !log)
+
 let test_sim_cancel () =
   let sim = Sim.create () in
   let fired = ref false in
@@ -821,6 +876,95 @@ let prop_sim_events_in_time_order =
       List.length f = List.length times
       && List.for_all2 ( = ) f (List.stable_sort Int.compare times))
 
+(* ---------- Shard ---------- *)
+
+(* Three regions under the conservative runner, passing a tick around a
+   ring every 10 ms stamped one lookahead ahead. Pins the whole
+   contract at the API level: every message arrives at its stamped
+   instant, reception order is the deterministic (time, origin, seq)
+   merge order, all clocks end at the horizon, and the run takes
+   multiple barrier epochs. Each log is written only by its own
+   region's domain; Domain.join in [run] publishes them to the test. *)
+let test_shard_ring () =
+  let run_once () =
+    let look = Time.span_of_ms 20 in
+    let sh = Engine.Shard.create ~regions:3 ~lookahead:look in
+    let sims = Array.init 3 (fun _ -> Sim.create ()) in
+    let logs = Array.make 3 [] in
+    Array.iteri
+      (fun r sim ->
+        ignore
+          (Sim.every sim ~period:(Time.span_of_ms 10) (fun () ->
+               let now = Sim.now sim in
+               if Time.to_ns now <= Time.to_ns (Time.of_ms 50) then
+                 Engine.Shard.post sh ~src:r
+                   ~dst:((r + 1) mod 3)
+                   ~at:(Time.add now look)
+                   (r, Time.to_ns now))))
+      sims;
+    Engine.Shard.run sh ~sims
+      ~deliver:(fun w ~at (origin, sent_ns) ->
+        ignore
+          (Sim.schedule_at sims.(w) at (fun () ->
+               logs.(w) <-
+                 (Time.to_ns (Sim.now sims.(w)), origin, sent_ns) :: logs.(w))))
+      ~until:(Time.of_ms 200);
+    (Array.map List.rev logs, Engine.Shard.epochs sh, Array.map Sim.now sims)
+  in
+  let logs, epochs, clocks = run_once () in
+  Array.iteri
+    (fun w log ->
+      let origin = (w + 2) mod 3 in
+      (* Ticks at 10..50 ms, each landing one lookahead later. *)
+      check
+        Alcotest.(list (triple int int int))
+        (Printf.sprintf "region %d receives its ring ticks" w)
+        (List.map
+           (fun ms ->
+             ( Time.to_ns (Time.of_ms (ms + 20)),
+               origin,
+               Time.to_ns (Time.of_ms ms) ))
+           [ 10; 20; 30; 40; 50 ])
+        log)
+    logs;
+  checkb (Printf.sprintf "multiple epochs (%d)" epochs) true (epochs > 1);
+  Array.iter
+    (fun now -> checki "clock at until" (Time.to_ns (Time.of_ms 200)) (Time.to_ns now))
+    clocks;
+  (* Determinism: an identical second run reproduces everything. *)
+  let logs2, epochs2, _ = run_once () in
+  checkb "deterministic logs" true (logs = logs2);
+  checki "deterministic epochs" epochs epochs2
+
+let test_shard_validation () =
+  (match Engine.Shard.create ~regions:0 ~lookahead:(Time.span_of_ms 1) with
+  | _ -> Alcotest.fail "regions=0 must be rejected"
+  | exception Invalid_argument _ -> ());
+  (match Engine.Shard.create ~regions:2 ~lookahead:(Time.span_of_ms 0) with
+  | _ -> Alcotest.fail "zero lookahead must be rejected"
+  | exception Invalid_argument _ -> ());
+  let sh = Engine.Shard.create ~regions:2 ~lookahead:(Time.span_of_ms 1) in
+  match Engine.Shard.post sh ~src:1 ~dst:1 ~at:(Time.of_ms 5) () with
+  | _ -> Alcotest.fail "self-post must be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* An exception in one region's event stops the whole run and surfaces
+   in the caller, instead of deadlocking the barrier. *)
+let test_shard_failure_propagates () =
+  let sh : unit Engine.Shard.t =
+    Engine.Shard.create ~regions:2 ~lookahead:(Time.span_of_ms 1)
+  in
+  let sims = Array.init 2 (fun _ -> Sim.create ()) in
+  ignore
+    (Sim.schedule_at sims.(1) (Time.of_ms 7) (fun () -> failwith "region 1 died"));
+  match
+    Engine.Shard.run sh ~sims
+      ~deliver:(fun _ ~at:_ () -> ())
+      ~until:(Time.of_ms 100)
+  with
+  | () -> Alcotest.fail "expected the region's failure to re-raise"
+  | exception Failure msg -> Alcotest.(check string) "message" "region 1 died" msg
+
 (* ---------- Stats ---------- *)
 
 let test_stats_basic () =
@@ -941,6 +1085,14 @@ let () =
           Alcotest.test_case "fifo ties" `Quick test_sim_fifo_ties;
           Alcotest.test_case "clock" `Quick test_sim_clock_advances;
           Alcotest.test_case "horizon" `Quick test_sim_horizon_excludes_later;
+          Alcotest.test_case "horizon edge (heap, batched)" `Quick
+            (sim_horizon_edge ~batch:true Event_queue.Heap);
+          Alcotest.test_case "horizon edge (heap, reference)" `Quick
+            (sim_horizon_edge ~batch:false Event_queue.Heap);
+          Alcotest.test_case "horizon edge (calendar, batched)" `Quick
+            (sim_horizon_edge ~batch:true Event_queue.Calendar);
+          Alcotest.test_case "horizon edge (calendar, reference)" `Quick
+            (sim_horizon_edge ~batch:false Event_queue.Calendar);
           Alcotest.test_case "cancel" `Quick test_sim_cancel;
           Alcotest.test_case "past rejected" `Quick
             test_sim_schedule_past_rejected;
@@ -966,6 +1118,14 @@ let () =
           prop_batching_invisible;
           prop_timers_equivalent;
         ];
+      ( "shard",
+        [
+          Alcotest.test_case "ring merge order + determinism" `Quick
+            test_shard_ring;
+          Alcotest.test_case "argument validation" `Quick test_shard_validation;
+          Alcotest.test_case "failure propagates" `Quick
+            test_shard_failure_propagates;
+        ] );
       ( "stats",
         [
           Alcotest.test_case "basic" `Quick test_stats_basic;

@@ -214,6 +214,101 @@ let test_scale_state_independent_of_population () =
   checkb "summaries flowed" true (large.Scale.summaries_received > 0);
   checkb "reports flowed" true (large.Scale.reports_received > 0)
 
+(* ---------- sharded runs replicate the sequential scenario ---------- *)
+
+(* Engine.Shard's deterministic-equivalence contract (PR 10): a sharded
+   run agrees with the sequential scenario on every protocol counter and
+   with itself on repetition. events_dispatched is deliberately NOT
+   compared — each region dispatches its own discovery captures and tree
+   bookkeeping, so the sharded total is legitimately higher — and
+   materialized_columns is only bounded (each region materializes its
+   own source column), which Scale.run itself asserts. *)
+let protocol_fingerprint (o : Scale.outcome) =
+  ( o.Scale.reports_received,
+    o.Scale.suggestions_sent,
+    o.Scale.summaries_received,
+    ( o.Scale.parent_state_entries,
+      o.Scale.controller_state_entries,
+      o.Scale.active_agents ) )
+
+(* CI pins the shard count with SCALE_QCHECK_SHARDS (run at 2 and 4);
+   unpinned, each trial draws its own. *)
+let forced_shards =
+  Option.bind (Sys.getenv_opt "SCALE_QCHECK_SHARDS") int_of_string_opt
+
+let shard_case_gen =
+  QCheck.Gen.(
+    let* transits = 2 -- 3 in
+    let* receivers_per_stub = 3 -- 6 in
+    let* active_domains = 1 -- (2 * transits) in
+    let* active_per_domain = 1 -- 2 in
+    let* duration_s = 10 -- 14 in
+    let* seed = 0 -- 1000 in
+    let* shards =
+      match forced_shards with Some s -> return s | None -> 2 -- 4
+    in
+    return
+      ( {
+          Scale.transits;
+          stubs_per_transit = 2;
+          receivers_per_stub;
+          active_domains;
+          active_per_domain;
+          duration = Time.of_sec duration_s;
+          seed = Int64.of_int seed;
+        },
+        shards ))
+
+let shard_case_print (cfg, shards) =
+  Printf.sprintf
+    "transits=%d stubs=%d receivers=%d active=%dx%d duration=%.0fs seed=%Ld \
+     shards=%d"
+    cfg.Scale.transits cfg.Scale.stubs_per_transit cfg.Scale.receivers_per_stub
+    cfg.Scale.active_domains cfg.Scale.active_per_domain
+    (Time.to_sec_f cfg.Scale.duration)
+    cfg.Scale.seed shards
+
+let prop_sharded_equals_sequential =
+  QCheck.Test.make ~name:"sharded counters equal sequential, twice" ~count:6
+    (QCheck.make ~print:shard_case_print shard_case_gen)
+    (fun (cfg, shards) ->
+      let seq = Scale.run ~config:cfg () in
+      let sh = Scale.run ~config:cfg ~shards () in
+      let again = Scale.run ~config:cfg ~shards () in
+      sh.Scale.shards = shards
+      && protocol_fingerprint seq = protocol_fingerprint sh
+      && protocol_fingerprint sh = protocol_fingerprint again)
+
+(* One pinned deterministic case where traffic demonstrably flows, so
+   the property above cannot degenerate into comparing all-zero runs. *)
+let test_sharded_traffic_flows () =
+  let cfg = tiny_config ~receivers_per_stub:5 in
+  let seq = Scale.run ~config:cfg () in
+  let sh = Scale.run ~config:cfg ~shards:4 () in
+  checkb "reports flowed" true (sh.Scale.reports_received > 0);
+  checkb "summaries flowed" true (sh.Scale.summaries_received > 0);
+  checki "reports equal" seq.Scale.reports_received sh.Scale.reports_received;
+  checki "suggestions equal" seq.Scale.suggestions_sent
+    sh.Scale.suggestions_sent;
+  checki "summaries equal" seq.Scale.summaries_received
+    sh.Scale.summaries_received;
+  checki "parent state equal" seq.Scale.parent_state_entries
+    sh.Scale.parent_state_entries;
+  checki "controller state equal" seq.Scale.controller_state_entries
+    sh.Scale.controller_state_entries;
+  checkb "columns within sharded bound" true
+    (sh.Scale.materialized_columns <= sh.Scale.column_bound)
+
+let test_shards_validation () =
+  let cfg = tiny_config ~receivers_per_stub:3 in
+  (* 4 stub domains: region count can reach 1 + 4. *)
+  (match Scale.run ~config:cfg ~shards:5 () with
+  | o -> checki "max shards run" 5 o.Scale.shards
+  | exception e -> Alcotest.failf "shards=5 must work: %s" (Printexc.to_string e));
+  match Scale.run ~config:cfg ~shards:6 () with
+  | _ -> Alcotest.fail "more stub regions than stub domains must be rejected"
+  | exception Invalid_argument _ -> ()
+
 let test_tiered_federated () =
   let world = Scenarios.Tiered.generate ~seed:11L () in
   let o =
@@ -259,4 +354,11 @@ let () =
           Alcotest.test_case "tiered federated control" `Slow
             test_tiered_federated;
         ] );
+      ( "sharded",
+        Alcotest.test_case "sharded traffic flows and matches" `Slow
+          test_sharded_traffic_flows
+        :: Alcotest.test_case "shard count validation" `Quick
+             test_shards_validation
+        :: List.map QCheck_alcotest.to_alcotest
+             [ prop_sharded_equals_sequential ] );
     ]
